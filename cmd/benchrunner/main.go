@@ -1,0 +1,67 @@
+// Benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner -run fig1          # one experiment
+//	benchrunner -run all           # everything, in paper order
+//	benchrunner -list              # available experiment ids
+//	benchrunner -run all -md out.md  # write an EXPERIMENTS-style markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "experiment id (fig1..fig17, tab1..tab7) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	md := flag.String("md", "", "also write a markdown report to this file")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			r, _ := experiments.Get(id)
+			fmt.Printf("%-6s %s\n", id, r.Title)
+		}
+		return
+	}
+	if *runID == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchrunner -run <id>|all [-md report.md] | -list")
+		os.Exit(2)
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	var mdOut strings.Builder
+	for _, id := range ids {
+		r, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		out := rep.Render()
+		fmt.Println(out)
+		if *md != "" {
+			fmt.Fprintf(&mdOut, "### %s — %s\n\n```\n%s```\n\n", rep.ID, rep.Title, out)
+		}
+	}
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(mdOut.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *md, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *md)
+	}
+}

@@ -1,0 +1,78 @@
+// Datagen generates workload inputs on stdout or into a file: Zipf text,
+// TeraGen records, K-Means points and R-MAT edge lists.
+//
+// Usage:
+//
+//	datagen -kind text -bytes 1048576 > corpus.txt
+//	datagen -kind tera -records 10000 -out tera.dat
+//	datagen -kind points -records 100000 -k 5 > points.csv
+//	datagen -kind graph -graph small -scale 100000 > edges.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "text", "text | tera | points | graph")
+	out := flag.String("out", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	bytes := flag.Int("bytes", 1<<20, "text size in bytes")
+	records := flag.Int("records", 1000, "record count (tera, points)")
+	k := flag.Int("k", 3, "clusters (points)")
+	graph := flag.String("graph", "small", "small | medium | large")
+	scale := flag.Int64("scale", 100000, "graph downscale factor")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	switch *kind {
+	case "text":
+		if _, err := bw.Write(datagen.Text(*seed, *bytes, 10)); err != nil {
+			log.Fatal(err)
+		}
+	case "tera":
+		if _, err := bw.Write(datagen.TeraGen(*seed, *records)); err != nil {
+			log.Fatal(err)
+		}
+	case "points":
+		pts, _ := datagen.KMeansPoints(*seed, *records, *k, 2.0)
+		for _, p := range pts {
+			fmt.Fprintf(bw, "%g,%g\n", p.X, p.Y)
+		}
+	case "graph":
+		var spec datagen.GraphSpec
+		switch *graph {
+		case "small":
+			spec = datagen.SmallGraph
+		case "medium":
+			spec = datagen.MediumGraph
+		case "large":
+			spec = datagen.LargeGraph
+		default:
+			log.Fatalf("unknown graph %q", *graph)
+		}
+		for _, e := range datagen.RMAT(*seed, spec.Scale(*scale)) {
+			fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
+		}
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,36 @@
+// Planviz prints both engines' execution plans for the six workloads,
+// regenerating the paper's Table I from the engines' planners.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
+	srt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := spark.NewContext(core.NewConfig(), srt, dfs.New(2, 64*core.KB, 1))
+	env := flink.NewEnv(core.NewConfig(), frt, dfs.New(2, 64*core.KB, 1))
+
+	for _, p := range workloads.Plans(ctx, env) {
+		if err := p.Validate(); err != nil {
+			log.Fatalf("invalid plan %s/%s: %v", p.Framework, p.Workload, err)
+		}
+		fmt.Println(p.String())
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro reproduces "Spark versus Flink: Understanding Performance
+// in Big Data Analytics Frameworks" (Marcu, Costan, Antoniu,
+// Pérez-Hernández; IEEE CLUSTER 2016) as a self-contained Go system: two
+// real executing mini-engines mirroring Spark 1.5's and Flink 0.10's
+// architectures, the six benchmark workloads, a deterministic paper-scale
+// cluster simulator, and a harness that regenerates every table and figure
+// of the evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results; bench_test.go holds one
+// benchmark per paper artifact plus the ablations.
+package repro

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+func TestGrid5000Profile(t *testing.T) {
+	s := Grid5000(32)
+	if s.Nodes != 32 || s.CoresPerNode != 16 {
+		t.Errorf("Grid5000 topology wrong: %+v", s)
+	}
+	if s.MemPerNode != 128*core.GB {
+		t.Errorf("memory = %v, want 128GB", s.MemPerNode)
+	}
+	if s.TotalCores() != 512 {
+		t.Errorf("total cores = %d, want 512", s.TotalCores())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("paper profile invalid: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Nodes: 1, CoresPerNode: 0, MemPerNode: 1, DiskSeqMiBps: 1, NetMiBps: 1},
+		{Nodes: 1, CoresPerNode: 1, MemPerNode: 0, DiskSeqMiBps: 1, NetMiBps: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	sim := des.New()
+	nodes := Grid5000(4).Materialize(sim)
+	if len(nodes) != 4 {
+		t.Fatalf("materialized %d nodes, want 4", len(nodes))
+	}
+	n := nodes[2]
+	if n.CPU.Capacity() != 16 {
+		t.Errorf("cpu capacity = %v, want 16", n.CPU.Capacity())
+	}
+	var doneAt float64
+	n.CPU.Use(32, 1, 1, func() { doneAt = sim.Now() })
+	sim.Run()
+	if math.Abs(doneAt-32) > 1e-9 {
+		t.Errorf("single-core demand done at %v, want 32", doneAt)
+	}
+}
+
+func TestSimNodeMemGauge(t *testing.T) {
+	sim := des.New()
+	n := Grid5000(1).Materialize(sim)[0]
+	n.UseMem(64 * float64(core.GB))
+	if got := n.Mem.At(0); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mem fraction = %v, want 0.5", got)
+	}
+	n.UseMem(-128 * float64(core.GB)) // over-release clamps at zero
+	if n.MemUsed() != 0 {
+		t.Errorf("mem used = %v, want 0", n.MemUsed())
+	}
+}
+
+func TestRuntimeRunTasks(t *testing.T) {
+	rt, err := NewRuntime(Spec{Nodes: 3, CoresPerNode: 2, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	tasks := make([]Task, 30)
+	for i := range tasks {
+		tasks[i] = Task{Node: i % 3, Fn: func() error { n.Add(1); return nil }}
+	}
+	if err := rt.RunTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 30 {
+		t.Errorf("ran %d tasks, want 30", n.Load())
+	}
+	if rt.TasksLaunched() != 30 || rt.Waves() != 1 {
+		t.Errorf("launched=%d waves=%d, want 30/1", rt.TasksLaunched(), rt.Waves())
+	}
+}
+
+func TestRuntimeSlotLimit(t *testing.T) {
+	rt, _ := NewRuntime(Spec{Nodes: 1, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 1, NetMiBps: 1}, 2)
+	var cur, peak atomic.Int64
+	tasks := make([]Task, 16)
+	for i := range tasks {
+		tasks[i] = Task{Node: 0, Fn: func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+			cur.Add(-1)
+			return nil
+		}}
+	}
+	if err := rt.RunTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeded 2 slots", peak.Load())
+	}
+}
+
+func TestRuntimeErrorPropagation(t *testing.T) {
+	rt, _ := NewRuntime(Grid5000(2), 4)
+	boom := errors.New("task failed")
+	err := rt.RunTasks([]Task{
+		{Node: 0, Fn: func() error { return nil }},
+		{Node: 1, Fn: func() error { return boom }},
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("RunTasks error = %v, want %v", err, boom)
+	}
+}
+
+func TestRuntimeRejectsBadNode(t *testing.T) {
+	rt, _ := NewRuntime(Grid5000(2), 1)
+	if err := rt.RunTasks([]Task{{Node: 7, Fn: func() error { return nil }}}); err == nil {
+		t.Error("task on nonexistent node accepted")
+	}
+}
+
+func TestRuntimeDefaultsSlots(t *testing.T) {
+	rt, _ := NewRuntime(Grid5000(2), 0)
+	if rt.SlotsPerNode() != 16 {
+		t.Errorf("default slots = %d, want cores (16)", rt.SlotsPerNode())
+	}
+}
+
+func TestNodeFor(t *testing.T) {
+	rt, _ := NewRuntime(Grid5000(4), 1)
+	for p := 0; p < 16; p++ {
+		if n := rt.NodeFor(p); n != p%4 {
+			t.Errorf("NodeFor(%d) = %d, want %d", p, n, p%4)
+		}
+	}
+	if n := rt.NodeFor(-5); n < 0 || n >= 4 {
+		t.Errorf("NodeFor(-5) out of range: %d", n)
+	}
+}

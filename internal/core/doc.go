@@ -1,0 +1,10 @@
+// Package core holds the dataflow vocabulary shared by the spark-like and
+// flink-like engines: key-value records, operator kinds, logical execution
+// plans, partitioners, and the typed configuration registry with the
+// parameters studied in the paper (parallelism, shuffle buffers, memory
+// management, serialization).
+//
+// Nothing in core executes; it only describes. The engines build core.Plan
+// values so that the metrics and sim packages can correlate operator plans
+// with resource usage without depending on either engine.
+package core

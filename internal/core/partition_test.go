@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPartitionerRange(t *testing.T) {
+	p := NewHashPartitioner[string](7)
+	if p.NumPartitions() != 7 {
+		t.Fatalf("NumPartitions = %d, want 7", p.NumPartitions())
+	}
+	f := func(key string) bool {
+		i := p.Partition(key)
+		return i >= 0 && i < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	p := NewHashPartitioner[int64](8)
+	counts := make([]int, 8)
+	for i := int64(0); i < 8000; i++ {
+		counts[p.Partition(i)]++
+	}
+	for i, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("partition %d holds %d of 8000 keys", i, n)
+		}
+	}
+}
+
+func TestHashPartitionerPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHashPartitioner(0) did not panic")
+		}
+	}()
+	NewHashPartitioner[string](0)
+}
+
+func TestRangePartitionerOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]int, 10000)
+	for i := range sample {
+		sample[i] = rng.Intn(1 << 20)
+	}
+	p := NewRangePartitioner(16, sample, func(a, b int) bool { return a < b })
+	if p.NumPartitions() != 16 {
+		t.Fatalf("NumPartitions = %d, want 16", p.NumPartitions())
+	}
+	// Partition index must be monotone in the key.
+	prev := -1
+	for k := 0; k < 1<<20; k += 997 {
+		idx := p.Partition(k)
+		if idx < prev {
+			t.Fatalf("partition index decreased: key=%d idx=%d prev=%d", k, idx, prev)
+		}
+		prev = idx
+	}
+	if prev == 0 {
+		t.Error("all keys landed in partition 0; boundaries were not used")
+	}
+}
+
+func TestRangePartitionerBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := make([]int, 50000)
+	for i := range sample {
+		sample[i] = rng.Intn(1 << 30)
+	}
+	p := NewRangePartitioner(10, sample, func(a, b int) bool { return a < b })
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[p.Partition(rng.Intn(1<<30))]++
+	}
+	for i, n := range counts {
+		if n < 5000 || n > 15000 {
+			t.Errorf("range partition %d holds %d of 100000 uniform keys", i, n)
+		}
+	}
+}
+
+func TestRangePartitionerEmptySample(t *testing.T) {
+	p := NewRangePartitioner[int](4, nil, func(a, b int) bool { return a < b })
+	if got := p.Partition(123); got != 0 {
+		t.Errorf("empty-sample partitioner sent key to %d, want 0", got)
+	}
+}
+
+func TestFuncPartitionerClamps(t *testing.T) {
+	p := &FuncPartitioner[int]{N: 4, Fn: func(k, n int) int { return k }}
+	if got := p.Partition(-3); got != 0 {
+		t.Errorf("negative custom index: got %d, want 0", got)
+	}
+	if got := p.Partition(99); got != 3 {
+		t.Errorf("overflow custom index: got %d, want 3", got)
+	}
+	if got := p.Partition(2); got != 2 {
+		t.Errorf("valid custom index: got %d, want 2", got)
+	}
+}
+
+func TestRangePartitionerPropertySameOrder(t *testing.T) {
+	sample := []string{"m", "c", "x", "f", "q"}
+	p := NewRangePartitioner(3, sample, func(a, b string) bool { return a < b })
+	f := func(a, b string) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return p.Partition(a) <= p.Partition(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PlanNode is one operator (or chained operator group) in a logical
+// execution plan. Labels follow the paper's figure captions, e.g.
+// "DataSource->FlatMap->GroupCombine" for a chained Flink source.
+type PlanNode struct {
+	ID     int
+	Label  string
+	Kind   OpKind
+	Inputs []*PlanNode
+}
+
+// Plan is a logical execution plan for one workload on one framework. It is
+// the unit the paper's methodology correlates with resource usage.
+type Plan struct {
+	Framework string // "spark" or "flink"
+	Workload  string // e.g. "WordCount"
+	Sinks     []*PlanNode
+}
+
+// NewPlanNode allocates a node; callers wire Inputs themselves.
+func NewPlanNode(id int, kind OpKind, label string, inputs ...*PlanNode) *PlanNode {
+	if label == "" {
+		label = kind.String()
+	}
+	return &PlanNode{ID: id, Label: label, Kind: kind, Inputs: inputs}
+}
+
+// Nodes returns every node reachable from the sinks in a stable topological
+// order (inputs before consumers, ties broken by ID).
+func (p *Plan) Nodes() []*PlanNode {
+	seen := make(map[int]bool)
+	var order []*PlanNode
+	var visit func(n *PlanNode)
+	visit = func(n *PlanNode) {
+		if n == nil || seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		ins := make([]*PlanNode, len(n.Inputs))
+		copy(ins, n.Inputs)
+		sort.Slice(ins, func(i, j int) bool { return ins[i].ID < ins[j].ID })
+		for _, in := range ins {
+			visit(in)
+		}
+		order = append(order, n)
+	}
+	sinks := make([]*PlanNode, len(p.Sinks))
+	copy(sinks, p.Sinks)
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i].ID < sinks[j].ID })
+	for _, s := range sinks {
+		visit(s)
+	}
+	return order
+}
+
+// Operators returns the distinct operator labels in topological order,
+// regenerating one row group of the paper's Table I.
+func (p *Plan) Operators() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, n := range p.Nodes() {
+		if !seen[n.Label] {
+			seen[n.Label] = true
+			out = append(out, n.Label)
+		}
+	}
+	return out
+}
+
+// String renders the plan as "A -> B -> C | D" chains, one line per sink
+// path, matching the operator annotations in the paper's resource figures.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: ", p.Framework, p.Workload)
+	for i, n := range p.Nodes() {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(n.Label)
+	}
+	return b.String()
+}
+
+// Validate checks the plan is a DAG with at least one source and one sink.
+// Engines call it after planning; tests call it on every workload plan.
+func (p *Plan) Validate() error {
+	if len(p.Sinks) == 0 {
+		return fmt.Errorf("core: plan %s/%s has no sinks", p.Framework, p.Workload)
+	}
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[int]int)
+	hasSource := false
+	var visit func(n *PlanNode) error
+	visit = func(n *PlanNode) error {
+		switch color[n.ID] {
+		case grey:
+			return fmt.Errorf("core: plan %s/%s has a cycle through %q", p.Framework, p.Workload, n.Label)
+		case black:
+			return nil
+		}
+		color[n.ID] = grey
+		if len(n.Inputs) == 0 {
+			if n.Kind != OpSource && n.Kind != OpWorkset {
+				return fmt.Errorf("core: node %q has no inputs but is not a source", n.Label)
+			}
+			hasSource = true
+		}
+		for _, in := range n.Inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		color[n.ID] = black
+		return nil
+	}
+	for _, s := range p.Sinks {
+		if err := visit(s); err != nil {
+			return err
+		}
+	}
+	if !hasSource {
+		return fmt.Errorf("core: plan %s/%s has no source", p.Framework, p.Workload)
+	}
+	return nil
+}

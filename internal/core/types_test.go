@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.00KB"},
+		{256 * MB, "256.00MB"},
+		{22 * GB, "22.00GB"},
+		{ByteSize(3.5 * float64(TB)), "3.50TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+	}{
+		{"256MB", 256 * MB},
+		{"64KB", 64 * KB},
+		{"3.5TB", ByteSize(3.5 * float64(TB))},
+		{"1024", 1024},
+		{"22 GB", 22 * GB},
+		{"128b", 128},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseByteSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-5MB", "12XB"} {
+		if _, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseByteSizeRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		b := ByteSize(n)
+		got, err := ParseByteSize(b.String())
+		if err != nil {
+			return false
+		}
+		// String keeps two decimals, so allow 1% error for large values.
+		diff := int64(got) - int64(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= int64(b)/100+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("word") != HashKey("word") {
+		t.Error("HashKey not deterministic for strings")
+	}
+	if HashKey(int64(42)) != HashKey(int64(42)) {
+		t.Error("HashKey not deterministic for int64")
+	}
+	if HashKey("a") == HashKey("b") {
+		t.Error("distinct strings should (overwhelmingly) hash differently")
+	}
+}
+
+func TestHashKeyIntMixing(t *testing.T) {
+	// Sequential keys must spread over partitions; count collisions mod 16.
+	buckets := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		buckets[HashKey(int64(i))%16]++
+	}
+	for i, n := range buckets {
+		if n < 500 || n > 1500 {
+			t.Errorf("bucket %d has %d of 16000 keys; splitmix64 should balance", i, n)
+		}
+	}
+}
+
+func TestKV(t *testing.T) {
+	p := KV("k", 7)
+	if p.Key != "k" || p.Value != 7 {
+		t.Errorf("KV produced %+v", p)
+	}
+}

@@ -1,0 +1,191 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWordsZipfSkew(t *testing.T) {
+	words := Words(1, 20000)
+	counts := map[string]int{}
+	for _, w := range words {
+		counts[w]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if len(counts) < 100 {
+		t.Errorf("vocabulary too small: %d distinct words", len(counts))
+	}
+	// Zipf: the most common word should dominate the mean frequency.
+	mean := len(words) / len(counts)
+	if top < 10*mean {
+		t.Errorf("no Zipf skew: top=%d mean=%d", top, mean)
+	}
+}
+
+func TestWordsDeterministic(t *testing.T) {
+	a := Words(42, 100)
+	b := Words(42, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different words")
+		}
+	}
+	c := Words(43, 100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTextShape(t *testing.T) {
+	txt := Text(7, 10000, 10)
+	if len(txt) < 10000 {
+		t.Errorf("text length %d below requested 10000", len(txt))
+	}
+	if txt[len(txt)-1] != '\n' {
+		t.Error("text must end with a newline")
+	}
+	lines := strings.Split(strings.TrimRight(string(txt), "\n"), "\n")
+	for _, l := range lines[:5] {
+		n := len(strings.Fields(l))
+		if n != 10 {
+			t.Errorf("line has %d words, want 10: %q", n, l)
+		}
+	}
+}
+
+func TestGrepTextSelectivity(t *testing.T) {
+	txt := GrepText(3, 10000, "NEEDLE", 0.1)
+	hits := 0
+	for _, l := range strings.Split(string(txt), "\n") {
+		if strings.Contains(l, "NEEDLE") {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Errorf("hit fraction off: %d of 10000, want ≈1000", hits)
+	}
+}
+
+func TestTeraGenFormat(t *testing.T) {
+	data := TeraGen(5, 50)
+	if len(data) != 50*TeraRecordSize {
+		t.Fatalf("teragen length = %d, want %d", len(data), 50*TeraRecordSize)
+	}
+	// Row ids are sequential decimal strings at offset 10.
+	rec0 := data[:TeraRecordSize]
+	if string(rec0[10:20]) != "0000000000" {
+		t.Errorf("row 0 id = %q", rec0[10:20])
+	}
+	rec7 := data[7*TeraRecordSize : 8*TeraRecordSize]
+	if string(rec7[10:20]) != "0000000007" {
+		t.Errorf("row 7 id = %q", rec7[10:20])
+	}
+	// Keys are printable.
+	for i := 0; i < TeraKeySize; i++ {
+		if rec0[i] < ' ' || rec0[i] > '~' {
+			t.Errorf("key byte %d not printable: %v", i, rec0[i])
+		}
+	}
+	if !bytes.Equal(TeraGen(5, 50), data) {
+		t.Error("teragen not deterministic")
+	}
+}
+
+func TestTeraKeySample(t *testing.T) {
+	data := TeraGen(1, 1000)
+	sample := TeraKeySample(data, 10)
+	if len(sample) != 100 {
+		t.Errorf("sample size = %d, want 100", len(sample))
+	}
+	for _, k := range sample {
+		if len(k) != TeraKeySize {
+			t.Errorf("sample key length %d", len(k))
+		}
+	}
+}
+
+func TestKMeansPointsClusters(t *testing.T) {
+	points, centers := KMeansPoints(9, 3000, 3, 1.0)
+	if len(points) != 3000 || len(centers) != 3 {
+		t.Fatalf("got %d points, %d centers", len(points), len(centers))
+	}
+	// Every point must be very close to its generating center.
+	for i, p := range points {
+		c := centers[i%3]
+		dx, dy := p.X-c.X, p.Y-c.Y
+		if dx*dx+dy*dy > 100 { // 10 sigma
+			t.Fatalf("point %d too far from its cluster", i)
+		}
+	}
+}
+
+func TestInitialCenters(t *testing.T) {
+	points, _ := KMeansPoints(2, 100, 2, 1.0)
+	init := InitialCenters(points, 4)
+	if len(init) != 4 {
+		t.Errorf("initial centers = %d, want 4", len(init))
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	spec := GraphSpec{Name: "test", Vertices: 1024, Edges: 8192}
+	edges := RMAT(13, spec)
+	if int64(len(edges)) != spec.Edges {
+		t.Fatalf("edge count = %d, want %d", len(edges), spec.Edges)
+	}
+	deg := map[int64]int{}
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= spec.Vertices || e.Dst < 0 || e.Dst >= spec.Vertices {
+			t.Fatalf("edge out of vertex range: %+v", e)
+		}
+		deg[e.Src]++
+	}
+	// Power law: max degree far above the average.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := len(edges) / len(deg)
+	if maxDeg < 5*avg {
+		t.Errorf("no skew: max degree %d vs avg %d", maxDeg, avg)
+	}
+}
+
+func TestGraphSpecScale(t *testing.T) {
+	s := SmallGraph.Scale(100000)
+	if s.Vertices != 247 || s.Edges != 8000 {
+		t.Errorf("scaled small graph = %+v", s)
+	}
+	// Edge/vertex ratio of Table IV is roughly preserved.
+	orig := float64(SmallGraph.Edges) / float64(SmallGraph.Vertices)
+	scaled := float64(s.Edges) / float64(s.Vertices)
+	if scaled < orig/2 || scaled > orig*2 {
+		t.Errorf("edge/vertex ratio drifted: %v vs %v", scaled, orig)
+	}
+}
+
+func TestChainAndCommunities(t *testing.T) {
+	chain := ChainGraph(5)
+	if len(chain) != 8 {
+		t.Errorf("chain(5) edges = %d, want 8 (bidirectional)", len(chain))
+	}
+	comm := Communities(3, 4)
+	// 3 cliques × C(4,2) × 2 directions = 36.
+	if len(comm) != 36 {
+		t.Errorf("communities edges = %d, want 36", len(comm))
+	}
+}

@@ -1,0 +1,109 @@
+package datagen
+
+import "math/rand"
+
+// Edge is one directed edge of a generated graph.
+type Edge struct {
+	Src, Dst int64
+}
+
+// GraphSpec describes a synthetic graph in terms of the paper's Table IV.
+type GraphSpec struct {
+	Name     string
+	Vertices int64
+	Edges    int64
+}
+
+// The paper's three graph datasets (Table IV), which the benchmarks scale
+// down by a constant factor while preserving the edge/vertex ratios:
+// Small = Twitter (24.7M nodes / 0.8B edges), Medium = Friendster
+// (65.6M / 1.8B), Large = WDC hyperlink graph (1.7B / 64B).
+var (
+	SmallGraph  = GraphSpec{Name: "Small(Twitter)", Vertices: 24_700_000, Edges: 800_000_000}
+	MediumGraph = GraphSpec{Name: "Medium(Friendster)", Vertices: 65_600_000, Edges: 1_800_000_000}
+	LargeGraph  = GraphSpec{Name: "Large(WDC)", Vertices: 1_700_000_000, Edges: 64_000_000_000}
+)
+
+// Scale returns the spec divided by factor (for laptop-scale runs).
+func (g GraphSpec) Scale(factor int64) GraphSpec {
+	if factor <= 0 {
+		factor = 1
+	}
+	s := g
+	s.Vertices /= factor
+	s.Edges /= factor
+	if s.Vertices < 2 {
+		s.Vertices = 2
+	}
+	if s.Edges < 1 {
+		s.Edges = 1
+	}
+	return s
+}
+
+// RMAT generates edges with the recursive-matrix model (a=0.57, b=0.19,
+// c=0.19), the standard generator for social-network-like power-law
+// graphs such as Table IV's. Self-loops are permitted, like real crawl
+// data; duplicates are possible and handled by the graph loaders.
+func RMAT(seed int64, spec GraphSpec) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	// Number of bits covering the vertex space.
+	bits := 1
+	for int64(1)<<bits < spec.Vertices {
+		bits++
+	}
+	const (
+		a = 0.57
+		b = 0.19
+		c = 0.19
+	)
+	edges := make([]Edge, 0, spec.Edges)
+	for int64(len(edges)) < spec.Edges {
+		var src, dst int64
+		for l := bits - 1; l >= 0; l-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				dst |= 1 << l
+			case r < a+b+c:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= spec.Vertices || dst >= spec.Vertices {
+			continue
+		}
+		edges = append(edges, Edge{Src: src, Dst: dst})
+	}
+	return edges
+}
+
+// ChainGraph returns a path 0-1-…-(n-1) in both directions; tests use it
+// because its connected-components result is known exactly and its
+// diameter stresses iteration counts.
+func ChainGraph(n int64) []Edge {
+	var edges []Edge
+	for i := int64(0); i+1 < n; i++ {
+		edges = append(edges, Edge{Src: i, Dst: i + 1}, Edge{Src: i + 1, Dst: i})
+	}
+	return edges
+}
+
+// Communities returns k disjoint cliques of size m — a graph with exactly
+// k connected components for verification.
+func Communities(k, m int64) []Edge {
+	var edges []Edge
+	for c := int64(0); c < k; c++ {
+		base := c * m
+		for i := int64(0); i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				edges = append(edges, Edge{Src: base + i, Dst: base + j}, Edge{Src: base + j, Dst: base + i})
+			}
+		}
+	}
+	return edges
+}

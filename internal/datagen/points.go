@@ -1,0 +1,49 @@
+package datagen
+
+import "math/rand"
+
+// Point is a 2-dimensional sample, matching the HiBench K-Means input the
+// paper uses ("training records with 2 dimensions").
+type Point struct {
+	X, Y float64
+}
+
+// KMeansPoints draws n points from k Gaussian clusters whose true centers
+// are returned alongside, deterministic in the seed. Cluster populations
+// are equal; spread controls the standard deviation.
+func KMeansPoints(seed int64, n, k int, spread float64) ([]Point, []Point) {
+	if k <= 0 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = Point{
+			X: rng.Float64() * 100 * float64(k),
+			Y: rng.Float64() * 100 * float64(k),
+		}
+	}
+	points := make([]Point, n)
+	for i := range points {
+		c := centers[i%k]
+		points[i] = Point{
+			X: c.X + rng.NormFloat64()*spread,
+			Y: c.Y + rng.NormFloat64()*spread,
+		}
+	}
+	return points, centers
+}
+
+// InitialCenters picks k distinct points as starting centers
+// (deterministic stand-in for HiBench's sampled seeds).
+func InitialCenters(points []Point, k int) []Point {
+	if k > len(points) {
+		k = len(points)
+	}
+	out := make([]Point, k)
+	stride := len(points) / max(1, k)
+	for i := range out {
+		out[i] = points[i*stride]
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package datagen
+
+import "math/rand"
+
+// TeraRecordSize is the record width of the TeraSort benchmark:
+// a 10-byte key followed by 90 bytes of payload.
+const (
+	TeraRecordSize  = 100
+	TeraKeySize     = 10
+	TeraPayloadSize = TeraRecordSize - TeraKeySize
+)
+
+// TeraGen produces n 100-byte records in the Hadoop TeraGen format:
+// random printable 10-byte keys and a structured payload (row id + filler),
+// deterministic in the seed.
+func TeraGen(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n*TeraRecordSize)
+	for row := 0; row < n; row++ {
+		for i := 0; i < TeraKeySize; i++ {
+			out = append(out, byte(' '+rng.Intn(95))) // printable ASCII
+		}
+		// 10-digit row id.
+		id := row
+		var digits [10]byte
+		for i := 9; i >= 0; i-- {
+			digits[i] = byte('0' + id%10)
+			id /= 10
+		}
+		out = append(out, digits[:]...)
+		for i := 0; i < TeraPayloadSize-10; i++ {
+			out = append(out, byte('A'+(row+i)%26))
+		}
+	}
+	return out
+}
+
+// TeraKey extracts the 10-byte key of a record as a string (comparable
+// and ordered byte-wise, like the OptimizedText format the paper's Flink
+// implementation uses to compare keys without deserialization).
+func TeraKey(record []byte) string { return string(record[:TeraKeySize]) }
+
+// TeraKeySample returns every k-th record's key, the sampling that seeds
+// the range partitioner shared by both engines.
+func TeraKeySample(data []byte, k int) []string {
+	if k <= 0 {
+		k = 100
+	}
+	var sample []string
+	for off := 0; off+TeraRecordSize <= len(data); off += TeraRecordSize * k {
+		sample = append(sample, string(data[off:off+TeraKeySize]))
+	}
+	return sample
+}

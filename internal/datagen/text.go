@@ -1,0 +1,99 @@
+// Package datagen generates the paper's inputs synthetically: Zipf-
+// distributed Wikipedia-like text (Word Count, Grep), TeraGen-format
+// 100-byte records (Tera Sort), HiBench-style clustered 2-D points
+// (K-Means) and R-MAT power-law graphs with the Table IV shapes (Page
+// Rank, Connected Components). Every generator is deterministic in its
+// seed.
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Vocabulary size of the synthetic wiki corpus. Natural language follows
+// Zipf's law; the combiner effectiveness that drives the paper's Word
+// Count analysis depends on exactly this skew.
+const vocabularySize = 10000
+
+// zipfS and zipfV shape the word distribution (s≈1.1 is English-like).
+const (
+	zipfS = 1.1
+	zipfV = 2.0
+)
+
+// Words returns n words drawn from a Zipf distribution over a synthetic
+// vocabulary.
+func Words(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, zipfS, zipfV, vocabularySize-1)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = wordFor(int(z.Uint64()))
+	}
+	return out
+}
+
+// wordFor derives a pronounceable token from a vocabulary rank.
+func wordFor(rank int) string {
+	syllables := []string{"ba", "re", "mi", "to", "ku", "da", "shi", "lor", "en", "va", "po", "qu"}
+	if rank == 0 {
+		return "the"
+	}
+	var b strings.Builder
+	for rank > 0 {
+		b.WriteString(syllables[rank%len(syllables)])
+		rank /= len(syllables)
+	}
+	return b.String()
+}
+
+// Text renders a corpus of approximately totalBytes of line-oriented text
+// with the given average words per line, ending every line with '\n'.
+func Text(seed int64, totalBytes int, wordsPerLine int) []byte {
+	if wordsPerLine <= 0 {
+		wordsPerLine = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, zipfS, zipfV, vocabularySize-1)
+	var b strings.Builder
+	b.Grow(totalBytes + 64)
+	col := 0
+	for b.Len() < totalBytes {
+		if col > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(wordFor(int(z.Uint64())))
+		col++
+		if col >= wordsPerLine {
+			b.WriteByte('\n')
+			col = 0
+		}
+	}
+	if col > 0 {
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// GrepText renders text where a fraction of lines contain the given
+// pattern, for filter selectivity control.
+func GrepText(seed int64, lines int, pattern string, hitFraction float64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, zipfS, zipfV, vocabularySize-1)
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		for w := 0; w < 8; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(wordFor(int(z.Uint64())))
+		}
+		if rng.Float64() < hitFraction {
+			b.WriteByte(' ')
+			b.WriteString(pattern)
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

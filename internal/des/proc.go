@@ -1,0 +1,72 @@
+package des
+
+// Step is one stage of a simulated process: it starts some work and calls
+// done when that work finishes. Resource.Use curried with fixed parameters
+// is the canonical Step.
+type Step func(done func())
+
+// Seq chains steps so each starts when the previous completes, then calls
+// done. A task that reads from disk, computes, and writes to the network is
+// Seq of three resource steps.
+func Seq(steps []Step, done func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= len(steps) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		steps[i](func() { run(i + 1) })
+	}
+	run(0)
+}
+
+// Par starts all steps immediately and calls done when every one has
+// finished — the join of a stage barrier.
+func Par(steps []Step, done func()) {
+	if len(steps) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c := NewCounter(len(steps), done)
+	for _, st := range steps {
+		st(c.Done)
+	}
+}
+
+// Counter calls fire after n Done calls; it is the DES analogue of
+// sync.WaitGroup for callback-style processes.
+type Counter struct {
+	remaining int
+	fire      func()
+}
+
+// NewCounter builds a counter expecting n completions. With n <= 0 the
+// counter fires on construction.
+func NewCounter(n int, fire func()) *Counter {
+	c := &Counter{remaining: n, fire: fire}
+	if n <= 0 && fire != nil {
+		fire()
+	}
+	return c
+}
+
+// Done records one completion.
+func (c *Counter) Done() {
+	c.remaining--
+	if c.remaining == 0 && c.fire != nil {
+		c.fire()
+	}
+	if c.remaining < 0 {
+		panic("des: Counter.Done called more times than expected")
+	}
+}
+
+// Hold returns a Step that simply waits for d seconds of virtual time —
+// fixed overheads such as task scheduling delay.
+func Hold(sim *Simulator, d float64) Step {
+	return func(done func()) { sim.Schedule(d, done) }
+}

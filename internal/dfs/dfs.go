@@ -1,0 +1,223 @@
+// Package dfs is an in-memory HDFS stand-in: files are sequences of
+// fixed-size blocks placed round-robin with replication across nodes. Both
+// engines read inputs from it (one input split per block, with HDFS's
+// record-boundary conventions) and write results back through it, so block
+// size and locality behave like the HDFS 2.7 deployment in the paper.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// FS is the filesystem. It is safe for concurrent use.
+type FS struct {
+	mu          sync.RWMutex
+	blockSize   int
+	replication int
+	nodes       int
+	nextNode    int
+	files       map[string]*File
+}
+
+// File is an immutable stored file.
+type File struct {
+	Name   string
+	Blocks []Block
+	size   int64
+}
+
+// Block is one block with its replica placement.
+type Block struct {
+	Data     []byte
+	Replicas []int // node IDs holding a copy
+}
+
+// New creates a filesystem over the given number of nodes.
+func New(nodes int, blockSize core.ByteSize, replication int) *FS {
+	if nodes <= 0 {
+		panic("dfs: need at least one node")
+	}
+	if blockSize <= 0 {
+		panic("dfs: block size must be positive")
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if replication > nodes {
+		replication = nodes
+	}
+	return &FS{
+		blockSize:   int(blockSize),
+		replication: replication,
+		nodes:       nodes,
+		files:       make(map[string]*File),
+	}
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() core.ByteSize { return core.ByteSize(fs.blockSize) }
+
+// WriteFile stores data under name, splitting into blocks and placing
+// replicas round-robin. An existing file is replaced, like an overwrite
+// in the paper's per-experiment cleanup.
+func (fs *FS) WriteFile(name string, data []byte) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{Name: name, size: int64(len(data))}
+	for off := 0; off < len(data) || off == 0; off += fs.blockSize {
+		end := off + fs.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := Block{Data: data[off:end:end]}
+		for r := 0; r < fs.replication; r++ {
+			blk.Replicas = append(blk.Replicas, (fs.nextNode+r)%fs.nodes)
+		}
+		fs.nextNode = (fs.nextNode + 1) % fs.nodes
+		f.Blocks = append(f.Blocks, blk)
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[name] = f
+	return f
+}
+
+// Open returns a stored file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the file is stored.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes a file; deleting a missing file is a no-op, like
+// `hdfs dfs -rm -f`.
+func (fs *FS) Delete(name string) {
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+}
+
+// List returns stored file names in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the file's byte length.
+func (f *File) Size() int64 { return f.size }
+
+// NumBlocks returns the number of blocks (at least 1, even for empty
+// files, matching HDFS metadata behaviour for zero-length files).
+func (f *File) NumBlocks() int { return len(f.Blocks) }
+
+// PreferredNode returns the first replica holder of block i — the node a
+// locality-aware scheduler assigns the corresponding input split to.
+func (f *File) PreferredNode(i int) int {
+	if i < 0 || i >= len(f.Blocks) || len(f.Blocks[i].Replicas) == 0 {
+		return 0
+	}
+	return f.Blocks[i].Replicas[0]
+}
+
+// Contents concatenates all blocks; tests and actions like collect use it.
+func (f *File) Contents() []byte {
+	var buf bytes.Buffer
+	for _, b := range f.Blocks {
+		buf.Write(b.Data)
+	}
+	return buf.Bytes()
+}
+
+// LineSplits returns one slice of complete lines per block using the HDFS
+// input-split convention: every line belongs to exactly one split — the one
+// containing the line's first byte — and a reader finishes a line that
+// crosses its block boundary by reading into the next block. No line is
+// lost or duplicated, which tests assert by reconciling against a plain
+// line split of the whole file.
+func (f *File) LineSplits() [][]string {
+	all := f.Contents()
+	splits := make([][]string, len(f.Blocks))
+	if len(all) == 0 {
+		return splits
+	}
+	// Block index containing each byte offset: boundaries are cumulative.
+	boundaries := make([]int, 0, len(f.Blocks))
+	off := 0
+	for _, b := range f.Blocks {
+		off += len(b.Data)
+		boundaries = append(boundaries, off)
+	}
+	blockOf := func(pos int) int {
+		i := sort.SearchInts(boundaries, pos+1)
+		if i >= len(f.Blocks) {
+			i = len(f.Blocks) - 1
+		}
+		return i
+	}
+	pos := 0
+	for pos < len(all) {
+		nl := bytes.IndexByte(all[pos:], '\n')
+		var line string
+		next := len(all)
+		if nl >= 0 {
+			line = string(all[pos : pos+nl])
+			next = pos + nl + 1
+		} else {
+			line = string(all[pos:])
+		}
+		b := blockOf(pos)
+		splits[b] = append(splits[b], line)
+		pos = next
+	}
+	return splits
+}
+
+// FixedRecordSplits returns per-block records of width recSize, assigning
+// each record to the block containing its first byte (records may straddle
+// blocks, as TeraSort's 100-byte records do over power-of-two block sizes).
+func (f *File) FixedRecordSplits(recSize int) [][][]byte {
+	if recSize <= 0 {
+		panic("dfs: record size must be positive")
+	}
+	all := f.Contents()
+	splits := make([][][]byte, len(f.Blocks))
+	blockStart := 0
+	for i, b := range f.Blocks {
+		start := blockStart
+		end := blockStart + len(b.Data)
+		blockStart = end
+		// First record starting at or after `start`.
+		rec := (start + recSize - 1) / recSize
+		if i == 0 {
+			rec = 0
+		}
+		for off := rec * recSize; off < end && off+recSize <= len(all); off += recSize {
+			splits[i] = append(splits[i], all[off:off+recSize:off+recSize])
+		}
+	}
+	return splits
+}

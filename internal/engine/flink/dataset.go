@@ -1,0 +1,216 @@
+package flink
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// partSink receives one partition's stream: push delivers batches in
+// order, close signals end-of-input. Push and close are called from the
+// producing task's goroutine — narrow operators wrap sinks, which is
+// exactly operator chaining.
+type partSink[T any] struct {
+	push  func(batch []T) error
+	close func() error
+}
+
+// planParent records a logical input edge for plan rendering.
+type planParent struct {
+	ds       anyDataSet
+	exchange bool
+}
+
+// anyDataSet is the type-erased view used for plan rendering.
+type anyDataSet interface {
+	dsID() int
+	chainLabels() []string
+	opKind() core.OpKind
+	planInputs() []planParent
+}
+
+// DataSet is a lazily evaluated, partitioned collection. Transformations
+// compose producer functions; nothing runs until an action submits the job
+// and the whole pipeline is scheduled at once.
+type DataSet[T any] struct {
+	env         *Env
+	id          int
+	chain       []string // operator labels since the last exchange
+	kind        core.OpKind
+	parallelism int
+	parents     []planParent
+	pref        func(part int) int
+	// produce registers the tasks that will push every partition into
+	// sinks (len(sinks) == parallelism). It must not block.
+	produce func(ctx *jobCtx, sinks []partSink[T]) error
+}
+
+func (d *DataSet[T]) dsID() int                { return d.id }
+func (d *DataSet[T]) chainLabels() []string    { return d.chain }
+func (d *DataSet[T]) opKind() core.OpKind      { return d.kind }
+func (d *DataSet[T]) planInputs() []planParent { return d.parents }
+
+// Parallelism returns the number of output partitions.
+func (d *DataSet[T]) Parallelism() int { return d.parallelism }
+
+// ChainLabel renders the operator chain, e.g.
+// "DataSource->Filter->FlatMap".
+func (d *DataSet[T]) ChainLabel() string { return strings.Join(d.chain, "->") }
+
+// newSource builds a source DataSet whose tasks run gen per partition.
+func newSource[T any](e *Env, label string, parallelism int, pref func(int) int,
+	gen func(part int, emit func([]T) error) error) *DataSet[T] {
+	ds := &DataSet[T]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       []string{label},
+		kind:        core.OpSource,
+		parallelism: parallelism,
+		pref:        pref,
+	}
+	ds.produce = func(ctx *jobCtx, sinks []partSink[T]) error {
+		for p := 0; p < parallelism; p++ {
+			p := p
+			node := ctx.place(p, pref)
+			ctx.addTask(node, func() error {
+				if err := gen(p, sinks[p].push); err != nil {
+					return err
+				}
+				return sinks[p].close()
+			})
+		}
+		return nil
+	}
+	return ds
+}
+
+// chainOp builds a narrow operator chained onto its parent: the transform
+// runs in the parent's task via wrapped sinks, no new tasks, no exchange.
+func chainOp[T, U any](parent *DataSet[T], label string, kind core.OpKind,
+	transform func(in []T, emit func([]U) error) error) *DataSet[U] {
+	e := parent.env
+	ds := &DataSet[U]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       append(append([]string{}, parent.chain...), label),
+		kind:        kind,
+		parallelism: parent.parallelism,
+		parents:     []planParent{{ds: parent}},
+		pref:        parent.pref,
+	}
+	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
+		wrapped := make([]partSink[T], len(sinks))
+		for p := range sinks {
+			out := sinks[p]
+			wrapped[p] = partSink[T]{
+				push: func(batch []T) error {
+					return transform(batch, out.push)
+				},
+				close: out.close,
+			}
+		}
+		return parent.produce(ctx, wrapped)
+	}
+	return ds
+}
+
+// Map applies f to every record, chained into the producing task.
+func Map[T, U any](d *DataSet[T], f func(T) U) *DataSet[U] {
+	return chainOp(d, "Map", core.OpMap, func(in []T, emit func([]U) error) error {
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return emit(out)
+	})
+}
+
+// FlatMap applies f and flattens, chained.
+func FlatMap[T, U any](d *DataSet[T], f func(T) []U) *DataSet[U] {
+	return chainOp(d, "FlatMap", core.OpFlatMap, func(in []T, emit func([]U) error) error {
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return emit(out)
+	})
+}
+
+// Filter keeps records where f is true, chained.
+func Filter[T any](d *DataSet[T], f func(T) bool) *DataSet[T] {
+	return chainOp(d, "Filter", core.OpFilter, func(in []T, emit func([]T) error) error {
+		var out []T
+		for _, v := range in {
+			if f(v) {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return emit(out)
+	})
+}
+
+// MapPartition transforms a whole partition; f sees batches as they stream
+// through (Flink's mapPartition receives an iterator).
+func MapPartition[T, U any](d *DataSet[T], f func([]T) []U) *DataSet[U] {
+	return chainOp(d, "MapPartition", core.OpMapPartitions, func(in []T, emit func([]U) error) error {
+		out := f(in)
+		if len(out) == 0 {
+			return nil
+		}
+		return emit(out)
+	})
+}
+
+// SortPartition locally sorts each partition. It is a pipeline breaker
+// within the task: records buffer until end-of-input, then flow out
+// sorted — but no exchange happens and the task is still the same.
+func SortPartition[T any](d *DataSet[T], less func(a, b T) bool) *DataSet[T] {
+	e := d.env
+	ds := &DataSet[T]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       append(append([]string{}, d.chain...), "SortPartition"),
+		kind:        core.OpSortPartition,
+		parallelism: d.parallelism,
+		parents:     []planParent{{ds: d}},
+		pref:        d.pref,
+	}
+	ds.produce = func(ctx *jobCtx, sinks []partSink[T]) error {
+		wrapped := make([]partSink[T], len(sinks))
+		for p := range sinks {
+			out := sinks[p]
+			var buf []T
+			wrapped[p] = partSink[T]{
+				push: func(batch []T) error {
+					buf = append(buf, batch...)
+					return nil
+				},
+				close: func() error {
+					sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+					if len(buf) > 0 {
+						if err := out.push(buf); err != nil {
+							return err
+						}
+					}
+					return out.close()
+				},
+			}
+		}
+		return d.produce(ctx, wrapped)
+	}
+	return ds
+}
+
+// PartitionCustom repartitions records with an explicit partitioner over
+// the key extracted by keyFn — partitionCustom in the paper's Tera Sort.
+func PartitionCustom[T any, K comparable](d *DataSet[T], part core.Partitioner[K], keyFn func(T) K) *DataSet[T] {
+	return rebalanceExchange(d, "Partition", core.OpPartition, part.NumPartitions(),
+		func(v T) int { return part.Partition(keyFn(v)) })
+}

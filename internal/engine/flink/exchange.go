@@ -1,0 +1,144 @@
+package flink
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// recordConsumer is the receive side of an exchange for one partition:
+// accept sees decoded batches as they arrive (pipelined with production),
+// finish fires at end-of-input — the natural point for sort-based grouping
+// to emit.
+type recordConsumer[T any] struct {
+	accept func(batch []T) error
+	finish func() error
+}
+
+// newExchange wires a repartitioning edge between parent (P producer
+// partitions) and Q consumer partitions.
+//
+// Producer side: records are routed with route(v), serialized with the
+// TypeInfo codec into buffers of the configured size, and sent over
+// bounded channels — a full channel blocks the producer, which is the
+// pipeline's backpressure. Consumer side: one task per partition decodes
+// batches as they arrive and hands them to the consumer built by
+// makeConsumer. No barrier exists anywhere: consumers run concurrently
+// with producers from the moment the job starts.
+func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q int,
+	route func(T) int,
+	makeConsumer func(part int, out partSink[U]) recordConsumer[T]) *DataSet[U] {
+
+	e := parent.env
+	ds := &DataSet[U]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       []string{label},
+		kind:        kind,
+		parallelism: q,
+		parents:     []planParent{{ds: parent, exchange: true}},
+	}
+	codec := serde.Of[T](e.style)
+
+	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
+		chans := ctx.makeChannels(parent.parallelism, q)
+		bufSize := int(e.conf.Bytes(core.BufferSize, 32*core.KB))
+
+		// Producer side: per-partition routing buffers, flushed by size.
+		var open atomic.Int64
+		open.Store(int64(parent.parallelism))
+		producerSinks := make([]partSink[T], parent.parallelism)
+		for p := 0; p < parent.parallelism; p++ {
+			p := p
+			bufs := make([][]byte, q)
+			counts := make([]int, q)
+			flush := func(dst int) {
+				if len(bufs[dst]) == 0 {
+					return
+				}
+				e.accountTransfer(ctx.nodeOfTask(p), ctx.nodeOfTask(dst), int64(len(bufs[dst])))
+				chans[dst] <- bufs[dst]
+				bufs[dst] = nil
+				counts[dst] = 0
+			}
+			producerSinks[p] = partSink[T]{
+				push: func(batch []T) error {
+					for _, v := range batch {
+						dst := route(v)
+						if dst < 0 || dst >= q {
+							return fmt.Errorf("flink: %s routed a record to partition %d of %d", label, dst, q)
+						}
+						bufs[dst] = codec.Enc(bufs[dst], v)
+						counts[dst]++
+						if len(bufs[dst]) >= bufSize {
+							flush(dst)
+						}
+					}
+					return nil
+				},
+				close: func() error {
+					for dst := range bufs {
+						flush(dst)
+					}
+					if open.Add(-1) == 0 {
+						for _, ch := range chans {
+							close(ch)
+						}
+					}
+					return nil
+				},
+			}
+		}
+		if err := parent.produce(ctx, producerSinks); err != nil {
+			return err
+		}
+
+		// Consumer side: one pipelined task per output partition.
+		for part := 0; part < q; part++ {
+			part := part
+			node := ctx.place(part, nil)
+			ctx.addTask(node, func() error {
+				cons := makeConsumer(part, sinks[part])
+				for buf := range chans[part] {
+					recs, err := serde.DecodeAll(codec, buf)
+					if err != nil {
+						return fmt.Errorf("flink: %s decode: %w", label, err)
+					}
+					if err := cons.accept(recs); err != nil {
+						return err
+					}
+				}
+				return cons.finish()
+			})
+		}
+		return nil
+	}
+	return ds
+}
+
+// rebalanceExchange is an exchange that just re-partitions records without
+// grouping (partitionCustom, rebalance).
+func rebalanceExchange[T any](parent *DataSet[T], label string, kind core.OpKind, q int,
+	route func(T) int) *DataSet[T] {
+	return newExchange[T, T](parent, label, kind, q, route,
+		func(part int, out partSink[T]) recordConsumer[T] {
+			return recordConsumer[T]{
+				accept: out.push,
+				finish: out.close,
+			}
+		})
+}
+
+// accountTransfer records shuffle traffic, classifying local vs remote by
+// producer and consumer node.
+func (e *Env) accountTransfer(fromNode, toNode int, n int64) {
+	e.metrics.ShuffleBytesWritten.Add(n)
+	e.metrics.ShuffleBytesRead.Add(n)
+	if fromNode == toNode {
+		e.metrics.LocalBytesRead.Add(n)
+	} else {
+		e.metrics.RemoteBytesRead.Add(n)
+	}
+}

@@ -1,0 +1,149 @@
+package flink
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Union merges two DataSets of the same type into one dataflow node; both
+// inputs stream into shared downstream partitions (Flink's union is a
+// cheap multi-input edge, not a shuffle). Pushes from the two inputs are
+// serialized per output partition, and a partition closes when every
+// producer mapped to it has finished.
+func Union[T any](a, b *DataSet[T]) *DataSet[T] {
+	if a.env != b.env {
+		panic("flink: union of datasets from different environments")
+	}
+	e := a.env
+	q := a.parallelism
+	if b.parallelism > q {
+		q = b.parallelism
+	}
+	ds := &DataSet[T]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       []string{"Union"},
+		kind:        core.OpUnion,
+		parallelism: q,
+		parents: []planParent{
+			{ds: a, exchange: true},
+			{ds: b, exchange: true},
+		},
+	}
+	ds.produce = func(ctx *jobCtx, sinks []partSink[T]) error {
+		total := a.parallelism + b.parallelism
+		remaining := make([]int, len(sinks))
+		for g := 0; g < total; g++ {
+			remaining[g%len(sinks)]++
+		}
+		var mu sync.Mutex
+		mkSink := func(global int) partSink[T] {
+			dst := global % len(sinks)
+			out := sinks[dst]
+			return partSink[T]{
+				push: func(batch []T) error {
+					mu.Lock()
+					defer mu.Unlock()
+					return out.push(batch)
+				},
+				close: func() error {
+					mu.Lock()
+					remaining[dst]--
+					last := remaining[dst] == 0
+					mu.Unlock()
+					if last {
+						return out.close()
+					}
+					return nil
+				},
+			}
+		}
+		aSinks := make([]partSink[T], a.parallelism)
+		for p := range aSinks {
+			aSinks[p] = mkSink(p)
+		}
+		bSinks := make([]partSink[T], b.parallelism)
+		for p := range bSinks {
+			bSinks[p] = mkSink(a.parallelism + p)
+		}
+		if err := a.produce(ctx, aSinks); err != nil {
+			return err
+		}
+		return b.produce(ctx, bSinks)
+	}
+	return ds
+}
+
+// First returns the first n records encountered (flink's first(n): an
+// arbitrary but run-deterministic subset).
+func First[T any](d *DataSet[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	all, err := Collect(d)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// Min keeps the pair with the smallest int64 value per key, matching
+// Flink's aggregate(MIN, field).
+func Min[K comparable](g *Grouped[K, core.Pair[K, int64]]) *DataSet[core.Pair[K, int64]] {
+	out := Reduce(g, func(a, b core.Pair[K, int64]) core.Pair[K, int64] {
+		if b.Value < a.Value {
+			return b
+		}
+		return a
+	})
+	out.chain = []string{"GroupReduce(Min)"}
+	return out
+}
+
+// Max is the MAX aggregation counterpart of Min.
+func Max[K comparable](g *Grouped[K, core.Pair[K, int64]]) *DataSet[core.Pair[K, int64]] {
+	out := Reduce(g, func(a, b core.Pair[K, int64]) core.Pair[K, int64] {
+		if b.Value > a.Value {
+			return b
+		}
+		return a
+	})
+	out.chain = []string{"GroupReduce(Max)"}
+	return out
+}
+
+// Rebalance redistributes records round-robin across q partitions (skew
+// repair, Flink's rebalance()).
+func Rebalance[T any](d *DataSet[T], q int) *DataSet[T] {
+	if q <= 0 {
+		q = d.env.parallelism
+	}
+	var counter atomic.Int64
+	return rebalanceExchange(d, "Rebalance", core.OpPartition, q, func(T) int {
+		return int(counter.Add(1) % int64(q))
+	})
+}
+
+// ReduceAll folds the whole DataSet to a single value (flink's reduce on a
+// non-grouped DataSet); it fails on an empty input.
+func ReduceAll[T any](d *DataSet[T], f func(T, T) T) (T, error) {
+	var zero T
+	all, err := Collect(d)
+	if err != nil {
+		return zero, err
+	}
+	if len(all) == 0 {
+		return zero, fmt.Errorf("flink: reduce on empty DataSet")
+	}
+	acc := all[0]
+	for _, v := range all[1:] {
+		acc = f(acc, v)
+	}
+	return acc, nil
+}

@@ -1,0 +1,123 @@
+package flink
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUnionMergesStreams(t *testing.T) {
+	e := testEnv(t, nil)
+	a := FromSlice(e, []int64{1, 2, 3}, 2)
+	b := FromSlice(e, []int64{4, 5, 6, 7}, 3)
+	u := Union(a, b)
+	out, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if fmt.Sprint(out) != "[1 2 3 4 5 6 7]" {
+		t.Errorf("union = %v", out)
+	}
+}
+
+func TestUnionFeedsGrouping(t *testing.T) {
+	e := testEnv(t, nil)
+	a := FromSlice(e, []core.Pair[string, int64]{core.KV("k", int64(1)), core.KV("j", int64(2))}, 2)
+	b := FromSlice(e, []core.Pair[string, int64]{core.KV("k", int64(10))}, 1)
+	sums := Sum(GroupBy(Union(a, b), func(p core.Pair[string, int64]) string { return p.Key }).WithParallelism(2))
+	out, err := Collect(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]int64{}
+	for _, p := range out {
+		m[p.Key] = p.Value
+	}
+	if m["k"] != 11 || m["j"] != 2 {
+		t.Errorf("union→sum = %v", m)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []int64{7, 8, 9}, 2)
+	got, err := First(ds, 2)
+	if err != nil || len(got) != 2 {
+		t.Errorf("First(2) = %v, %v", got, err)
+	}
+	if got, _ := First(ds, 0); got != nil {
+		t.Error("First(0) should be empty")
+	}
+}
+
+func TestMinMaxAggregations(t *testing.T) {
+	e := testEnv(t, nil)
+	recs := []core.Pair[string, int64]{
+		core.KV("a", int64(5)), core.KV("a", int64(2)), core.KV("b", int64(9)),
+	}
+	mins, err := Collect(Min(GroupBy(FromSlice(e, recs, 2),
+		func(p core.Pair[string, int64]) string { return p.Key }).WithParallelism(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := map[string]int64{}
+	for _, p := range mins {
+		mm[p.Key] = p.Value
+	}
+	if mm["a"] != 2 || mm["b"] != 9 {
+		t.Errorf("Min = %v", mm)
+	}
+	maxs, err := Collect(Max(GroupBy(FromSlice(e, recs, 2),
+		func(p core.Pair[string, int64]) string { return p.Key }).WithParallelism(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm := map[string]int64{}
+	for _, p := range maxs {
+		xm[p.Key] = p.Value
+	}
+	if xm["a"] != 5 || xm["b"] != 9 {
+		t.Errorf("Max = %v", xm)
+	}
+}
+
+func TestRebalanceSpreadsSkew(t *testing.T) {
+	e := testEnv(t, nil)
+	// All data in one partition; rebalance must spread it.
+	skewed := FromSlice(e, make([]int64, 1000), 1)
+	even := Rebalance(skewed, 4)
+	counts := make([]int, 4)
+	err := runJob(even, "test", func(p int, batch []int64) error {
+		counts[p] += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p, n := range counts {
+		total += n
+		if n < 150 {
+			t.Errorf("partition %d got only %d of 1000 records after rebalance", p, n)
+		}
+	}
+	if total != 1000 {
+		t.Errorf("rebalance lost records: %d", total)
+	}
+}
+
+func TestReduceAll(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []int64{1, 2, 3, 4}, 2)
+	sum, err := ReduceAll(ds, func(a, b int64) int64 { return a + b })
+	if err != nil || sum != 10 {
+		t.Errorf("ReduceAll = %v, %v", sum, err)
+	}
+	empty := FromSlice(e, []int64{}, 1)
+	if _, err := ReduceAll(empty, func(a, b int64) int64 { return a + b }); err == nil {
+		t.Error("ReduceAll on empty should fail")
+	}
+}

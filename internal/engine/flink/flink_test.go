@@ -1,0 +1,570 @@
+package flink
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/memory"
+	"repro/internal/netsim"
+)
+
+// testEnv builds a small environment: 4 nodes × 4 slots.
+func testEnv(t *testing.T, confEdit func(*core.Config)) *Env {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 4, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.NewConfig()
+	conf.SetInt(core.FlinkDefaultParallelism, 4)
+	conf.SetBytes(core.FlinkTaskManagerMemory, 64*core.MB)
+	conf.SetInt(core.FlinkNetworkBuffers, 4096)
+	if confEdit != nil {
+		confEdit(conf)
+	}
+	fs := dfs.New(spec.Nodes, 4*core.KB, 2)
+	return NewEnv(conf, rt, fs)
+}
+
+func TestFromSliceCollect(t *testing.T) {
+	e := testEnv(t, nil)
+	data := make([]int64, 64)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	ds := FromSlice(e, data, 4)
+	got, err := Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("collected %d, want 64", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWordCountGroupBySum(t *testing.T) {
+	e := testEnv(t, nil)
+	lines := []string{
+		"the the the quick quick fox",
+		"the the lazy lazy dog dog",
+		"the quick dog dog dog brown",
+	}
+	ds := FromSlice(e, lines, 3)
+	words := FlatMap(ds, func(l string) []string { return strings.Fields(l) })
+	pairs := Map(words, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
+	counts := Sum(GroupBy(pairs, func(p core.Pair[string, int64]) string { return p.Key }).WithParallelism(4))
+	got, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"the": 6, "quick": 3, "brown": 1, "fox": 1, "lazy": 2, "dog": 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %d words, want %d: %v", len(got), len(want), got)
+	}
+	for _, p := range got {
+		if want[p.Key] != p.Value {
+			t.Errorf("count[%q] = %d, want %d", p.Key, p.Value, want[p.Key])
+		}
+	}
+	if ratio := e.Metrics().CombineRatio(); ratio <= 1.0 {
+		t.Errorf("combine ratio = %v, want > 1 (GroupCombine active)", ratio)
+	}
+}
+
+func TestPipelineIsOneSchedulingRound(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []int64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	pairs := Map(ds, func(v int64) core.Pair[int64, int64] { return core.KV(v%2, v) })
+	red := Reduce(GroupBy(pairs, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(2),
+		func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] { return core.KV(a.Key, a.Value+b.Value) })
+	if _, err := Collect(red); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().SchedulingRounds.Load(); got != 1 {
+		t.Errorf("pipelined job used %d scheduling rounds, want exactly 1", got)
+	}
+	if got := e.Metrics().Stages.Load(); got != 1 {
+		t.Errorf("pipelined job reported %d stages, want 1 — no barriers exist", got)
+	}
+}
+
+func TestChainLabels(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []string{"a b"}, 1)
+	words := FlatMap(ds, func(l string) []string { return strings.Fields(l) })
+	filtered := Filter(words, func(w string) bool { return w != "" })
+	if got := filtered.ChainLabel(); got != "DataSource->FlatMap->Filter" {
+		t.Errorf("chain label = %q", got)
+	}
+}
+
+func TestPlanMatchesPaperWordCount(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []string{"a a b"}, 2)
+	words := FlatMap(ds, func(l string) []string { return strings.Fields(l) })
+	pairs := Map(words, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
+	counts := Sum(GroupBy(pairs, func(p core.Pair[string, int64]) string { return p.Key }))
+	plan := PlanOf(counts, "WordCount", "DataSink")
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	ops := plan.Operators()
+	// The paper's Figure 3 chains: DataSource->FlatMap->GroupCombine,
+	// GroupReduce, DataSink.
+	want := []string{"DataSource->FlatMap->Map->GroupCombine", "GroupReduce(Sum)", "DataSink"}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Errorf("plan operators = %v, want %v", ops, want)
+	}
+}
+
+func TestGrepFilterCount(t *testing.T) {
+	e := testEnv(t, nil)
+	lines := make([]string, 500)
+	for i := range lines {
+		if i%5 == 0 {
+			lines[i] = fmt.Sprintf("pattern %d", i)
+		} else {
+			lines[i] = fmt.Sprintf("other %d", i)
+		}
+	}
+	ds := FromSlice(e, lines, 4)
+	matched := Filter(ds, func(l string) bool { return strings.HasPrefix(l, "pattern") })
+	n, err := Count(matched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("grep count = %d, want 100", n)
+	}
+	if e.Metrics().ShuffleBytesWritten.Load() != 0 {
+		t.Error("filter→count must not exchange data")
+	}
+}
+
+func TestReadTextFile(t *testing.T) {
+	e := testEnv(t, nil)
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "line %d with enough padding to span multiple 4KB blocks\n", i)
+	}
+	e.FS().WriteFile("text", []byte(sb.String()))
+	ds, err := ReadTextFile(e, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Parallelism() < 2 {
+		t.Fatalf("expected one partition per block, got %d", ds.Parallelism())
+	}
+	n, err := Count(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("count = %d, want 300", n)
+	}
+}
+
+func TestPartitionCustomAndSortPartitionTotalOrder(t *testing.T) {
+	e := testEnv(t, nil)
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]string, 400)
+	sample := make([]string, 0, 80)
+	for i := range recs {
+		recs[i] = fmt.Sprintf("%06d", rng.Intn(1000000))
+		if i%5 == 0 {
+			sample = append(sample, recs[i])
+		}
+	}
+	ds := FromSlice(e, recs, 4)
+	part := core.NewRangePartitioner(4, sample, func(a, b string) bool { return a < b })
+	ranged := PartitionCustom(ds, part, func(s string) string { return s })
+	sorted := SortPartition(ranged, func(a, b string) bool { return a < b })
+	parts := make([][]string, sorted.Parallelism())
+	err := runJob(sorted, "test", func(p int, batch []string) error {
+		parts[p] = append(parts[p], batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for p, keys := range parts {
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("partition %d not sorted", p)
+		}
+		all = append(all, keys...)
+	}
+	if len(all) != 400 {
+		t.Fatalf("lost records: %d of 400", len(all))
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Error("partitionCustom+sortPartition must give a total order")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := testEnv(t, nil)
+	left := FromSlice(e, []core.Pair[string, int64]{
+		core.KV("x", int64(1)), core.KV("x", int64(2)), core.KV("y", int64(3)),
+	}, 2)
+	right := FromSlice(e, []core.Pair[string, string]{
+		core.KV("x", "A"), core.KV("z", "C"),
+	}, 2)
+	joined, err := Collect(Join(left, right,
+		func(p core.Pair[string, int64]) string { return p.Key },
+		func(p core.Pair[string, string]) string { return p.Key },
+		4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 2 {
+		t.Fatalf("join produced %d records, want 2: %v", len(joined), joined)
+	}
+	for _, j := range joined {
+		if j.Key != "x" || j.Value.Right.Value != "A" {
+			t.Errorf("unexpected join record %+v", j)
+		}
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	e := testEnv(t, nil)
+	left := FromSlice(e, []int64{1, 2, 2, 3}, 2)
+	right := FromSlice(e, []int64{2, 3, 3, 4}, 2)
+	cg := CoGroup(left, right,
+		func(v int64) int64 { return v },
+		func(v int64) int64 { return v },
+		2, false,
+		func(k int64, ls, rs []int64) []string {
+			return []string{fmt.Sprintf("%d:%d-%d", k, len(ls), len(rs))}
+		})
+	got, err := Collect(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"1:1-0", "2:2-1", "3:1-2", "4:0-1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cogroup = %v, want %v", got, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []string{"a", "b", "a", "c", "b"}, 3)
+	d, err := Collect(Distinct(ds, func(s string) string { return s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(d)
+	if strings.Join(d, "") != "abc" {
+		t.Errorf("distinct = %v", d)
+	}
+}
+
+func TestBulkIterationKeepsSingleSchedulingRound(t *testing.T) {
+	e := testEnv(t, nil)
+	// Iteratively double values 5 times: 1→32.
+	ds := FromSlice(e, []int64{1, 1, 1, 1}, 2)
+	result := IterateBulk(ds, 5, func(cur *DataSet[int64]) *DataSet[int64] {
+		return Map(cur, func(v int64) int64 { return v * 2 })
+	})
+	got, err := Collect(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("lost records across iterations: %v", got)
+	}
+	for _, v := range got {
+		if v != 32 {
+			t.Errorf("iterated value = %d, want 32", v)
+		}
+	}
+	if rounds := e.Metrics().SchedulingRounds.Load(); rounds != 1 {
+		t.Errorf("bulk iteration used %d scheduling rounds, want 1 — operators are scheduled once", rounds)
+	}
+}
+
+func TestBulkIterationWithGroupingStep(t *testing.T) {
+	e := testEnv(t, nil)
+	// K-Means-like: two 1-D centers refined over points, via broadcast.
+	points := FromSlice(e, []float64{1, 2, 3, 41, 42, 43}, 3)
+	centers := FromSlice(e, []core.Pair[int64, float64]{
+		core.KV(int64(0), 0.0), core.KV(int64(1), 50.0),
+	}, 1)
+	final := IterateBulk(centers, 10, func(cs *DataSet[core.Pair[int64, float64]]) *DataSet[core.Pair[int64, float64]] {
+		assigned := MapWithBroadcast(points, cs,
+			func(p float64, cents []core.Pair[int64, float64]) core.Pair[int64, core.Pair[float64, int64]] {
+				best, bestD := int64(0), -1.0
+				for _, c := range cents {
+					d := (p - c.Value) * (p - c.Value)
+					if bestD < 0 || d < bestD {
+						best, bestD = c.Key, d
+					}
+				}
+				return core.KV(best, core.KV(p, int64(1)))
+			})
+		sums := Reduce(GroupBy(assigned, func(p core.Pair[int64, core.Pair[float64, int64]]) int64 { return p.Key }).WithParallelism(2),
+			func(a, b core.Pair[int64, core.Pair[float64, int64]]) core.Pair[int64, core.Pair[float64, int64]] {
+				return core.KV(a.Key, core.KV(a.Value.Key+b.Value.Key, a.Value.Value+b.Value.Value))
+			})
+		return Map(sums, func(s core.Pair[int64, core.Pair[float64, int64]]) core.Pair[int64, float64] {
+			return core.KV(s.Key, s.Value.Key/float64(s.Value.Value))
+		})
+	})
+	got, err := Collect(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int64]float64{}
+	for _, c := range got {
+		m[c.Key] = c.Value
+	}
+	if len(m) != 2 || m[0] != 2 || m[1] != 42 {
+		t.Errorf("k-means centers = %v, want {0:2, 1:42}", m)
+	}
+}
+
+func TestDeltaIterationConvergesAndShrinks(t *testing.T) {
+	e := testEnv(t, nil)
+	// Connected-components-like: propagate min label along a chain
+	// 0-1-2-3-4-5; delta iterations stop when nothing changes.
+	n := int64(6)
+	var initial []core.Pair[int64, int64]
+	for i := int64(0); i < n; i++ {
+		initial = append(initial, core.KV(i, i))
+	}
+	edges := map[int64][]int64{}
+	for i := int64(0); i+1 < n; i++ {
+		edges[i] = append(edges[i], i+1)
+		edges[i+1] = append(edges[i+1], i)
+	}
+	sol := FromSlice(e, initial, 2)
+	ws := FromSlice(e, initial, 2)
+	final := IterateDelta(sol, ws, 20,
+		func(cur *DataSet[core.Pair[int64, int64]], lookup func(int64) (int64, bool)) (*DataSet[core.Pair[int64, int64]], *DataSet[core.Pair[int64, int64]]) {
+			// Scatter: each workset vertex offers its label to neighbors.
+			offers := FlatMap(cur, func(p core.Pair[int64, int64]) []core.Pair[int64, int64] {
+				var out []core.Pair[int64, int64]
+				for _, nb := range edges[p.Key] {
+					out = append(out, core.KV(nb, p.Value))
+				}
+				return out
+			})
+			// Gather: keep the min offer per vertex, emit only improvements.
+			best := Reduce(GroupBy(offers, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(2),
+				func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] {
+					if b.Value < a.Value {
+						return b
+					}
+					return a
+				})
+			improved := Filter(best, func(p core.Pair[int64, int64]) bool {
+				curLabel, ok := lookup(p.Key)
+				return ok && p.Value < curLabel
+			})
+			return improved, improved
+		})
+	got, err := Collect(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != int(n) {
+		t.Fatalf("solution set size = %d, want %d", len(got), n)
+	}
+	for _, p := range got {
+		if p.Value != 0 {
+			t.Errorf("component[%d] = %d, want 0 (chain is connected)", p.Key, p.Value)
+		}
+	}
+}
+
+func TestDeltaIterationSolutionSetOOM(t *testing.T) {
+	// A managed pool of 2 segments cannot hold a solution set needing
+	// several: the job must die like Flink's large-graph runs (Table VII).
+	e := testEnv(t, func(conf *core.Config) {
+		conf.SetBytes(core.FlinkTaskManagerMemory, core.ByteSize(2*memory.SegmentSize))
+		conf.SetFloat(core.FlinkMemoryFraction, 1.0)
+	})
+	var initial []core.Pair[int64, int64]
+	for i := int64(0); i < 5*keysPerSegment; i++ {
+		initial = append(initial, core.KV(i, i))
+	}
+	sol := FromSlice(e, initial, 1)
+	ws := FromSlice(e, initial[:1], 1)
+	final := IterateDelta(sol, ws, 1,
+		func(cur *DataSet[core.Pair[int64, int64]], lookup func(int64) (int64, bool)) (*DataSet[core.Pair[int64, int64]], *DataSet[core.Pair[int64, int64]]) {
+			empty := FromSlice(e, []core.Pair[int64, int64]{}, 1)
+			return empty, empty
+		})
+	_, err := Collect(final)
+	if err == nil {
+		t.Fatal("oversized solution set must fail the job")
+	}
+	if !errors.Is(err, memory.ErrSolutionSetTooLarge) {
+		t.Errorf("error should wrap ErrSolutionSetTooLarge, got %v", err)
+	}
+}
+
+func TestInsufficientSlotsFailsSubmission(t *testing.T) {
+	e := testEnv(t, func(conf *core.Config) {
+		conf.SetInt(core.FlinkTaskSlots, 1)
+	})
+	// Source parallelism 4 + reduce parallelism 4 on 4 nodes = 2 tasks per
+	// node > 1 slot.
+	ds := FromSlice(e, []int64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	pairs := Map(ds, func(v int64) core.Pair[int64, int64] { return core.KV(v%4, v) })
+	red := Reduce(GroupBy(pairs, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(4),
+		func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] { return core.KV(a.Key, a.Value+b.Value) })
+	_, err := Collect(red)
+	var slots *ErrInsufficientSlots
+	if !errors.As(err, &slots) {
+		t.Fatalf("want ErrInsufficientSlots, got %v", err)
+	}
+}
+
+func TestInsufficientNetworkBuffersFailsSubmission(t *testing.T) {
+	e := testEnv(t, func(conf *core.Config) {
+		conf.SetInt(core.FlinkNetworkBuffers, 8)
+	})
+	ds := FromSlice(e, []int64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	pairs := Map(ds, func(v int64) core.Pair[int64, int64] { return core.KV(v%4, v) })
+	red := Reduce(GroupBy(pairs, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(4),
+		func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] { return core.KV(a.Key, a.Value+b.Value) })
+	_, err := Collect(red)
+	var nb *netsim.ErrInsufficientBuffers
+	if !errors.As(err, &nb) {
+		t.Fatalf("want ErrInsufficientBuffers (the paper raised flink.nw.buffers to avoid this), got %v", err)
+	}
+}
+
+func TestSortCombinerSpillsUnderMemoryPressure(t *testing.T) {
+	e := testEnv(t, func(conf *core.Config) {
+		// One segment of managed memory per node: the combiner flushes
+		// (sorts + emits) every time the buffer exceeds one segment.
+		conf.SetBytes(core.FlinkTaskManagerMemory, core.ByteSize(memory.SegmentSize))
+		conf.SetFloat(core.FlinkMemoryFraction, 1.0)
+	})
+	recs := make([]core.Pair[int64, int64], 10*keysPerSegment)
+	for i := range recs {
+		recs[i] = core.KV(int64(i), int64(1)) // all distinct keys: worst case
+	}
+	ds := FromSlice(e, recs, 2)
+	red := Reduce(GroupBy(ds, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(2),
+		func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] { return core.KV(a.Key, a.Value+b.Value) })
+	got, err := Collect(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records lost across combiner flushes: %d of %d", len(got), len(recs))
+	}
+	if e.Metrics().SpillCount.Load() == 0 {
+		t.Error("combiner under memory pressure must record flushes/spills")
+	}
+}
+
+func TestHashCombineStrategyAblation(t *testing.T) {
+	spills := func(strategy string) int64 {
+		e := testEnv(t, func(conf *core.Config) {
+			conf.SetBytes(core.FlinkTaskManagerMemory, core.ByteSize(memory.SegmentSize))
+			conf.SetFloat(core.FlinkMemoryFraction, 1.0)
+			conf.Set(FlinkCombineStrategy, strategy)
+		})
+		recs := make([]core.Pair[int64, int64], 8*keysPerSegment)
+		for i := range recs {
+			recs[i] = core.KV(int64(i), int64(1))
+		}
+		ds := FromSlice(e, recs, 2)
+		red := Reduce(GroupBy(ds, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(2),
+			func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] { return core.KV(a.Key, a.Value+b.Value) })
+		if _, err := Collect(red); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics().SpillCount.Load()
+	}
+	sortSpills := spills("sort")
+	hashSpills := spills("hash")
+	if hashSpills >= sortSpills {
+		t.Errorf("hash combine (%d spills) should flush less than sort combine (%d) — the strategy Flink was investigating", hashSpills, sortSpills)
+	}
+}
+
+func TestWriteAsText(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []string{"x", "y", "z"}, 2)
+	if err := WriteAsText(ds, "out"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.FS().Open("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Contents()) != "x\ny\nz\n" {
+		t.Errorf("sink wrote %q", f.Contents())
+	}
+}
+
+func TestGroupReduce(t *testing.T) {
+	e := testEnv(t, nil)
+	ds := FromSlice(e, []core.Pair[string, int64]{
+		core.KV("a", int64(3)), core.KV("b", int64(1)), core.KV("a", int64(5)),
+	}, 2)
+	maxes := GroupReduce(GroupBy(ds, func(p core.Pair[string, int64]) string { return p.Key }).WithParallelism(2),
+		func(k string, vs []core.Pair[string, int64]) []string {
+			best := vs[0].Value
+			for _, v := range vs {
+				if v.Value > best {
+					best = v.Value
+				}
+			}
+			return []string{fmt.Sprintf("%s=%d", k, best)}
+		})
+	got, err := Collect(maxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != "[a=5 b=1]" {
+		t.Errorf("group reduce = %v", got)
+	}
+}
+
+func TestBackpressureSmallBuffers(t *testing.T) {
+	// A tiny buffer pool forces flushes and channel blocking; the job must
+	// still complete correctly (backpressure, not deadlock).
+	e := testEnv(t, func(conf *core.Config) {
+		conf.SetBytes(core.BufferSize, 64) // 64-byte buffers → many flushes
+	})
+	recs := make([]core.Pair[int64, int64], 5000)
+	for i := range recs {
+		recs[i] = core.KV(int64(i%37), int64(1))
+	}
+	ds := FromSlice(e, recs, 4)
+	red := Sum(GroupBy(ds, func(p core.Pair[int64, int64]) int64 { return p.Key }).WithParallelism(4))
+	got, err := Collect(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range got {
+		total += p.Value
+	}
+	if total != 5000 {
+		t.Errorf("sum of counts = %d, want 5000", total)
+	}
+}

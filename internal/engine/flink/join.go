@@ -1,0 +1,200 @@
+package flink
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// Joined is the result element of an inner join.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join inner-joins two DataSets on extracted keys over q partitions using
+// a hash join: the left side builds, the right side probes as it streams
+// in — pipelined on the probe side like Flink's hybrid hash join.
+func Join[L, R any, K comparable](left *DataSet[L], right *DataSet[R],
+	lk func(L) K, rk func(R) K, q int) *DataSet[core.Pair[K, Joined[L, R]]] {
+	if q <= 0 {
+		q = left.env.parallelism
+	}
+	return coGroupInternal(left, right, lk, rk, q, "Join", core.OpJoin, false,
+		func(k K, ls []L, rs []R) []core.Pair[K, Joined[L, R]] {
+			var out []core.Pair[K, Joined[L, R]]
+			for _, l := range ls {
+				for _, r := range rs {
+					out = append(out, core.KV(k, Joined[L, R]{Left: l, Right: r}))
+				}
+			}
+			return out
+		})
+}
+
+// CoGroup groups both inputs by key and applies f once per key present on
+// either side. When mustFitInMemory is set the left side is held with
+// MustAcquire semantics — the delta-iteration solution set behaviour whose
+// exhaustion crashes the job (the paper's Table VII "no" entries).
+func CoGroup[L, R any, K comparable, U any](left *DataSet[L], right *DataSet[R],
+	lk func(L) K, rk func(R) K, q int, mustFitInMemory bool,
+	f func(K, []L, []R) []U) *DataSet[U] {
+	if q <= 0 {
+		q = left.env.parallelism
+	}
+	return coGroupInternal(left, right, lk, rk, q, "CoGroup", core.OpCoGroup, mustFitInMemory, f)
+}
+
+// coGroupInternal wires the two-input exchange: both sides route by key
+// hash to q consumer tasks; each consumer gathers the left side (build)
+// and the right side, then emits f per key.
+func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *DataSet[R],
+	lk func(L) K, rk func(R) K, q int, label string, kind core.OpKind, mustFit bool,
+	f func(K, []L, []R) []U) *DataSet[U] {
+
+	e := left.env
+	ds := &DataSet[U]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       []string{label},
+		kind:        kind,
+		parallelism: q,
+		parents: []planParent{
+			{ds: left, exchange: true},
+			{ds: right, exchange: true},
+		},
+	}
+	lCodec := serde.Of[L](e.style)
+	rCodec := serde.Of[R](e.style)
+
+	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
+		lchans := ctx.makeChannels(left.parallelism, q)
+		rchans := ctx.makeChannels(right.parallelism, q)
+
+		if err := produceSide(ctx, left, lCodec, lchans, func(v L) int {
+			return int(core.HashKey(lk(v)) % uint64(q))
+		}); err != nil {
+			return err
+		}
+		if err := produceSide(ctx, right, rCodec, rchans, func(v R) int {
+			return int(core.HashKey(rk(v)) % uint64(q))
+		}); err != nil {
+			return err
+		}
+
+		for part := 0; part < q; part++ {
+			part := part
+			node := ctx.place(part, nil)
+			ctx.addTask(node, func() error {
+				pool := e.managed[node]
+				builds := make(map[K][]L)
+				probes := make(map[K][]R)
+				var order []K
+				seen := make(map[K]bool)
+				note := func(k K) error {
+					if !seen[k] {
+						seen[k] = true
+						order = append(order, k)
+						if mustFit && len(order)%keysPerSegment == 0 {
+							if err := pool.MustAcquire(1, "CoGroup (solution set)"); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				// Drain the build side first (its channel closes when all
+				// producers finish), then the probe side.
+				for buf := range lchans[part] {
+					recs, err := serde.DecodeAll(lCodec, buf)
+					if err != nil {
+						return err
+					}
+					for _, v := range recs {
+						k := lk(v)
+						if err := note(k); err != nil {
+							return err
+						}
+						builds[k] = append(builds[k], v)
+					}
+				}
+				for buf := range rchans[part] {
+					recs, err := serde.DecodeAll(rCodec, buf)
+					if err != nil {
+						return err
+					}
+					for _, v := range recs {
+						k := rk(v)
+						if err := note(k); err != nil {
+							return err
+						}
+						probes[k] = append(probes[k], v)
+					}
+				}
+				var outRecs []U
+				for _, k := range order {
+					outRecs = append(outRecs, f(k, builds[k], probes[k])...)
+				}
+				if mustFit {
+					pool.Release(len(order) / keysPerSegment)
+				}
+				if len(outRecs) > 0 {
+					if err := sinks[part].push(outRecs); err != nil {
+						return err
+					}
+				}
+				return sinks[part].close()
+			})
+		}
+		return nil
+	}
+	return ds
+}
+
+// produceSide wires one input of a two-input operator into its channels.
+func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
+	chans []chan []byte, route func(T) int) error {
+	e := parent.env
+	q := len(chans)
+	bufSize := int(e.conf.Bytes(core.BufferSize, 32*core.KB))
+	var open atomic.Int64
+	open.Store(int64(parent.parallelism))
+	sinks := make([]partSink[T], parent.parallelism)
+	for p := 0; p < parent.parallelism; p++ {
+		p := p
+		bufs := make([][]byte, q)
+		flush := func(dst int) {
+			if len(bufs[dst]) == 0 {
+				return
+			}
+			e.accountTransfer(ctx.nodeOfTask(p), ctx.nodeOfTask(dst), int64(len(bufs[dst])))
+			chans[dst] <- bufs[dst]
+			bufs[dst] = nil
+		}
+		sinks[p] = partSink[T]{
+			push: func(batch []T) error {
+				for _, v := range batch {
+					dst := route(v)
+					bufs[dst] = codec.Enc(bufs[dst], v)
+					if len(bufs[dst]) >= bufSize {
+						flush(dst)
+					}
+				}
+				return nil
+			},
+			close: func() error {
+				for dst := range bufs {
+					flush(dst)
+				}
+				if open.Add(-1) == 0 {
+					for _, ch := range chans {
+						close(ch)
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return parent.produce(ctx, sinks)
+}

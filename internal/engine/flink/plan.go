@@ -1,0 +1,57 @@
+package flink
+
+import (
+	"strings"
+
+	"repro/internal/core"
+)
+
+// PlanOf renders the optimized dataflow as a core.Plan: each operator
+// chain becomes one node labelled "A->B->C" exactly like the paper's
+// figure captions (DC=DataSource->FlatMap->GroupCombine, …), with one edge
+// per exchange.
+func PlanOf(d anyDataSet, workload, sinkLabel string) *core.Plan {
+	nodes := make(map[int]*core.PlanNode)
+	nextID := 0
+	var build func(d anyDataSet) *core.PlanNode
+	build = func(d anyDataSet) *core.PlanNode {
+		if n, ok := nodes[d.dsID()]; ok {
+			return n
+		}
+		parents := exchangeParents(d)
+		kind := d.opKind()
+		if len(parents) == 0 {
+			// A chain with no exchange input starts at a source.
+			kind = core.OpSource
+		}
+		nextID++
+		n := core.NewPlanNode(nextID, kind, strings.Join(d.chainLabels(), "->"))
+		nodes[d.dsID()] = n
+		for _, p := range parents {
+			n.Inputs = append(n.Inputs, build(p))
+		}
+		return n
+	}
+	top := build(d)
+	nextID++
+	sink := core.NewPlanNode(nextID, core.OpSink, sinkLabel, top)
+	return &core.Plan{Framework: "flink", Workload: workload, Sinks: []*core.PlanNode{sink}}
+}
+
+// exchangeParents walks through chained (same-task) edges and returns the
+// datasets feeding d across exchanges — the plan-visible inputs.
+func exchangeParents(d anyDataSet) []anyDataSet {
+	var out []anyDataSet
+	var walk func(x anyDataSet)
+	walk = func(x anyDataSet) {
+		for _, in := range x.planInputs() {
+			if in.exchange {
+				out = append(out, in.ds)
+			} else {
+				walk(in.ds)
+			}
+		}
+	}
+	walk(d)
+	return out
+}

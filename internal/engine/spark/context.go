@@ -1,0 +1,169 @@
+// Package spark is a real, executing mini-engine modeled on Apache Spark
+// 1.5, the version the paper benchmarks. It implements the architecture the
+// paper holds responsible for Spark's behaviour:
+//
+//   - lazy RDDs with lineage and partial recomputation on loss;
+//   - explicit persistence control (memory / memory-and-disk / disk-only)
+//     with an LRU block manager charged against the executor heap's storage
+//     fraction;
+//   - staged execution: the DAG scheduler cuts stages at shuffle
+//     dependencies and inserts a full barrier between stages;
+//   - a tungsten-sort-style shuffle with map-side combine that spills when
+//     the heap's shuffle fraction is exhausted;
+//   - iterations as regular for-loops (loop unrolling): each iteration
+//     schedules a fresh wave of tasks;
+//   - pluggable Java/Kryo serialization on every shuffle and disk boundary.
+//
+// Jobs process real data on the cluster.Runtime's per-node worker pools;
+// the engine's counters and timelines feed the paper-scale simulator's
+// calibration.
+package spark
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+)
+
+// Context is the entry point, playing SparkContext's role: it owns the
+// configuration, the executor heaps, the shuffle service, the block
+// manager and the DAG scheduler state.
+type Context struct {
+	conf  *core.Config
+	rt    *cluster.Runtime
+	fs    *dfs.FS
+	style serde.Style
+	heaps []*memory.Heap
+
+	metrics  *metrics.JobMetrics
+	timeline *metrics.Timeline
+
+	nextRDD     atomic.Int64
+	nextShuffle atomic.Int64
+
+	shuffles *shuffleService
+	blocks   *blockManager
+
+	mu          sync.Mutex
+	parallelism int
+}
+
+// NewContext builds a context over a runtime and DFS. The executor heap per
+// node is sized by spark.executor.memory with the configured storage and
+// shuffle fractions; the serializer comes from spark.serializer.
+func NewContext(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Context {
+	if conf == nil {
+		conf = core.NewConfig()
+	}
+	heapSize := int64(conf.Bytes(core.SparkExecutorMemory, 22*core.GB))
+	storageFrac := conf.Float(core.SparkStorageFraction, 0.6)
+	shuffleFrac := conf.Float(core.SparkShuffleFraction, 0.2)
+	spec := rt.Spec()
+	ctx := &Context{
+		conf:     conf,
+		rt:       rt,
+		fs:       fs,
+		style:    serde.ParseStyle(conf.String(core.SparkSerializer, "java")),
+		metrics:  &metrics.JobMetrics{},
+		timeline: metrics.NewTimeline(),
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		ctx.heaps = append(ctx.heaps, memory.NewHeap(heapSize, storageFrac, shuffleFrac))
+	}
+	ctx.parallelism = conf.Int(core.SparkDefaultParallelism, 0)
+	if ctx.parallelism <= 0 {
+		// Spark's documented recommendation: 2-3 tasks per core.
+		ctx.parallelism = spec.TotalCores() * 2
+	}
+	ctx.shuffles = newShuffleService(ctx)
+	ctx.blocks = newBlockManager(ctx)
+	return ctx
+}
+
+// Conf returns the configuration.
+func (c *Context) Conf() *core.Config { return c.conf }
+
+// FS returns the distributed filesystem.
+func (c *Context) FS() *dfs.FS { return c.fs }
+
+// Runtime returns the execution substrate.
+func (c *Context) Runtime() *cluster.Runtime { return c.rt }
+
+// DefaultParallelism returns the effective spark.default.parallelism.
+func (c *Context) DefaultParallelism() int { return c.parallelism }
+
+// Style returns the configured serializer.
+func (c *Context) Style() serde.Style { return c.style }
+
+// Metrics returns the job counters.
+func (c *Context) Metrics() *metrics.JobMetrics { return c.metrics }
+
+// Timeline returns the operator timeline.
+func (c *Context) Timeline() *metrics.Timeline { return c.timeline }
+
+// heapFor returns the executor heap of a node.
+func (c *Context) heapFor(node int) *memory.Heap { return c.heaps[node] }
+
+// Parallelize distributes a slice over numParts partitions as Spark's
+// parallelize does (0 uses the default parallelism).
+func Parallelize[T any](c *Context, data []T, numParts int) *RDD[T] {
+	if numParts <= 0 {
+		numParts = c.parallelism
+	}
+	if numParts > len(data) && len(data) > 0 {
+		numParts = len(data)
+	}
+	if numParts == 0 {
+		numParts = 1
+	}
+	parts := make([][]T, numParts)
+	for i := range parts {
+		lo := i * len(data) / numParts
+		hi := (i + 1) * len(data) / numParts
+		parts[i] = data[lo:hi:hi]
+	}
+	return newRDD(c, "Parallelize", core.OpSource, numParts, nil,
+		func(p int, tc *taskContext) ([]T, error) { return parts[p], nil })
+}
+
+// TextFile reads a DFS file as an RDD of lines, one partition per HDFS
+// block, with the block's first replica as the preferred location
+// (newAPIHadoopFile in the paper's Tera Sort description).
+func TextFile(c *Context, name string) (*RDD[string], error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("spark: textFile: %w", err)
+	}
+	splits := f.LineSplits()
+	r := newRDD(c, "TextFile", core.OpSource, len(splits), nil,
+		func(p int, tc *taskContext) ([]string, error) {
+			tc.metrics.RecordsRead.Add(int64(len(splits[p])))
+			return splits[p], nil
+		})
+	r.pref = func(p int) int { return f.PreferredNode(p) }
+	return r, nil
+}
+
+// BinaryRecords reads fixed-width records, one partition per block — the
+// input format of Tera Sort.
+func BinaryRecords(c *Context, name string, recSize int) (*RDD[[]byte], error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("spark: binaryRecords: %w", err)
+	}
+	splits := f.FixedRecordSplits(recSize)
+	r := newRDD(c, "BinaryRecords", core.OpSource, len(splits), nil,
+		func(p int, tc *taskContext) ([][]byte, error) {
+			tc.metrics.RecordsRead.Add(int64(len(splits[p])))
+			return splits[p], nil
+		})
+	r.pref = func(p int) int { return f.PreferredNode(p) }
+	return r, nil
+}

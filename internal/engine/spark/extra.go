@@ -1,0 +1,147 @@
+package spark
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Take returns the first n records in partition order, computing only as
+// many partitions as needed (Spark's take scans incrementally).
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var out []T
+	for p := 0; p < r.numParts && len(out) < n; p++ {
+		node := placeTask(r.ctx, r, p)
+		tc := &taskContext{node: node, heap: r.ctx.heapFor(node), metrics: r.ctx.metrics, ctx: r.ctx}
+		data, err := r.iterator(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// First returns the first record; it fails on an empty RDD like Spark.
+func First[T any](r *RDD[T]) (T, error) {
+	var zero T
+	out, err := Take(r, 1)
+	if err != nil {
+		return zero, err
+	}
+	if len(out) == 0 {
+		return zero, fmt.Errorf("spark: first on empty RDD")
+	}
+	return out[0], nil
+}
+
+// Sample returns a Bernoulli sample with the given fraction; seeded, so
+// repeated jobs see the same sample (Spark's sample with a fixed seed).
+func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
+	out := newRDD[T](r.ctx, "Sample", core.OpFilter, r.numParts, []dep{{parent: r}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]T, error) {
+		in, err := r.iterator(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(p)*7919))
+		var kept []T
+		for _, v := range in {
+			if rng.Float64() < fraction {
+				kept = append(kept, v)
+			}
+		}
+		return kept, nil
+	}
+	return out
+}
+
+// SortBy globally sorts the RDD by a key extractor: it samples keys,
+// builds a range partitioner, shuffles, and sorts within partitions —
+// exactly Spark's sortBy/sortByKey machinery.
+func SortBy[T any, K comparable](r *RDD[T], key func(T) K, less func(a, b K) bool, numParts int) (*RDD[T], error) {
+	if numParts <= 0 {
+		numParts = r.numParts
+	}
+	sampled, err := Collect(Sample(r, sampleFractionFor(numParts), 17))
+	if err != nil {
+		return nil, fmt.Errorf("spark: sortBy sampling: %w", err)
+	}
+	keys := make([]K, len(sampled))
+	for i, v := range sampled {
+		keys[i] = key(v)
+	}
+	part := core.NewRangePartitioner(numParts, keys, less)
+	pairs := MapToPair(r, func(v T) core.Pair[K, T] { return core.KV(key(v), v) })
+	sorted := RepartitionAndSortWithinPartitions(pairs, part, less)
+	out := Values(sorted)
+	out.name = "SortBy"
+	return out, nil
+}
+
+// sampleFractionFor sizes the sort sample: ~20 keys per output partition,
+// capped at everything.
+func sampleFractionFor(numParts int) float64 {
+	f := float64(numParts) * 0.02
+	if f > 1 {
+		f = 1
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// CountByKey returns the number of records per key as a driver-side map.
+func CountByKey[K comparable, V any](r *RDD[core.Pair[K, V]]) (map[K]int64, error) {
+	ones := Map(r, func(p core.Pair[K, V]) core.Pair[K, int64] { return core.KV(p.Key, int64(1)) })
+	counts := ReduceByKey(ones, func(a, b int64) int64 { return a + b }, 0)
+	return CollectAsMap(counts)
+}
+
+// AggregateByKey folds values per key into an accumulator of a different
+// type, with map-side combining (Spark's aggregateByKey).
+func AggregateByKey[K comparable, V, C any](r *RDD[core.Pair[K, V]], zero func() C,
+	seq func(C, V) C, comb func(C, C) C, numParts int) *RDD[core.Pair[K, C]] {
+	return CombineByKey(r, "AggregateByKey",
+		func(v V) C { return seq(zero(), v) }, seq, comb, numParts, true)
+}
+
+// TopBy returns the n largest records according to less(a,b) ("a orders
+// before b"), computed with per-partition heaps then a driver merge.
+func TopBy[T any](r *RDD[T], n int, more func(a, b T) bool) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	partTops := make([][]T, r.numParts)
+	err := runJob(r, "TopBy", func(p int, data []T, tc *taskContext) error {
+		local := make([]T, len(data))
+		copy(local, data)
+		sort.SliceStable(local, func(i, j int) bool { return more(local[i], local[j]) })
+		if len(local) > n {
+			local = local[:n]
+		}
+		partTops[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []T
+	for _, t := range partTops {
+		all = append(all, t...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return more(all[i], all[j]) })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}

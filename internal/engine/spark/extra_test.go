@@ -1,0 +1,151 @@
+package spark
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTakeAndFirst(t *testing.T) {
+	c := testContext(t, nil)
+	r := Parallelize(c, []int64{10, 20, 30, 40, 50}, 3)
+	got, err := Take(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Take(2) = %v", got)
+	}
+	f, err := First(r)
+	if err != nil || f != 10 {
+		t.Errorf("First = %v, %v", f, err)
+	}
+	empty := Parallelize(c, []int64{}, 1)
+	if _, err := First(empty); err == nil {
+		t.Error("First on empty RDD should fail")
+	}
+	if got, err := Take(r, 0); err != nil || got != nil {
+		t.Errorf("Take(0) = %v, %v", got, err)
+	}
+	if got, err := Take(r, 100); err != nil || len(got) != 5 {
+		t.Errorf("Take beyond size = %v, %v", got, err)
+	}
+}
+
+func TestSampleFractionAndDeterminism(t *testing.T) {
+	c := testContext(t, nil)
+	data := make([]int64, 10000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	r := Parallelize(c, data, 8)
+	s1, err := Collect(Sample(r, 0.1, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) < 700 || len(s1) > 1300 {
+		t.Errorf("10%% sample of 10000 returned %d records", len(s1))
+	}
+	s2, _ := Collect(Sample(r, 0.1, 42))
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Error("same-seed samples differ")
+	}
+}
+
+func TestSortByGlobalOrder(t *testing.T) {
+	c := testContext(t, nil)
+	rng := rand.New(rand.NewSource(5))
+	data := make([]int64, 2000)
+	for i := range data {
+		data[i] = int64(rng.Intn(1 << 30))
+	}
+	r := Parallelize(c, data, 8)
+	sorted, err := SortBy(r, func(v int64) int64 { return v },
+		func(a, b int64) bool { return a < b }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2000 {
+		t.Fatalf("sortBy lost records: %d", len(out))
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Error("SortBy output not globally sorted")
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	c := testContext(t, nil)
+	r := Parallelize(c, []core.Pair[string, int64]{
+		core.KV("a", int64(1)), core.KV("b", int64(2)), core.KV("a", int64(3)),
+	}, 2)
+	m, err := CountByKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != 2 || m["b"] != 1 {
+		t.Errorf("CountByKey = %v", m)
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	c := testContext(t, nil)
+	r := Parallelize(c, []core.Pair[string, int64]{
+		core.KV("x", int64(3)), core.KV("x", int64(5)), core.KV("y", int64(1)),
+	}, 2)
+	// Aggregate into (sum, count) pairs.
+	type sc struct {
+		Sum, N int64
+	}
+	agg := AggregateByKey(r,
+		func() sc { return sc{} },
+		func(a sc, v int64) sc { return sc{Sum: a.Sum + v, N: a.N + 1} },
+		func(a, b sc) sc { return sc{Sum: a.Sum + b.Sum, N: a.N + b.N} },
+		2)
+	m, err := CollectAsMap(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["x"] != (sc{Sum: 8, N: 2}) || m["y"] != (sc{Sum: 1, N: 1}) {
+		t.Errorf("AggregateByKey = %v", m)
+	}
+}
+
+func TestTopBy(t *testing.T) {
+	c := testContext(t, nil)
+	r := Parallelize(c, []int64{5, 9, 1, 7, 3, 8, 2}, 3)
+	top, err := TopBy(r, 3, func(a, b int64) bool { return a > b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(top) != "[9 8 7]" {
+		t.Errorf("TopBy = %v", top)
+	}
+	if got, _ := TopBy(r, 0, func(a, b int64) bool { return a > b }); got != nil {
+		t.Errorf("TopBy(0) = %v", got)
+	}
+}
+
+func TestUnionPreservesAll(t *testing.T) {
+	c := testContext(t, nil)
+	a := Parallelize(c, []int64{1, 2, 3}, 2)
+	b := Parallelize(c, []int64{4, 5}, 1)
+	u := Union(a, b)
+	if u.NumPartitions() != 3 {
+		t.Errorf("union partitions = %d, want 3", u.NumPartitions())
+	}
+	out, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if fmt.Sprint(out) != "[1 2 3 4 5]" {
+		t.Errorf("union = %v", out)
+	}
+}

@@ -1,0 +1,56 @@
+package spark
+
+import (
+	"repro/internal/core"
+)
+
+// PlanOf renders an RDD's lineage as a core.Plan with a named action sink,
+// the form consumed by the metrics correlation and by cmd/planviz to
+// regenerate the paper's Table I.
+func PlanOf(r anyRDD, workload, action string) *core.Plan {
+	nodes := make(map[int]*core.PlanNode)
+	nextID := 0
+	var build func(r anyRDD) *core.PlanNode
+	build = func(r anyRDD) *core.PlanNode {
+		if n, ok := nodes[r.rddID()]; ok {
+			return n
+		}
+		nextID++
+		n := core.NewPlanNode(nextID, r.opKind(), r.label())
+		nodes[r.rddID()] = n
+		for _, d := range r.deps() {
+			n.Inputs = append(n.Inputs, build(d.parent))
+		}
+		return n
+	}
+	top := build(r)
+	nextID++
+	sink := core.NewPlanNode(nextID, core.OpSink, action, top)
+	return &core.Plan{Framework: "spark", Workload: workload, Sinks: []*core.PlanNode{sink}}
+}
+
+// Stages counts the stages a job on r would run: one per distinct ancestor
+// shuffle plus the result stage. The paper's figures show Spark executions
+// as clearly separated stages; this is that number.
+func Stages(r anyRDD) int {
+	seenRDD := make(map[int]bool)
+	seenShuffle := make(map[int]bool)
+	var visit func(r anyRDD)
+	visit = func(r anyRDD) {
+		if seenRDD[r.rddID()] {
+			return
+		}
+		seenRDD[r.rddID()] = true
+		if r.fullyCached() {
+			return
+		}
+		for _, d := range r.deps() {
+			visit(d.parent)
+			if d.shuffle != nil {
+				seenShuffle[d.shuffle.id] = true
+			}
+		}
+	}
+	visit(r)
+	return len(seenShuffle) + 1
+}

@@ -1,0 +1,412 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// StorageLevel selects where persisted partitions live, the fine-grained
+// control the paper highlights as a Spark advantage over Flink
+// (Section II-C).
+type StorageLevel int
+
+// Storage levels.
+const (
+	// StorageNone disables persistence (the default, ephemeral RDD).
+	StorageNone StorageLevel = iota
+	// StorageMemoryOnly caches deserialized partitions on the heap's
+	// storage fraction; evicted partitions are recomputed from lineage.
+	StorageMemoryOnly
+	// StorageMemoryAndDisk degrades evicted partitions to serialized disk
+	// blocks instead of dropping them.
+	StorageMemoryAndDisk
+	// StorageDiskOnly always serializes partitions to disk.
+	StorageDiskOnly
+)
+
+// String implements fmt.Stringer.
+func (l StorageLevel) String() string {
+	switch l {
+	case StorageMemoryOnly:
+		return "MEMORY_ONLY"
+	case StorageMemoryAndDisk:
+		return "MEMORY_AND_DISK"
+	case StorageDiskOnly:
+		return "DISK_ONLY"
+	default:
+		return "NONE"
+	}
+}
+
+// dep is one lineage edge. A nil shuffle means a narrow dependency.
+type dep struct {
+	parent  anyRDD
+	shuffle *shuffleDep
+}
+
+// anyRDD is the type-erased view the DAG scheduler works with.
+type anyRDD interface {
+	rddID() int
+	label() string
+	opKind() core.OpKind
+	partitions() int
+	deps() []dep
+	prefNode(part int) int
+	fullyCached() bool
+}
+
+// RDD is a resilient distributed dataset: a lazy, partitioned collection
+// with lineage. All transformations are free functions because Go methods
+// cannot introduce type parameters.
+type RDD[T any] struct {
+	ctx      *Context
+	id       int
+	name     string
+	kind     core.OpKind
+	numParts int
+	parents  []dep
+	compute  func(part int, tc *taskContext) ([]T, error)
+	pref     func(part int) int
+
+	level StorageLevel
+	codec serde.Codec[T] // used for disk-level persistence
+}
+
+func newRDD[T any](c *Context, name string, kind core.OpKind, numParts int, parents []dep,
+	compute func(int, *taskContext) ([]T, error)) *RDD[T] {
+	return &RDD[T]{
+		ctx:      c,
+		id:       int(c.nextRDD.Add(1)),
+		name:     name,
+		kind:     kind,
+		numParts: numParts,
+		parents:  parents,
+		compute:  compute,
+	}
+}
+
+func (r *RDD[T]) rddID() int          { return r.id }
+func (r *RDD[T]) label() string       { return r.name }
+func (r *RDD[T]) opKind() core.OpKind { return r.kind }
+func (r *RDD[T]) partitions() int     { return r.numParts }
+func (r *RDD[T]) deps() []dep         { return r.parents }
+
+func (r *RDD[T]) prefNode(part int) int {
+	if r.pref != nil {
+		return r.pref(part)
+	}
+	// Narrow chains inherit their parent's locality.
+	if len(r.parents) == 1 && r.parents[0].shuffle == nil {
+		return r.parents[0].parent.prefNode(part)
+	}
+	return -1
+}
+
+func (r *RDD[T]) fullyCached() bool {
+	if r.level == StorageNone {
+		return false
+	}
+	return r.ctx.blocks.fullyCached(r.id, r.numParts)
+}
+
+// Context returns the owning context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numParts }
+
+// Name returns the operator label.
+func (r *RDD[T]) Name() string { return r.name }
+
+// Persist marks the RDD for caching at the given level, like
+// RDD.persist(). It returns the receiver for chaining.
+func (r *RDD[T]) Persist(level StorageLevel) *RDD[T] {
+	r.level = level
+	if level != StorageNone {
+		// Every level needs the codec: memory levels for size estimation,
+		// disk levels for the serialized representation.
+		r.codec = serde.Of[T](r.ctx.style)
+	}
+	return r
+}
+
+// Cache is Persist(StorageMemoryOnly).
+func (r *RDD[T]) Cache() *RDD[T] { return r.Persist(StorageMemoryOnly) }
+
+// Unpersist drops cached blocks.
+func (r *RDD[T]) Unpersist() {
+	r.ctx.blocks.dropRDD(r.id)
+	r.level = StorageNone
+}
+
+// iterator returns partition p, honoring the cache: get or compute then
+// put. It is the engine's equivalent of RDD.iterator().
+func (r *RDD[T]) iterator(p int, tc *taskContext) ([]T, error) {
+	if r.level == StorageNone {
+		return r.compute(p, tc)
+	}
+	if data, ok := getBlock[T](r.ctx.blocks, r.id, p, r.codec); ok {
+		tc.metrics.CacheHits.Add(1)
+		return data, nil
+	}
+	tc.metrics.CacheMisses.Add(1)
+	data, err := r.compute(p, tc)
+	if err != nil {
+		return nil, err
+	}
+	putBlock(r.ctx.blocks, r.id, p, tc.node, data, r.level, r.codec)
+	return data, nil
+}
+
+// --- Narrow transformations -------------------------------------------
+
+// Map applies f to every record.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return narrow(r, "Map", core.OpMap, func(in []T, tc *taskContext) ([]U, error) {
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return narrow(r, "FlatMap", core.OpFlatMap, func(in []T, tc *taskContext) ([]U, error) {
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps records where f is true.
+func Filter[T any](r *RDD[T], f func(T) bool) *RDD[T] {
+	return narrow(r, "Filter", core.OpFilter, func(in []T, tc *taskContext) ([]T, error) {
+		out := in[:0:0]
+		for _, v := range in {
+			if f(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions transforms each partition as a whole.
+func MapPartitions[T, U any](r *RDD[T], f func([]T) []U) *RDD[U] {
+	return narrow(r, "MapPartitions", core.OpMapPartitions, func(in []T, tc *taskContext) ([]U, error) {
+		return f(in), nil
+	})
+}
+
+// MapPartitionsWithIndex transforms each partition knowing its index.
+func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(int, []T) []U) *RDD[U] {
+	out := newRDD[U](r.ctx, "MapPartitionsWithIndex", core.OpMapPartitions, r.numParts,
+		[]dep{{parent: r}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]U, error) {
+		in, err := r.iterator(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, in), nil
+	}
+	return out
+}
+
+// narrow builds a one-parent, same-partitioning RDD.
+func narrow[T, U any](r *RDD[T], name string, kind core.OpKind,
+	f func([]T, *taskContext) ([]U, error)) *RDD[U] {
+	out := newRDD[U](r.ctx, name, kind, r.numParts, []dep{{parent: r}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]U, error) {
+		in, err := r.iterator(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		return f(in, tc)
+	}
+	return out
+}
+
+// Coalesce reduces the partition count without a shuffle by concatenating
+// ranges of parent partitions, as the paper's graph loading does.
+func Coalesce[T any](r *RDD[T], numParts int) *RDD[T] {
+	if numParts <= 0 || numParts > r.numParts {
+		numParts = r.numParts
+	}
+	parent := r
+	out := newRDD[T](r.ctx, "Coalesce", core.OpCoalesce, numParts, []dep{{parent: r}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]T, error) {
+		var merged []T
+		lo := p * parent.numParts / numParts
+		hi := (p + 1) * parent.numParts / numParts
+		for q := lo; q < hi; q++ {
+			in, err := parent.iterator(q, tc)
+			if err != nil {
+				return nil, err
+			}
+			merged = append(merged, in...)
+		}
+		return merged, nil
+	}
+	return out
+}
+
+// Union concatenates two RDDs without a shuffle: the result has the
+// partitions of both parents side by side, like RDD.union().
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("spark: union of RDDs from different contexts")
+	}
+	out := newRDD[T](a.ctx, "Union", core.OpUnion, a.numParts+b.numParts,
+		[]dep{{parent: a}, {parent: b}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]T, error) {
+		if p < a.numParts {
+			return a.iterator(p, tc)
+		}
+		return b.iterator(p-a.numParts, tc)
+	}
+	out.pref = func(p int) int {
+		if p < a.numParts {
+			return a.prefNode(p)
+		}
+		return b.prefNode(p - a.numParts)
+	}
+	return out
+}
+
+// Distinct removes duplicates via a shuffle, like RDD.distinct().
+func Distinct[T comparable](r *RDD[T]) *RDD[T] {
+	pairs := MapToPair(r, func(v T) core.Pair[T, bool] { return core.KV(v, true) })
+	reduced := ReduceByKey(pairs, func(a, _ bool) bool { return a }, 0)
+	out := Map(reduced, func(p core.Pair[T, bool]) T { return p.Key })
+	out.name = "Distinct"
+	out.kind = core.OpDistinct
+	return out
+}
+
+// --- Actions ------------------------------------------------------------
+
+// Collect gathers all records on the driver in partition order.
+func Collect[T any](r *RDD[T]) ([]T, error) {
+	parts := make([][]T, r.numParts)
+	err := runJob(r, "Collect", func(p int, data []T, tc *taskContext) error {
+		parts[p] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of records (filter → count in the paper's Grep).
+func Count[T any](r *RDD[T]) (int64, error) {
+	counts := make([]int64, r.numParts)
+	err := runJob(r, "Count", func(p int, data []T, tc *taskContext) error {
+		counts[p] = int64(len(data))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Reduce folds all records with f; it fails on an empty RDD like Spark.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
+	var zero T
+	partials := make([]*T, r.numParts)
+	err := runJob(r, "Reduce", func(p int, data []T, tc *taskContext) error {
+		if len(data) == 0 {
+			return nil
+		}
+		acc := data[0]
+		for _, v := range data[1:] {
+			acc = f(acc, v)
+		}
+		partials[p] = &acc
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	var acc *T
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if acc == nil {
+			v := *p
+			acc = &v
+		} else {
+			v := f(*acc, *p)
+			acc = &v
+		}
+	}
+	if acc == nil {
+		return zero, fmt.Errorf("spark: reduce of empty RDD")
+	}
+	return *acc, nil
+}
+
+// ForeachPartition runs f once per partition for its side effects.
+func ForeachPartition[T any](r *RDD[T], f func(int, []T) error) error {
+	return runJob(r, "ForeachPartition", func(p int, data []T, tc *taskContext) error {
+		return f(p, data)
+	})
+}
+
+// SaveAsTextFile writes one line per record to the DFS, formatting with
+// fmt.Sprint, and records the bytes as DFS writes (the paper's save
+// action).
+func SaveAsTextFile[T any](r *RDD[T], name string) error {
+	parts := make([][]string, r.numParts)
+	err := runJob(r, "SaveAsTextFile", func(p int, data []T, tc *taskContext) error {
+		lines := make([]string, len(data))
+		for i, v := range data {
+			lines[i] = fmt.Sprint(v)
+		}
+		parts[p] = lines
+		tc.metrics.RecordsWritten.Add(int64(len(data)))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, lines := range parts {
+		for _, l := range lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	r.ctx.fs.WriteFile(name, []byte(sb.String()))
+	r.ctx.metrics.DiskBytesWritten.Add(int64(sb.Len()))
+	return nil
+}
+
+// SortPartitionsBy sorts every partition locally (no shuffle); combined
+// with a range repartition it yields a total order, the Tera Sort recipe.
+func SortPartitionsBy[T any](r *RDD[T], less func(a, b T) bool) *RDD[T] {
+	return narrow(r, "SortPartitions", core.OpSortPartition, func(in []T, tc *taskContext) ([]T, error) {
+		out := make([]T, len(in))
+		copy(out, in)
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out, nil
+	})
+}

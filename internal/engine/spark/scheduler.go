@@ -1,0 +1,169 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+)
+
+// taskContext is handed to every task closure: which node it runs on,
+// that node's executor heap, and the job counters.
+type taskContext struct {
+	node    int
+	heap    *memory.Heap
+	metrics *metrics.JobMetrics
+	ctx     *Context
+}
+
+// TransientError wraps an error that task retry may cure (injected faults,
+// lost executors). The scheduler retries such tasks up to maxTaskFailures.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// maxTaskFailures matches spark.task.maxFailures.
+const maxTaskFailures = 4
+
+// maxStageRetries bounds FetchFailed-driven stage resubmission.
+const maxStageRetries = 3
+
+// runJob is the DAG scheduler: it materializes every missing ancestor
+// shuffle in topological order (each one a stage with a full barrier, the
+// staged execution the paper contrasts with Flink's pipeline), then runs
+// the result stage, retrying from lineage on shuffle fetch failures.
+func runJob[T any](r *RDD[T], action string, fn func(p int, data []T, tc *taskContext) error) error {
+	c := r.ctx
+	endSpan := c.timeline.StartSpan(action)
+	defer endSpan()
+
+	for attempt := 0; ; attempt++ {
+		if err := runStages(c, r); err != nil {
+			return err
+		}
+		err := runResultStage(c, r, fn)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errFetchFailed) && attempt < maxStageRetries {
+			c.metrics.Recomputations.Add(1)
+			continue // missing outputs are detected and recomputed by runStages
+		}
+		return err
+	}
+}
+
+// runStages executes every ancestor shuffle with missing map outputs,
+// parents before children.
+func runStages(c *Context, final anyRDD) error {
+	var order []*shuffleDep
+	seenRDD := make(map[int]bool)
+	seenShuffle := make(map[int]bool)
+	var visit func(r anyRDD)
+	visit = func(r anyRDD) {
+		if seenRDD[r.rddID()] {
+			return
+		}
+		seenRDD[r.rddID()] = true
+		if r.fullyCached() {
+			// A fully cached RDD cuts lineage traversal: its ancestors
+			// need not run (Spark skips those stages).
+			return
+		}
+		for _, d := range r.deps() {
+			visit(d.parent)
+			if d.shuffle != nil && !seenShuffle[d.shuffle.id] {
+				seenShuffle[d.shuffle.id] = true
+				order = append(order, d.shuffle)
+			}
+		}
+	}
+	visit(final)
+
+	for _, sd := range order {
+		c.shuffles.register(sd)
+		missing := c.shuffles.missingMaps(sd.id, sd.numMaps)
+		if len(missing) == 0 {
+			continue
+		}
+		c.metrics.Stages.Add(1)
+		c.metrics.SchedulingRounds.Add(1)
+		tasks := make([]cluster.Task, 0, len(missing))
+		for _, mp := range missing {
+			mp := mp
+			node := placeTask(c, sd.parent, mp)
+			tc := &taskContext{node: node, heap: c.heapFor(node), metrics: c.metrics, ctx: c}
+			tasks = append(tasks, cluster.Task{Node: node, Fn: func() error {
+				c.metrics.TasksLaunched.Add(1)
+				return withTaskRetry(func() error { return sd.write(mp, tc) })
+			}})
+		}
+		if err := c.rt.RunTasks(tasks); err != nil {
+			return fmt.Errorf("spark: map stage for shuffle %d: %w", sd.id, err)
+		}
+	}
+	return nil
+}
+
+// runResultStage computes the final RDD's partitions and applies the
+// action function.
+func runResultStage[T any](c *Context, r *RDD[T], fn func(int, []T, *taskContext) error) error {
+	c.metrics.Stages.Add(1)
+	c.metrics.SchedulingRounds.Add(1)
+	tasks := make([]cluster.Task, 0, r.numParts)
+	for p := 0; p < r.numParts; p++ {
+		p := p
+		node := placeTask(c, r, p)
+		tc := &taskContext{node: node, heap: c.heapFor(node), metrics: c.metrics, ctx: c}
+		tasks = append(tasks, cluster.Task{Node: node, Fn: func() error {
+			c.metrics.TasksLaunched.Add(1)
+			return withTaskRetry(func() error {
+				data, err := r.iterator(p, tc)
+				if err != nil {
+					return err
+				}
+				return fn(p, data, tc)
+			})
+		}})
+	}
+	return c.rt.RunTasks(tasks)
+}
+
+// placeTask prefers the partition's data locality, falling back to
+// round-robin.
+func placeTask(c *Context, r anyRDD, part int) int {
+	if n := r.prefNode(part); n >= 0 && n < c.rt.Spec().Nodes {
+		return n
+	}
+	return c.rt.NodeFor(part)
+}
+
+// withTaskRetry retries transient failures like Spark's task-level retry.
+func withTaskRetry(fn func() error) error {
+	var err error
+	for i := 0; i < maxTaskFailures; i++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var te *TransientError
+		if !errors.As(err, &te) {
+			return err
+		}
+	}
+	return err
+}
+
+// FailNode simulates the loss of a node: its cached blocks and shuffle
+// outputs vanish. Subsequent jobs recompute from lineage — the fault
+// tolerance RDDs were designed for.
+func (c *Context) FailNode(node int) {
+	c.blocks.dropNode(node)
+	c.shuffles.dropNode(node)
+}

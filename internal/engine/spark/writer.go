@@ -1,0 +1,114 @@
+package spark
+
+import (
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// mapWriter implements the map side of the tungsten-sort shuffle: records
+// are combined in a hash map (when map-side combine is on), serialized into
+// per-reduce-partition buckets, and flushed ("spilled") whenever the heap's
+// shuffle fraction refuses more memory. Buckets are naturally ordered by
+// partition id, the property tungsten-sort gets by sorting on the
+// partition-id prefix.
+type mapWriter[K comparable, V, C any] struct {
+	tc             *taskContext
+	sd             *shuffleDep
+	part           core.Partitioner[K]
+	codec          serde.Codec[core.Pair[K, C]]
+	mapSideCombine bool
+	createCombiner func(V) C
+	mergeValue     func(C, V) C
+	mergeCombiners func(C, C) C
+
+	combine  map[K]C
+	buckets  [][]byte
+	acquired int64
+	inRecs   int64
+	outRecs  int64
+}
+
+// memoryQuantum is the granularity of shuffle-memory reservations: one
+// buffer of the configured size per request.
+const memoryQuantum = 32 * 1024
+
+// combineFlushThreshold bounds the in-memory combine map between memory
+// checks.
+const combineFlushThreshold = 1024
+
+func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
+	part core.Partitioner[K], codec serde.Codec[core.Pair[K, C]], mapSideCombine bool,
+	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C) *mapWriter[K, V, C] {
+	return &mapWriter[K, V, C]{
+		tc:             tc,
+		sd:             sd,
+		part:           part,
+		codec:          codec,
+		mapSideCombine: mapSideCombine,
+		createCombiner: createCombiner,
+		mergeValue:     mergeValue,
+		mergeCombiners: mergeCombiners,
+		combine:        make(map[K]C),
+		buckets:        make([][]byte, sd.numParts),
+	}
+}
+
+// add feeds one record into the writer.
+func (w *mapWriter[K, V, C]) add(k K, v V) {
+	w.inRecs++
+	if !w.mapSideCombine {
+		w.emit(k, w.createCombiner(v))
+		return
+	}
+	if acc, ok := w.combine[k]; ok {
+		w.combine[k] = w.mergeValue(acc, v)
+		return
+	}
+	w.combine[k] = w.createCombiner(v)
+	if len(w.combine)%combineFlushThreshold == 0 {
+		if !w.tc.heap.AllocShuffle(memoryQuantum) {
+			w.spill()
+		} else {
+			w.acquired += memoryQuantum
+		}
+	}
+}
+
+// spill drains the combine map into the buckets and records a spill; Spark
+// would write a spill file here and merge on close.
+func (w *mapWriter[K, V, C]) spill() {
+	var bytes int64
+	for k, c := range w.combine {
+		bytes += int64(w.emit(k, c))
+	}
+	w.combine = make(map[K]C)
+	w.tc.metrics.SpillCount.Add(1)
+	w.tc.metrics.SpillBytes.Add(bytes)
+}
+
+// emit serializes one combined record into its bucket and returns the
+// encoded size.
+func (w *mapWriter[K, V, C]) emit(k K, c C) int {
+	p := w.part.Partition(k)
+	before := len(w.buckets[p])
+	w.buckets[p] = w.codec.Enc(w.buckets[p], core.KV(k, c))
+	w.outRecs++
+	return len(w.buckets[p]) - before
+}
+
+// close flushes remaining records, releases shuffle memory and registers
+// the map output.
+func (w *mapWriter[K, V, C]) close(mapPart int) error {
+	for k, c := range w.combine {
+		w.emit(k, c)
+	}
+	w.combine = nil
+	if w.acquired > 0 {
+		w.tc.heap.FreeShuffle(w.acquired)
+		w.acquired = 0
+	}
+	w.tc.metrics.CombineInputRecords.Add(w.inRecs)
+	w.tc.metrics.CombineOutputRecs.Add(w.outRecs)
+	w.tc.ctx.shuffles.put(w.sd.id, mapPart, w.tc.node, w.buckets)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment id (tab1..tab7, fig1..fig17) maps to
+// a runner that produces a Report with the same rows/series the paper
+// plots; scaling and resource figures come from the paper-scale simulator,
+// operator tables from the real engines' planners.
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// tab2Config returns the Word Count / Grep settings of Table II for a node
+// count (fixed 24 GB per node).
+func tab2Config(nodes int) *core.Config {
+	sparkPar := map[int]int{2: 192, 4: 384, 8: 768, 16: 1536, 32: 1024}
+	flinkPar := map[int]int{2: 32, 4: 64, 8: 128, 16: 256, 32: 512}
+	flinkMem := map[int]core.ByteSize{2: 4, 4: 4, 8: 4, 16: 4, 32: 11}
+	c := core.NewConfig()
+	c.SetInt(core.SparkDefaultParallelism, sparkPar[nodes])
+	c.SetInt(core.FlinkDefaultParallelism, flinkPar[nodes])
+	c.SetBytes(core.SparkExecutorMemory, 22*core.GB)
+	c.SetBytes(core.FlinkTaskManagerMemory, flinkMem[nodes]*core.GB)
+	c.SetBytes(core.HDFSBlockSize, 256*core.MB)
+	c.SetInt(core.FlinkNetworkBuffers, nodes*2048)
+	c.SetBytes(core.BufferSize, 64*core.KB)
+	return c
+}
+
+// tab3Config returns the Tera Sort settings of Table III.
+func tab3Config(nodes int) *core.Config {
+	sparkPar := map[int]int{17: 544, 34: 1088, 63: 1984, 55: 1760, 73: 2336, 97: 3104}
+	flinkPar := map[int]int{17: 134, 34: 270, 63: 500, 55: 475, 73: 580, 97: 750}
+	c := core.NewConfig()
+	c.SetInt(core.SparkDefaultParallelism, sparkPar[nodes])
+	c.SetInt(core.FlinkDefaultParallelism, flinkPar[nodes])
+	c.SetBytes(core.SparkExecutorMemory, 62*core.GB)
+	c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB)
+	c.SetBytes(core.HDFSBlockSize, core.GB)
+	c.SetInt(core.FlinkNetworkBuffers, nodes*1024)
+	c.SetBytes(core.BufferSize, 128*core.KB)
+	return c
+}
+
+// tab5Config returns the small-graph settings of Table V (formulas over
+// nodes × cores).
+func tab5Config(nodes int) *core.Config {
+	const cores = 16
+	c := core.NewConfig()
+	c.SetInt(core.SparkDefaultParallelism, nodes*cores*6)
+	c.SetInt(core.FlinkDefaultParallelism, nodes*cores)
+	c.SetInt(core.SparkEdgePartitions, nodes*cores)
+	c.SetInt(core.FlinkNetworkBuffers, cores*cores*nodes*16)
+	c.SetBytes(core.SparkExecutorMemory, 96*core.GB)
+	c.SetBytes(core.FlinkTaskManagerMemory, 18*core.GB)
+	return c
+}
+
+// tab6Config returns the medium-graph settings of Table VI.
+func tab6Config(nodes int) *core.Config {
+	type row struct {
+		sparkPar, flinkPar, sparkMem, flinkMem, edgeParts int
+	}
+	rows := map[int]row{
+		24: {1440, 288, 22, 18, 1440},
+		27: {1620, 297, 96, 18, 256},
+		34: {1632, 442, 62, 62, 320},
+		55: {2640, 715, 62, 62, 480},
+	}
+	r := rows[nodes]
+	c := core.NewConfig()
+	c.SetInt(core.SparkDefaultParallelism, r.sparkPar)
+	c.SetInt(core.FlinkDefaultParallelism, r.flinkPar)
+	c.SetBytes(core.SparkExecutorMemory, core.ByteSize(r.sparkMem)*core.GB)
+	c.SetBytes(core.FlinkTaskManagerMemory, core.ByteSize(r.flinkMem)*core.GB)
+	c.SetInt(core.SparkEdgePartitions, r.edgeParts)
+	c.SetInt(core.FlinkNetworkBuffers, 16*16*nodes*16)
+	return c
+}
+
+// tab7Config returns the large-graph settings used for Table VII: 62 GB of
+// memory, doubled edge partitions for Spark, and (at 97 nodes) Flink
+// parallelism reduced to ¾ of the cores so the CoGroup fits.
+func tab7Config(nodes int) *core.Config {
+	const cores = 16
+	c := core.NewConfig()
+	c.SetBytes(core.SparkExecutorMemory, 62*core.GB)
+	c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB)
+	c.SetInt(core.SparkEdgePartitions, nodes*cores*2)
+	if nodes >= 97 {
+		c.SetInt(core.FlinkDefaultParallelism, nodes*12)
+	} else {
+		c.SetInt(core.FlinkDefaultParallelism, nodes*cores)
+	}
+	c.SetInt(core.FlinkNetworkBuffers, cores*cores*nodes*16)
+	return c
+}

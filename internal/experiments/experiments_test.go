@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"tab3", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"tab4", "tab5", "tab6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab7",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get of unknown id should fail")
+	}
+	if got := sortedCopy(ids); got[0] > got[len(got)-1] {
+		t.Error("sortedCopy not sorted")
+	}
+}
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	rep, err := runFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("fig1 rows = %d, want 5 node counts", len(rep.Rows))
+	}
+	last := rep.Rows[len(rep.Rows)-1] // 32 nodes
+	if last.Flink >= last.Spark {
+		t.Errorf("fig1@32 nodes: flink %.0f should beat spark %.0f", last.Flink, last.Spark)
+	}
+	if r := last.Ratio(); r < 0.85 || r > 1.0 {
+		t.Errorf("fig1@32 flink/spark = %.2f, paper shows ≈0.95", r)
+	}
+	// Weak scaling: time at 32 nodes within 35% of time at 2 nodes.
+	if rep.Rows[4].Spark > rep.Rows[0].Spark*1.35 {
+		t.Errorf("spark does not weak-scale: %.0f → %.0f", rep.Rows[0].Spark, rep.Rows[4].Spark)
+	}
+	if !strings.Contains(rep.Render(), "spark") {
+		t.Error("render missing content")
+	}
+}
+
+func TestFig4GrepShape(t *testing.T) {
+	rep, err := runFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Spark >= last.Flink {
+		t.Errorf("fig4@32: spark %.0f should beat flink %.0f (paper: up to 20%%)", last.Spark, last.Flink)
+	}
+}
+
+func TestFig8FlinkAdvantageGrows(t *testing.T) {
+	rep, err := runFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
+	if first.Flink >= first.Spark || last.Flink >= last.Spark {
+		t.Error("flink should win tera sort at all strong-scaling points")
+	}
+	if last.Ratio() > first.Ratio()+0.05 {
+		t.Errorf("flink advantage should not shrink: ratio %.2f → %.2f", first.Ratio(), last.Ratio())
+	}
+}
+
+func TestFig11KMeansShape(t *testing.T) {
+	rep, err := runFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row.Flink >= row.Spark {
+			t.Errorf("%s: flink %.0f should beat spark %.0f", row.Label, row.Flink, row.Spark)
+		}
+	}
+	if rep.Rows[len(rep.Rows)-1].Spark >= rep.Rows[0].Spark {
+		t.Error("k-means should speed up with more nodes")
+	}
+}
+
+func TestFig15MediumCCAdvantage(t *testing.T) {
+	rep, err := runFig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Rows[0] // 27 nodes
+	adv := row.Spark / row.Flink
+	if adv < 1.15 {
+		t.Errorf("fig15@27: flink CC advantage %.2fx, paper reports up to ~30%%", adv)
+	}
+}
+
+func TestTab7FailureCells(t *testing.T) {
+	rep, err := runTab7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 6 rows (3 node counts × 2 algorithms).
+	if len(rep.Table) != 7 {
+		t.Fatalf("tab7 rows = %d, want 7", len(rep.Table))
+	}
+	cell := func(row, col int) string { return rep.Table[row][col] }
+	// Rows 1-4 are 27/44 nodes: flink columns must be "no".
+	for row := 1; row <= 4; row++ {
+		if cell(row, 4) != "no" || cell(row, 5) != "no" {
+			t.Errorf("tab7 row %d: flink should fail at 27/44 nodes: %v", row, rep.Table[row])
+		}
+		if cell(row, 2) == "no" {
+			t.Errorf("tab7 row %d: spark with doubled partitions should pass", row)
+		}
+	}
+	// Rows 5-6 are 97 nodes: everything succeeds.
+	for row := 5; row <= 6; row++ {
+		for col := 2; col <= 5; col++ {
+			if cell(row, col) == "no" {
+				t.Errorf("tab7 row %d col %d: should pass at 97 nodes", row, col)
+			}
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "no") {
+		t.Error("rendered table should show failure cells")
+	}
+}
+
+func TestUsageReportsRender(t *testing.T) {
+	for _, id := range []string{"fig3", "fig9"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Figures) != 2 {
+			t.Errorf("%s: %d figures, want 2 (one per framework)", id, len(rep.Figures))
+		}
+		for _, f := range rep.Figures {
+			if !strings.Contains(f, "CPU %") {
+				t.Errorf("%s figure missing CPU panel", id)
+			}
+		}
+	}
+}
+
+func TestConfigTables(t *testing.T) {
+	rep, err := runTab2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table) < 5 {
+		t.Fatalf("tab2 too small: %d rows", len(rep.Table))
+	}
+	// Table II: spark parallelism at 16 nodes is 1536.
+	found := false
+	for _, row := range rep.Table {
+		if row[0] == "spark.default.parallelism" && row[4] == "1536" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tab2 missing spark.default.parallelism=1536 at 16 nodes")
+	}
+	rep3, err := runTab3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Table[0]) != 7 {
+		t.Errorf("tab3 should have 6 node columns, got %d", len(rep3.Table[0])-1)
+	}
+}
+
+func TestTab1OperatorTable(t *testing.T) {
+	rep, err := runTab1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table) != 12 {
+		t.Fatalf("tab1 rows = %d, want 12 (6 workloads × 2 frameworks)", len(rep.Table))
+	}
+	joined := rep.Render()
+	for _, frag := range []string{"ReduceByKey", "GroupCombine", "DeltaIteration", "SortPartition"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("tab1 missing operator %q", frag)
+		}
+	}
+}
+
+func TestTab4GraphTable(t *testing.T) {
+	rep, err := runTab4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, frag := range []string{"Twitter", "Friendster", "WDC", "64.0B"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("tab4 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRowRatioNaN(t *testing.T) {
+	r := Row{Spark: math.NaN(), Flink: 10}
+	if !math.IsNaN(r.Ratio()) {
+		t.Error("ratio with failed spark run should be NaN")
+	}
+}

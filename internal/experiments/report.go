@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Row is one x-axis group of a comparison chart: mean ± std seconds per
+// framework. NaN marks a failed run (the paper's "no" cells in Table VII).
+type Row struct {
+	Label     string
+	Spark     float64
+	SparkStd  float64
+	Flink     float64
+	FlinkStd  float64
+	PaperNote string // the paper's reported values or claim, for the report
+}
+
+// Report is the regenerated artifact for one experiment id.
+type Report struct {
+	ID      string
+	Title   string
+	Rows    []Row
+	Figures []string // rendered resource-usage correlation figures
+	Notes   []string
+	Table   [][]string // free-form table (operator/config tables)
+}
+
+// Render produces the report as text: a paper-style comparison table plus
+// any correlation figures.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Table) > 0 {
+		widths := make([]int, 0)
+		for _, row := range r.Table {
+			for i, cell := range row {
+				if i >= len(widths) {
+					widths = append(widths, 0)
+				}
+				if len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		for _, row := range r.Table {
+			for i, cell := range row {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(&b, "%-16s %-18s %-18s %s\n", "config", "spark (s)", "flink (s)", "paper")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-16s %-18s %-18s %s\n",
+				row.Label, cell(row.Spark, row.SparkStd), cell(row.Flink, row.FlinkStd), row.PaperNote)
+		}
+	}
+	for _, fig := range r.Figures {
+		b.WriteString("\n")
+		b.WriteString(fig)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func cell(mean, std float64) string {
+	if math.IsNaN(mean) {
+		return "no (failed)"
+	}
+	if std > 0 {
+		return fmt.Sprintf("%.0f ± %.0f", mean, std)
+	}
+	return fmt.Sprintf("%.0f", mean)
+}
+
+// Runner produces one experiment's report.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+var registry []Runner
+
+func register(id, title string, run func() (*Report, error)) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// IDs returns the experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Get returns the runner for an id.
+func Get(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// sortedCopy returns ids sorted (for deterministic listings).
+func sortedCopy(ids []string) []string {
+	out := append([]string{}, ids...)
+	sort.Strings(out)
+	return out
+}

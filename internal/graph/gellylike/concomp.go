@@ -1,0 +1,107 @@
+package gellylike
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+)
+
+// ConnectedComponentsDelta labels each vertex with the minimum reachable
+// vertex id using the engine's delta iteration: the solution set holds the
+// current labels in managed memory (it cannot spill — the paper's large-
+// graph crash lives here), and the shrinking workset carries only vertices
+// whose label improved last superstep. This is the variant the paper
+// credits for Flink's up-to-30% win on the medium graph. It returns the
+// labels and the number of supersteps executed.
+func ConnectedComponentsDelta[VD any](g *Graph[VD], maxIter int) (*flink.DataSet[core.Pair[int64, int64]], *int64, error) {
+	g = g.symmetrized()
+	initial := flink.Map(g.vertices, func(p core.Pair[int64, VD]) core.Pair[int64, int64] {
+		return core.KV(p.Key, p.Key)
+	})
+	edges := g.edges
+	supersteps := new(int64)
+	final := flink.IterateDelta(initial, initial, maxIter,
+		func(ws *flink.DataSet[core.Pair[int64, int64]], lookup func(int64) (int64, bool)) (*flink.DataSet[core.Pair[int64, int64]], *flink.DataSet[core.Pair[int64, int64]]) {
+			atomic.AddInt64(supersteps, 1)
+			// Scatter: offer the workset vertex's label to its neighbors.
+			joined := flink.Join(ws, edges,
+				func(p core.Pair[int64, int64]) int64 { return p.Key },
+				func(e datagen.Edge) int64 { return e.Src },
+				0)
+			offers := flink.Map(joined,
+				func(j core.Pair[int64, flink.Joined[core.Pair[int64, int64], datagen.Edge]]) core.Pair[int64, int64] {
+					return core.KV(j.Value.Right.Dst, j.Value.Left.Value)
+				})
+			// Gather: keep the minimum offer per vertex…
+			best := flink.Reduce(
+				flink.GroupBy(offers, func(p core.Pair[int64, int64]) int64 { return p.Key }),
+				func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] {
+					if b.Value < a.Value {
+						return b
+					}
+					return a
+				})
+			// …and emit only actual improvements over the solution set.
+			improved := flink.Filter(best, func(p core.Pair[int64, int64]) bool {
+				cur, ok := lookup(p.Key)
+				return ok && p.Value < cur
+			})
+			return improved, improved
+		})
+	return final, supersteps, nil
+}
+
+// ConnectedComponentsBulk is the baseline bulk-iteration variant the paper
+// compares delta iterations against: every superstep recomputes the full
+// label set, so the per-superstep work never shrinks.
+func ConnectedComponentsBulk[VD any](g *Graph[VD], iters int) (*flink.DataSet[core.Pair[int64, int64]], error) {
+	g = g.symmetrized()
+	initial := flink.Map(g.vertices, func(p core.Pair[int64, VD]) core.Pair[int64, int64] {
+		return core.KV(p.Key, p.Key)
+	})
+	edges := g.edges
+	final := flink.IterateBulk(initial, iters,
+		func(cur *flink.DataSet[core.Pair[int64, int64]]) *flink.DataSet[core.Pair[int64, int64]] {
+			joined := flink.Join(cur, edges,
+				func(p core.Pair[int64, int64]) int64 { return p.Key },
+				func(e datagen.Edge) int64 { return e.Src },
+				0)
+			offers := flink.Map(joined,
+				func(j core.Pair[int64, flink.Joined[core.Pair[int64, int64], datagen.Edge]]) core.Pair[int64, int64] {
+					return core.KV(j.Value.Right.Dst, j.Value.Left.Value)
+				})
+			// Min over current label and all offers: feed the current
+			// labels in as self-offers so unmessaged vertices survive.
+			withSelf := flink.FlatMap(cur, func(p core.Pair[int64, int64]) []core.Pair[int64, int64] {
+				return []core.Pair[int64, int64]{p}
+			})
+			all := mergeDatasets(withSelf, offers)
+			return flink.Reduce(
+				flink.GroupBy(all, func(p core.Pair[int64, int64]) int64 { return p.Key }),
+				func(a, b core.Pair[int64, int64]) core.Pair[int64, int64] {
+					if b.Value < a.Value {
+						return b
+					}
+					return a
+				})
+		})
+	return final, nil
+}
+
+// mergeDatasets unions two datasets of the same type by cogrouping on a
+// synthetic unique key per record — the engine has no union operator, and
+// Gelly expresses this with a CoGroup too.
+func mergeDatasets(a, b *flink.DataSet[core.Pair[int64, int64]]) *flink.DataSet[core.Pair[int64, int64]] {
+	return flink.CoGroup(a, b,
+		func(p core.Pair[int64, int64]) int64 { return p.Key },
+		func(p core.Pair[int64, int64]) int64 { return p.Key },
+		0, false,
+		func(k int64, as, bs []core.Pair[int64, int64]) []core.Pair[int64, int64] {
+			out := make([]core.Pair[int64, int64], 0, len(as)+len(bs))
+			out = append(out, as...)
+			out = append(out, bs...)
+			return out
+		})
+}

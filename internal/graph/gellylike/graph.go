@@ -1,0 +1,60 @@
+// Package gellylike is a Gelly-style graph library on the flink engine,
+// covering what the paper's graph experiments use: vertex-centric
+// iterations built on the engine's native iteration operators — PageRank
+// on bulk iterations (with the count-vertices pre-job the paper remarks
+// on) and ConnectedComponents in two variants, delta (the default Gelly
+// implementation whose solution set lives in managed memory) and bulk
+// (the baseline the paper compares delta against).
+package gellylike
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+)
+
+// Graph is a property graph over the flink engine.
+type Graph[VD any] struct {
+	env      *flink.Env
+	vertices *flink.DataSet[core.Pair[int64, VD]]
+	edges    *flink.DataSet[datagen.Edge]
+}
+
+// FromEdges derives the vertex set from edge endpoints with a default
+// attribute (Gelly's Graph.fromDataSet with a vertex initializer).
+func FromEdges[VD any](env *flink.Env, edges *flink.DataSet[datagen.Edge], defaultVD VD) *Graph[VD] {
+	ids := flink.FlatMap(edges, func(e datagen.Edge) []int64 { return []int64{e.Src, e.Dst} })
+	distinct := flink.Distinct(ids, func(id int64) int64 { return id })
+	vertices := flink.Map(distinct, func(id int64) core.Pair[int64, VD] {
+		return core.KV(id, defaultVD)
+	})
+	return &Graph[VD]{env: env, vertices: vertices, edges: edges}
+}
+
+// Vertices returns the vertex DataSet.
+func (g *Graph[VD]) Vertices() *flink.DataSet[core.Pair[int64, VD]] { return g.vertices }
+
+// Edges returns the edge DataSet.
+func (g *Graph[VD]) Edges() *flink.DataSet[datagen.Edge] { return g.edges }
+
+// NumVertices counts the vertices — a separate job, which for PageRank is
+// the extra dataset read the paper calls out ("Flink's implementation will
+// first execute a job to count the vertices").
+func (g *Graph[VD]) NumVertices() (int64, error) { return flink.Count(g.vertices) }
+
+// symmetrized returns the graph with every edge present in both
+// directions (Gelly's getUndirected), which connected components needs.
+func (g *Graph[VD]) symmetrized() *Graph[VD] {
+	both := flink.FlatMap(g.edges, func(e datagen.Edge) []datagen.Edge {
+		return []datagen.Edge{e, {Src: e.Dst, Dst: e.Src}}
+	})
+	return &Graph[VD]{env: g.env, vertices: g.vertices, edges: both}
+}
+
+// OutDegrees computes per-vertex out-degrees (Gelly's outDegrees).
+func (g *Graph[VD]) OutDegrees() *flink.DataSet[core.Pair[int64, int64]] {
+	ones := flink.Map(g.edges, func(e datagen.Edge) core.Pair[int64, int64] {
+		return core.KV(e.Src, int64(1))
+	})
+	return flink.Sum(flink.GroupBy(ones, func(p core.Pair[int64, int64]) int64 { return p.Key }))
+}

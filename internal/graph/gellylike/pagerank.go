@@ -1,0 +1,88 @@
+package gellylike
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+)
+
+// PRState is the PageRank vertex state.
+type PRState struct {
+	Rank   float64
+	OutDeg int64
+}
+
+// PageRank runs the Gelly-style vertex-centric PageRank for a fixed number
+// of supersteps with damping 0.85 on the engine's bulk iteration operator:
+// the step dataflow (join with edges → grouped sum → cogroup update) is
+// scheduled once and fed back cyclically. Per the paper's observation, a
+// count-vertices job runs first, and the graph is read again to load it.
+func PageRank[VD any](g *Graph[VD], iters int) (*flink.DataSet[core.Pair[int64, float64]], error) {
+	if _, err := g.NumVertices(); err != nil { // the pre-job the paper notes
+		return nil, err
+	}
+	degrees := g.OutDegrees()
+	// Load phase: attach degrees to vertices (vertices without out-edges
+	// keep degree 0 — they are sinks).
+	states := flink.CoGroup(g.vertices, degrees,
+		func(p core.Pair[int64, VD]) int64 { return p.Key },
+		func(p core.Pair[int64, int64]) int64 { return p.Key },
+		0, false,
+		func(id int64, vs []core.Pair[int64, VD], ds []core.Pair[int64, int64]) []core.Pair[int64, PRState] {
+			if len(vs) == 0 {
+				return nil
+			}
+			var deg int64
+			if len(ds) > 0 {
+				deg = ds[0].Value
+			}
+			return []core.Pair[int64, PRState]{core.KV(id, PRState{Rank: 1.0, OutDeg: deg})}
+		})
+
+	edges := g.edges
+	final := flink.IterateBulk(states, iters,
+		func(cur *flink.DataSet[core.Pair[int64, PRState]]) *flink.DataSet[core.Pair[int64, PRState]] {
+			// Scatter: rank/outDeg along each out-edge.
+			joined := flink.Join(cur, edges,
+				func(p core.Pair[int64, PRState]) int64 { return p.Key },
+				func(e datagen.Edge) int64 { return e.Src },
+				0)
+			contribs := flink.FlatMap(joined,
+				func(j core.Pair[int64, flink.Joined[core.Pair[int64, PRState], datagen.Edge]]) []core.Pair[int64, float64] {
+					st := j.Value.Left.Value
+					if st.OutDeg == 0 {
+						return nil
+					}
+					return []core.Pair[int64, float64]{
+						core.KV(j.Value.Right.Dst, st.Rank/float64(st.OutDeg)),
+					}
+				})
+			sums := flink.Reduce(
+				flink.GroupBy(contribs, func(p core.Pair[int64, float64]) int64 { return p.Key }),
+				func(a, b core.Pair[int64, float64]) core.Pair[int64, float64] {
+					return core.KV(a.Key, a.Value+b.Value)
+				})
+			// Gather: new rank; vertices with no inbound contributions get
+			// the teleport mass only.
+			return flink.CoGroup(cur, sums,
+				func(p core.Pair[int64, PRState]) int64 { return p.Key },
+				func(p core.Pair[int64, float64]) int64 { return p.Key },
+				0, false,
+				func(id int64, states []core.Pair[int64, PRState], sums []core.Pair[int64, float64]) []core.Pair[int64, PRState] {
+					if len(states) == 0 {
+						return nil
+					}
+					sum := 0.0
+					if len(sums) > 0 {
+						sum = sums[0].Value
+					}
+					return []core.Pair[int64, PRState]{
+						core.KV(id, PRState{Rank: 0.15 + 0.85*sum, OutDeg: states[0].Value.OutDeg}),
+					}
+				})
+		})
+	ranks := flink.Map(final, func(p core.Pair[int64, PRState]) core.Pair[int64, float64] {
+		return core.KV(p.Key, p.Value.Rank)
+	})
+	return ranks, nil
+}

@@ -1,0 +1,73 @@
+package graphxlike
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine/spark"
+)
+
+// PRVertex is the PageRank vertex attribute: current rank and out-degree.
+type PRVertex struct {
+	Rank   float64
+	OutDeg int64
+}
+
+// PageRank runs the standalone GraphX-style PageRank for a fixed number of
+// iterations with damping factor 0.85: rank = 0.15 + 0.85 × Σ incoming
+// rank/outDegree contributions. It returns the rank RDD and the executed
+// iteration count.
+func PageRank[VD any](g *Graph[VD], iters int) (*spark.RDD[core.Pair[int64, float64]], int, error) {
+	degrees, err := spark.CollectAsMap(g.OutDegrees())
+	if err != nil {
+		return nil, 0, err
+	}
+	init := MapVertices(g, func(id int64, _ VD) PRVertex {
+		return PRVertex{Rank: 1.0, OutDeg: degrees[id]}
+	})
+	ranked, n, err := Pregel(init, iters,
+		func(src int64, vd PRVertex, dst int64) (float64, bool) {
+			if vd.OutDeg == 0 {
+				return 0, false
+			}
+			return vd.Rank / float64(vd.OutDeg), true
+		},
+		func(a, b float64) float64 { return a + b },
+		func(id int64, vd PRVertex, sum float64) (PRVertex, bool) {
+			newRank := 0.15 + 0.85*sum
+			return PRVertex{Rank: newRank, OutDeg: vd.OutDeg}, true
+		})
+	if err != nil {
+		return nil, n, err
+	}
+	ranks := spark.Map(ranked.Vertices(), func(p core.Pair[int64, PRVertex]) core.Pair[int64, float64] {
+		return core.KV(p.Key, p.Value.Rank)
+	})
+	return ranks, n, nil
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex id
+// reachable from it, via min-label propagation until convergence (GraphX's
+// ConnectedComponents). Like GraphX, edges are treated as undirected —
+// the graph is symmetrized before propagation. It returns the labels and
+// the supersteps used.
+func ConnectedComponents[VD any](g *Graph[VD], maxIter int) (*spark.RDD[core.Pair[int64, int64]], int, error) {
+	g = g.symmetrized()
+	init := MapVertices(g, func(id int64, _ VD) int64 { return id })
+	labeled, n, err := Pregel(init, maxIter,
+		func(src int64, label int64, dst int64) (int64, bool) { return label, true },
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(id int64, label int64, msg int64) (int64, bool) {
+			if msg < label {
+				return msg, true
+			}
+			return label, false
+		})
+	if err != nil {
+		return nil, n, err
+	}
+	return labeled.Vertices(), n, nil
+}

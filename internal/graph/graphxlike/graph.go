@@ -1,0 +1,88 @@
+// Package graphxlike is a GraphX-style graph library on the spark engine,
+// covering what the paper's graph experiments use: property graphs as
+// vertex and edge RDDs, a Pregel loop implemented with joins and
+// loop-unrolled iterations, PageRank (the standalone GraphX
+// implementation) and ConnectedComponents. The spark.edge.partitions
+// setting controls edge partitioning — the parameter whose mis-setting
+// costs up to 50% in the paper's Section VI-E.
+package graphxlike
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/spark"
+)
+
+// Graph is a property graph: vertices carry VD, edges are unlabelled
+// (weights are not needed by the paper's workloads).
+type Graph[VD any] struct {
+	ctx       *spark.Context
+	vertices  *spark.RDD[core.Pair[int64, VD]]
+	edges     *spark.RDD[datagen.Edge]
+	edgeParts int
+}
+
+// FromEdges builds a graph from an edge RDD, deriving the vertex set from
+// edge endpoints with the default vertex attribute — GraphX's
+// Graph.fromEdges. Edge partitioning follows spark.edge.partitions (the
+// paper's spark.edge.partition), defaulting to the context parallelism.
+func FromEdges[VD any](ctx *spark.Context, edges *spark.RDD[datagen.Edge], defaultVD VD) *Graph[VD] {
+	edgeParts := ctx.Conf().Int(core.SparkEdgePartitions, 0)
+	if edgeParts <= 0 {
+		edgeParts = ctx.DefaultParallelism()
+	}
+	parted := spark.Values(spark.PartitionBy(
+		spark.MapToPair(edges, func(e datagen.Edge) core.Pair[int64, datagen.Edge] {
+			return core.KV(e.Src, e)
+		}),
+		core.NewHashPartitioner[int64](edgeParts))).Cache()
+
+	ids := spark.FlatMap(parted, func(e datagen.Edge) []int64 { return []int64{e.Src, e.Dst} })
+	vertices := spark.Map(spark.Distinct(ids), func(id int64) core.Pair[int64, VD] {
+		return core.KV(id, defaultVD)
+	}).Cache()
+
+	return &Graph[VD]{ctx: ctx, vertices: vertices, edges: parted, edgeParts: edgeParts}
+}
+
+// Vertices returns the vertex RDD.
+func (g *Graph[VD]) Vertices() *spark.RDD[core.Pair[int64, VD]] { return g.vertices }
+
+// Edges returns the edge RDD.
+func (g *Graph[VD]) Edges() *spark.RDD[datagen.Edge] { return g.edges }
+
+// NumVertices counts vertices (an action).
+func (g *Graph[VD]) NumVertices() (int64, error) { return spark.Count(g.vertices) }
+
+// NumEdges counts edges (an action).
+func (g *Graph[VD]) NumEdges() (int64, error) { return spark.Count(g.edges) }
+
+// OutDegrees returns per-vertex out-degree (GraphX's outDegrees).
+func (g *Graph[VD]) OutDegrees() *spark.RDD[core.Pair[int64, int64]] {
+	pairs := spark.MapToPair(g.edges, func(e datagen.Edge) core.Pair[int64, int64] {
+		return core.KV(e.Src, int64(1))
+	})
+	return spark.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, g.edgeParts)
+}
+
+// symmetrized returns the graph with every edge present in both
+// directions, the undirected view connected-components algorithms use.
+func (g *Graph[VD]) symmetrized() *Graph[VD] {
+	reversed := spark.Map(g.edges, func(e datagen.Edge) datagen.Edge {
+		return datagen.Edge{Src: e.Dst, Dst: e.Src}
+	})
+	return &Graph[VD]{
+		ctx:       g.ctx,
+		vertices:  g.vertices,
+		edges:     spark.Union(g.edges, reversed),
+		edgeParts: g.edgeParts,
+	}
+}
+
+// MapVertices transforms the vertex attributes in place (mapVertices).
+func MapVertices[VD, VD2 any](g *Graph[VD], f func(int64, VD) VD2) *Graph[VD2] {
+	verts := spark.Map(g.vertices, func(p core.Pair[int64, VD]) core.Pair[int64, VD2] {
+		return core.KV(p.Key, f(p.Key, p.Value))
+	})
+	return &Graph[VD2]{ctx: g.ctx, vertices: verts, edges: g.edges, edgeParts: g.edgeParts}
+}

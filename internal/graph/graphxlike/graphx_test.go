@@ -1,0 +1,169 @@
+package graphxlike
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/engine/spark"
+)
+
+func testCtx(t *testing.T) *spark.Context {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.NewConfig()
+	conf.SetInt(core.SparkDefaultParallelism, 4)
+	conf.SetInt(core.SparkEdgePartitions, 4)
+	conf.SetBytes(core.SparkExecutorMemory, 128*core.MB)
+	return spark.NewContext(conf, rt, dfs.New(2, 64*core.KB, 1))
+}
+
+func loadGraph(t *testing.T, ctx *spark.Context, edges []datagen.Edge) *Graph[int64] {
+	t.Helper()
+	rdd := spark.Parallelize(ctx, edges, 4)
+	return FromEdges(ctx, rdd, int64(0))
+}
+
+func TestGraphConstruction(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, datagen.ChainGraph(6))
+	nv, err := g.NumVertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 6 {
+		t.Errorf("vertices = %d, want 6", nv)
+	}
+	ne, err := g.NumEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne != 10 {
+		t.Errorf("edges = %d, want 10", ne)
+	}
+}
+
+func TestOutDegrees(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, []datagen.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}})
+	degs, err := spark.CollectAsMap(g.OutDegrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degs[1] != 2 || degs[2] != 1 {
+		t.Errorf("out degrees = %v", degs)
+	}
+}
+
+func TestConnectedComponentsChain(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, datagen.ChainGraph(8))
+	labels, iters, err := ConnectedComponents(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, l := range m {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0", id, l)
+		}
+	}
+	// A chain of 8 needs ~7 supersteps to converge, not 20: convergence
+	// detection must stop early.
+	if iters >= 20 {
+		t.Errorf("CC did not converge early: %d supersteps", iters)
+	}
+	if iters < 6 {
+		t.Errorf("CC converged suspiciously fast: %d supersteps", iters)
+	}
+}
+
+func TestConnectedComponentsCommunities(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, datagen.Communities(3, 4))
+	labels, _, err := ConnectedComponents(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 12 {
+		t.Fatalf("labelled %d vertices, want 12", len(m))
+	}
+	for id, l := range m {
+		want := (id / 4) * 4 // min id of the clique
+		if l != want {
+			t.Errorf("label[%d] = %d, want %d", id, l, want)
+		}
+	}
+}
+
+func TestPageRankCycle(t *testing.T) {
+	ctx := testCtx(t)
+	// A 4-cycle: perfectly symmetric, every rank converges to 1.0.
+	edges := []datagen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}
+	g := loadGraph(t, ctx, edges)
+	ranks, _, err := PageRank(g, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range m {
+		if math.Abs(r-1.0) > 1e-6 {
+			t.Errorf("rank[%d] = %v, want 1.0 on a symmetric cycle", id, r)
+		}
+	}
+}
+
+func TestPageRankHub(t *testing.T) {
+	ctx := testCtx(t)
+	// Star pointing at vertex 0, plus a back edge so every vertex has an
+	// in-edge: hub must outrank leaves.
+	edges := []datagen.Edge{
+		{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0},
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+	}
+	g := loadGraph(t, ctx, edges)
+	ranks, _, err := PageRank(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m[0] > m[1] && m[0] > m[2] && m[0] > m[3]) {
+		t.Errorf("hub should outrank leaves: %v", m)
+	}
+}
+
+func TestPregelIterationScheduling(t *testing.T) {
+	// GraphX iterations are loop-unrolled Spark jobs: scheduling rounds
+	// must grow with supersteps — the overhead the paper measures.
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, datagen.ChainGraph(6))
+	before := ctx.Metrics().SchedulingRounds.Load()
+	_, iters, err := ConnectedComponents(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := ctx.Metrics().SchedulingRounds.Load() - before
+	if rounds < int64(iters)*2 {
+		t.Errorf("%d supersteps used only %d scheduling rounds; loop unrolling should schedule per iteration", iters, rounds)
+	}
+}

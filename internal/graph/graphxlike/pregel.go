@@ -1,0 +1,117 @@
+package graphxlike
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/spark"
+)
+
+// VertexState carries the vertex attribute plus the Pregel activity flag.
+// Fields are exported so generic serializers can encode shuffled records.
+type VertexState[VD any] struct {
+	VD     VD
+	Active bool
+}
+
+// Unioned is the tagged record type flowing through the Pregel apply
+// shuffle: either a vertex state or a merged message.
+type Unioned[VD any, M any] struct {
+	IsVertex bool
+	State    VertexState[VD]
+	Msg      M
+}
+
+// Pregel runs a GraphX-style message-passing loop with Spark's iteration
+// model: a regular for-loop where every superstep schedules fresh join,
+// reduce and group stages (loop unrolling), caching the vertex RDD between
+// supersteps. The loop ends when no messages flow or after maxIter rounds;
+// the number of executed supersteps is returned.
+//
+//   - scatter derives the message an active vertex sends along one
+//     out-edge (ok=false sends nothing);
+//   - merge combines messages addressed to the same vertex;
+//   - apply integrates the merged message, returning the new attribute and
+//     whether the vertex changed (only changed vertices scatter next).
+func Pregel[VD any, M any](g *Graph[VD], maxIter int,
+	scatter func(src int64, vd VD, dst int64) (M, bool),
+	merge func(M, M) M,
+	apply func(id int64, vd VD, msg M) (VD, bool)) (*Graph[VD], int, error) {
+
+	edgeBySrc := spark.MapToPair(g.edges, func(e datagen.Edge) core.Pair[int64, int64] {
+		return core.KV(e.Src, e.Dst)
+	}).Cache()
+
+	verts := spark.Map(g.vertices, func(p core.Pair[int64, VD]) core.Pair[int64, VertexState[VD]] {
+		return core.KV(p.Key, VertexState[VD]{VD: p.Value, Active: true})
+	}).Cache()
+
+	iterations := 0
+	for it := 0; it < maxIter; it++ {
+		// Superstep stage 1: join active vertices with out-edges, scatter,
+		// and combine messages per destination.
+		active := spark.Filter(verts, func(p core.Pair[int64, VertexState[VD]]) bool {
+			return p.Value.Active
+		})
+		joined := spark.Join(active, edgeBySrc, g.edgeParts)
+		msgs := spark.FlatMap(joined,
+			func(p core.Pair[int64, spark.Joined[VertexState[VD], int64]]) []core.Pair[int64, M] {
+				if m, ok := scatter(p.Key, p.Value.Left.VD, p.Value.Right); ok {
+					return []core.Pair[int64, M]{core.KV(p.Value.Right, m)}
+				}
+				return nil
+			})
+		merged := spark.ReduceByKey(msgs, merge, g.edgeParts)
+		msgCount, err := spark.Count(merged)
+		if err != nil {
+			return nil, iterations, fmt.Errorf("graphxlike: pregel superstep %d: %w", it, err)
+		}
+		if msgCount == 0 {
+			break
+		}
+		iterations = it + 1
+
+		// Superstep stage 2: union tagged vertices and messages, group by
+		// id, apply the vertex program. Unmessaged vertices go inactive.
+		taggedVerts := spark.Map(verts,
+			func(p core.Pair[int64, VertexState[VD]]) core.Pair[int64, Unioned[VD, M]] {
+				return core.KV(p.Key, Unioned[VD, M]{IsVertex: true, State: p.Value})
+			})
+		taggedMsgs := spark.Map(merged,
+			func(p core.Pair[int64, M]) core.Pair[int64, Unioned[VD, M]] {
+				return core.KV(p.Key, Unioned[VD, M]{Msg: p.Value})
+			})
+		grouped := spark.GroupByKey(spark.Union(taggedVerts, taggedMsgs), g.edgeParts)
+		next := spark.Map(grouped,
+			func(p core.Pair[int64, []Unioned[VD, M]]) core.Pair[int64, VertexState[VD]] {
+				var st VertexState[VD]
+				var msg M
+				hasMsg := false
+				for _, u := range p.Value {
+					if u.IsVertex {
+						st = u.State
+					} else {
+						msg = u.Msg
+						hasMsg = true
+					}
+				}
+				if !hasMsg {
+					return core.KV(p.Key, VertexState[VD]{VD: st.VD, Active: false})
+				}
+				vd, changed := apply(p.Key, st.VD, msg)
+				return core.KV(p.Key, VertexState[VD]{VD: vd, Active: changed})
+			}).Cache()
+		// Materialize the new generation before dropping the old one.
+		if _, err := spark.Count(next); err != nil {
+			return nil, iterations, err
+		}
+		verts.Unpersist()
+		verts = next
+	}
+
+	outVerts := spark.Map(verts, func(p core.Pair[int64, VertexState[VD]]) core.Pair[int64, VD] {
+		return core.KV(p.Key, p.Value.VD)
+	})
+	return &Graph[VD]{ctx: g.ctx, vertices: outVerts, edges: g.edges, edgeParts: g.edgeParts}, iterations, nil
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ResourceUsage aggregates cluster-mean resource series over one
+// execution: the five panels of the paper's resource figures.
+type ResourceUsage struct {
+	CPUPercent  *stats.StepSeries // 0..100
+	MemPercent  *stats.StepSeries // 0..100
+	DiskUtil    *stats.StepSeries // 0..100
+	DiskIOMiBps *stats.StepSeries
+	NetIOMiBps  *stats.StepSeries
+}
+
+// Correlation binds an operator timeline to the resource usage recorded
+// during the same execution — the paper's methodology artifact ("we plot
+// the execution plan … and correlate it with the resource utilisation").
+type Correlation struct {
+	Framework string
+	Workload  string
+	TotalTime float64
+	Timeline  *Timeline
+	Usage     ResourceUsage
+}
+
+// Render produces the textual analogue of a paper resource figure: the
+// operator spans on top, the usage sparklines below, over a shared time
+// axis of `width` buckets.
+func (c *Correlation) Render(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (total execution is %.0f seconds)\n", c.header(), c.TotalTime)
+	for _, s := range c.Timeline.Spans() {
+		bar := spanBar(s, c.TotalTime, width)
+		fmt.Fprintf(&b, "  %-44s |%s| %.1f..%.1fs\n", truncate(s.Label, 44), bar, s.Start, s.End)
+	}
+	rows := []struct {
+		label string
+		s     *stats.StepSeries
+		hi    float64
+	}{
+		{"CPU %", c.Usage.CPUPercent, 100},
+		{"Memory %", c.Usage.MemPercent, 100},
+		{"Disk util %", c.Usage.DiskUtil, 100},
+		{"I/O MiB/s", c.Usage.DiskIOMiBps, 0},
+		{"Network MiB/s", c.Usage.NetIOMiBps, 0},
+	}
+	for _, r := range rows {
+		if r.s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s\n", stats.UsageChart(r.label, r.s, c.TotalTime, width, r.hi))
+	}
+	return b.String()
+}
+
+func (c *Correlation) header() string {
+	name := c.Framework
+	if c.Workload != "" {
+		name += "/" + c.Workload
+	}
+	return name
+}
+
+// spanBar draws one operator span over a width-bucket axis.
+func spanBar(s Span, total float64, width int) string {
+	if total <= 0 {
+		total = 1
+	}
+	lo := int(s.Start / total * float64(width))
+	hi := int(s.End / total * float64(width))
+	if hi >= width {
+		hi = width - 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		switch {
+		case i >= lo && i <= hi:
+			b.WriteByte('=')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

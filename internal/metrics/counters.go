@@ -1,0 +1,87 @@
+// Package metrics implements the paper's methodology: collect end-to-end
+// execution data (operator spans, per-resource usage series, engine
+// counters) and correlate the operators execution plan with resource
+// utilization. Both mini-engines update JobMetrics and Timeline while
+// running for real; the paper-scale simulator produces the same structures
+// over virtual time, so one correlation report serves both layers.
+package metrics
+
+import "sync/atomic"
+
+// JobMetrics aggregates engine counters for one job. All fields are safe
+// for concurrent update by tasks.
+type JobMetrics struct {
+	ShuffleBytesWritten atomic.Int64
+	ShuffleBytesRead    atomic.Int64
+	RemoteBytesRead     atomic.Int64
+	LocalBytesRead      atomic.Int64
+	SpillCount          atomic.Int64
+	SpillBytes          atomic.Int64
+	DiskBytesWritten    atomic.Int64
+	DiskBytesRead       atomic.Int64
+	TasksLaunched       atomic.Int64
+	Stages              atomic.Int64
+	RecordsRead         atomic.Int64
+	RecordsWritten      atomic.Int64
+	CacheHits           atomic.Int64
+	CacheMisses         atomic.Int64
+	Recomputations      atomic.Int64
+	CombineInputRecords atomic.Int64
+	CombineOutputRecs   atomic.Int64
+	SchedulingRounds    atomic.Int64
+}
+
+// CombineRatio reports the map-side combiner's reduction factor
+// (input records per output record); 1 means the combiner did nothing.
+// The paper's Word Count analysis hinges on this aggregation component.
+func (m *JobMetrics) CombineRatio() float64 {
+	in, out := m.CombineInputRecords.Load(), m.CombineOutputRecs.Load()
+	if out == 0 {
+		return 1
+	}
+	return float64(in) / float64(out)
+}
+
+// Snapshot is a plain-value copy for reports.
+type Snapshot struct {
+	ShuffleBytesWritten int64
+	ShuffleBytesRead    int64
+	RemoteBytesRead     int64
+	LocalBytesRead      int64
+	SpillCount          int64
+	SpillBytes          int64
+	DiskBytesWritten    int64
+	DiskBytesRead       int64
+	TasksLaunched       int64
+	Stages              int64
+	RecordsRead         int64
+	RecordsWritten      int64
+	CacheHits           int64
+	CacheMisses         int64
+	Recomputations      int64
+	CombineRatio        float64
+	SchedulingRounds    int64
+}
+
+// Snapshot captures the current counter values.
+func (m *JobMetrics) Snapshot() Snapshot {
+	return Snapshot{
+		ShuffleBytesWritten: m.ShuffleBytesWritten.Load(),
+		ShuffleBytesRead:    m.ShuffleBytesRead.Load(),
+		RemoteBytesRead:     m.RemoteBytesRead.Load(),
+		LocalBytesRead:      m.LocalBytesRead.Load(),
+		SpillCount:          m.SpillCount.Load(),
+		SpillBytes:          m.SpillBytes.Load(),
+		DiskBytesWritten:    m.DiskBytesWritten.Load(),
+		DiskBytesRead:       m.DiskBytesRead.Load(),
+		TasksLaunched:       m.TasksLaunched.Load(),
+		Stages:              m.Stages.Load(),
+		RecordsRead:         m.RecordsRead.Load(),
+		RecordsWritten:      m.RecordsWritten.Load(),
+		CacheHits:           m.CacheHits.Load(),
+		CacheMisses:         m.CacheMisses.Load(),
+		Recomputations:      m.Recomputations.Load(),
+		CombineRatio:        m.CombineRatio(),
+		SchedulingRounds:    m.SchedulingRounds.Load(),
+	}
+}

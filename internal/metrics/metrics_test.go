@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestJobMetricsSnapshot(t *testing.T) {
+	m := &JobMetrics{}
+	m.ShuffleBytesWritten.Add(100)
+	m.CombineInputRecords.Add(90)
+	m.CombineOutputRecs.Add(30)
+	m.Stages.Add(2)
+	s := m.Snapshot()
+	if s.ShuffleBytesWritten != 100 || s.Stages != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.CombineRatio != 3.0 {
+		t.Errorf("combine ratio = %v, want 3", s.CombineRatio)
+	}
+}
+
+func TestCombineRatioNoCombine(t *testing.T) {
+	m := &JobMetrics{}
+	if m.CombineRatio() != 1 {
+		t.Error("no combining should report ratio 1")
+	}
+}
+
+func TestJobMetricsConcurrent(t *testing.T) {
+	m := &JobMetrics{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.TasksLaunched.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.TasksLaunched.Load() != 8000 {
+		t.Errorf("tasks = %d, want 8000", m.TasksLaunched.Load())
+	}
+}
+
+func TestTimelineSpans(t *testing.T) {
+	tl := NewTimeline()
+	end := tl.StartSpan("stage1")
+	end()
+	tl.AddSpan("stage2", 10, 20)
+	spans := tl.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[1].Label != "stage2" || spans[1].Duration() != 10 {
+		t.Errorf("span = %+v", spans[1])
+	}
+	start, endT := tl.MakeSpan()
+	if start > 0.001 || endT != 20 {
+		t.Errorf("extent = %v..%v", start, endT)
+	}
+	if !strings.Contains(tl.String(), "stage2") {
+		t.Error("String() missing span")
+	}
+}
+
+func TestTimelineEmptyExtent(t *testing.T) {
+	tl := NewTimeline()
+	s, e := tl.MakeSpan()
+	if s != 0 || e != 0 {
+		t.Error("empty timeline extent should be 0,0")
+	}
+}
+
+func TestCorrelationRender(t *testing.T) {
+	tl := NewTimeline()
+	tl.AddSpan("DC=DataSource->FlatMap->GroupCombine", 0, 500)
+	tl.AddSpan("DS=DataSink", 500, 540)
+	cpu := &stats.StepSeries{}
+	cpu.Add(0, 80)
+	cpu.Add(540, 0)
+	c := &Correlation{
+		Framework: "flink",
+		Workload:  "WordCount",
+		TotalTime: 540,
+		Timeline:  tl,
+		Usage:     ResourceUsage{CPUPercent: cpu},
+	}
+	out := c.Render(40)
+	for _, frag := range []string{"flink/WordCount", "540 seconds", "DC=", "CPU %"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// The DC span bar should be much longer than the DS bar.
+	lines := strings.Split(out, "\n")
+	var dcBar, dsBar int
+	for _, l := range lines {
+		if strings.Contains(l, "DC=") {
+			dcBar = strings.Count(l, "=") - 1 // minus the label's '='
+		}
+		if strings.Contains(l, "DS=") {
+			dsBar = strings.Count(l, "=")
+		}
+	}
+	if dcBar <= dsBar {
+		t.Errorf("span bars out of proportion: DC=%d DS=%d", dcBar, dsBar)
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one operator's execution interval, in seconds relative to job
+// start. Real runs fill it from wall-clock time; simulated runs from
+// virtual time.
+type Span struct {
+	Label string
+	Start float64
+	End   float64
+}
+
+// Duration returns the span length in seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Timeline records operator spans for one job, the left-hand side of the
+// paper's correlation figures (e.g. "DC=DataSource->FlatMap->GroupCombine
+// runs 0..538.7s").
+type Timeline struct {
+	mu     sync.Mutex
+	origin time.Time
+	spans  []Span
+}
+
+// NewTimeline starts a wall-clock timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{origin: time.Now()}
+}
+
+// StartSpan opens a span at the current wall-clock offset and returns a
+// function that closes it.
+func (t *Timeline) StartSpan(label string) (end func()) {
+	t.mu.Lock()
+	start := time.Since(t.origin).Seconds()
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{Label: label, Start: start, End: start})
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		t.spans[idx].End = time.Since(t.origin).Seconds()
+		t.mu.Unlock()
+	}
+}
+
+// AddSpan records an externally timed span (used by the simulator, whose
+// clock is virtual).
+func (t *Timeline) AddSpan(label string, start, end float64) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Label: label, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy sorted by start time (ties by label).
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// MakeSpan returns the total extent (earliest start to latest end).
+func (t *Timeline) MakeSpan() (start, end float64) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	start = spans[0].Start
+	end = spans[0].End
+	for _, s := range spans {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return start, end
+}
+
+// String renders the spans in the caption style of the paper's figures.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, s := range t.Spans() {
+		fmt.Fprintf(&b, "%-42s %8.1fs .. %8.1fs (%.1fs)\n", s.Label, s.Start, s.End, s.Duration())
+	}
+	return b.String()
+}

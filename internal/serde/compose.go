@@ -1,0 +1,96 @@
+package serde
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// PairCodec composes key and value codecs into a codec for core.Pair. The
+// style contributes the per-record tuple overhead (Java writes a tuple
+// descriptor, Kryo a tag, TypeInfo nothing — the schema is implied).
+func PairCodec[K comparable, V any](s Style, kc Codec[K], vc Codec[V]) Codec[core.Pair[K, V]] {
+	base := Codec[core.Pair[K, V]]{
+		Enc: func(dst []byte, p core.Pair[K, V]) []byte {
+			dst = kc.Enc(dst, p.Key)
+			return vc.Enc(dst, p.Value)
+		},
+		Dec: func(src []byte) (core.Pair[K, V], int, error) {
+			var zero core.Pair[K, V]
+			k, n, err := kc.Dec(src)
+			if err != nil {
+				return zero, 0, err
+			}
+			v, m, err := vc.Dec(src[n:])
+			if err != nil {
+				return zero, 0, err
+			}
+			return core.Pair[K, V]{Key: k, Value: v}, n + m, nil
+		},
+	}
+	return wrap(s, "scala.Tuple2", tagPair, base)
+}
+
+// SliceCodec composes an element codec into a codec for slices.
+func SliceCodec[T any](s Style, ec Codec[T]) Codec[[]T] {
+	base := Codec[[]T]{
+		Enc: func(dst []byte, vs []T) []byte {
+			dst = binary.AppendUvarint(dst, uint64(len(vs)))
+			for _, v := range vs {
+				dst = ec.Enc(dst, v)
+			}
+			return dst
+		},
+		Dec: func(src []byte) ([]T, int, error) {
+			l, n := binary.Uvarint(src)
+			if n <= 0 {
+				return nil, 0, ErrShortBuffer
+			}
+			out := make([]T, 0, l)
+			off := n
+			for i := uint64(0); i < l; i++ {
+				v, m, err := ec.Dec(src[off:])
+				if err != nil {
+					return nil, 0, err
+				}
+				out = append(out, v)
+				off += m
+			}
+			return out, off, nil
+		},
+	}
+	return wrap(s, "java.util.ArrayList", tagSlice, base)
+}
+
+// FixedCodec builds a codec for fixed-width binary records given explicit
+// field encoders; used for TeraSort's 100-byte records where the TypeInfo
+// style stores the 10-byte key first so sorting can compare raw bytes
+// (the paper's OptimizedText format).
+func FixedCodec[T any](s Style, typeName string, width int,
+	put func(dst []byte, v T), get func(src []byte) T) Codec[T] {
+	base := Codec[T]{
+		Enc: func(dst []byte, v T) []byte {
+			off := len(dst)
+			for i := 0; i < width; i++ {
+				dst = append(dst, 0)
+			}
+			put(dst[off:off+width], v)
+			return dst
+		},
+		Dec: func(src []byte) (T, int, error) {
+			var zero T
+			if len(src) < width {
+				return zero, 0, ErrShortBuffer
+			}
+			return get(src[:width]), width, nil
+		},
+	}
+	return wrap(s, typeName, tagBytes, base)
+}
+
+// NormalizedKeyer extracts a fixed-width binary sort prefix from a value.
+// Prefixes order the same way as the logical keys, so sorters can compare
+// records with bytes.Compare and no deserialization — Flink's normalized
+// key optimization that the paper credits for the efficient sort-based
+// aggregation component.
+type NormalizedKeyer[T any] func(v T, dst []byte) int

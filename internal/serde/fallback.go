@@ -1,0 +1,43 @@
+package serde
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+)
+
+// GobCodec is the generic fallback for types without a schema codec: each
+// record is encoded by a fresh gob stream, so type information is re-sent
+// every time. This is intentionally the behaviour of Java serialization —
+// generic, correct and slow — and a deliberately expensive path for the
+// other styles, visible in benchmarks exactly as the paper describes the
+// Kryo-vs-Java trade-off.
+func GobCodec[T any](s Style) Codec[T] {
+	var zero T
+	base := Codec[T]{
+		Enc: func(dst []byte, v T) []byte {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+				// Encoding a value we produced ourselves cannot fail
+				// unless the type is unsupported (e.g. contains funcs);
+				// that is a programming error, not a runtime condition.
+				panic(fmt.Sprintf("serde: gob encode %T: %v", v, err))
+			}
+			dst = binary.AppendUvarint(dst, uint64(buf.Len()))
+			return append(dst, buf.Bytes()...)
+		},
+		Dec: func(src []byte) (T, int, error) {
+			var v T
+			l, n := binary.Uvarint(src)
+			if n <= 0 || uint64(len(src)-n) < l {
+				return v, 0, ErrShortBuffer
+			}
+			if err := gob.NewDecoder(bytes.NewReader(src[n : n+int(l)])).Decode(&v); err != nil {
+				return v, 0, fmt.Errorf("serde: gob decode: %w", err)
+			}
+			return v, n + int(l), nil
+		},
+	}
+	return wrap(s, fmt.Sprintf("%T", zero), tagGob, base)
+}

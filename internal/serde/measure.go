@@ -1,0 +1,36 @@
+package serde
+
+import "time"
+
+// Profile reports measured serialization characteristics of a codec over a
+// sample: average encoded bytes per record and average encode+decode
+// nanoseconds per record. The sim package's calibration uses Profile to
+// derive the relative costs of the Java, Kryo and TypeInfo strategies from
+// this machine rather than from guessed constants.
+type Profile struct {
+	BytesPerRecord float64
+	NsPerRecord    float64
+}
+
+// Measure profiles a codec by encoding and decoding the sample `rounds`
+// times. The sample must round-trip cleanly; Measure panics otherwise so a
+// broken codec cannot silently calibrate the simulator.
+func Measure[T any](c Codec[T], sample []T, rounds int) Profile {
+	if len(sample) == 0 || rounds <= 0 {
+		return Profile{}
+	}
+	var encoded []byte
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		encoded = EncodeAll(c, encoded[:0], sample)
+		if _, err := DecodeAll(c, encoded); err != nil {
+			panic("serde: Measure sample does not round-trip: " + err.Error())
+		}
+	}
+	elapsed := time.Since(start)
+	n := float64(len(sample) * rounds)
+	return Profile{
+		BytesPerRecord: float64(len(encoded)) / float64(len(sample)),
+		NsPerRecord:    float64(elapsed.Nanoseconds()) / n,
+	}
+}

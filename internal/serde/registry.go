@@ -1,0 +1,52 @@
+package serde
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// registry maps a concrete type to per-style codec constructors added with
+// Register. It lets workload packages teach the engines to serialize their
+// record types efficiently — the analogue of registering classes with Kryo
+// or of Flink extracting TypeInformation.
+var registry sync.Map // reflect.Type → func(Style) any
+
+// Register installs a codec constructor for T. Later Of[T] calls use it for
+// every style. Registering a type twice replaces the previous constructor.
+func Register[T any](make func(Style) Codec[T]) {
+	registry.Store(reflect.TypeFor[T](), func(s Style) any { return make(s) })
+}
+
+// Of returns the codec for T under the given style: a registered
+// constructor if present, a fast schema codec for the built-in types, and
+// otherwise the reflective gob fallback — generic, correct and slow,
+// exactly the trade-off the paper describes for Java serialization.
+func Of[T any](style Style) Codec[T] {
+	if mk, ok := registry.Load(reflect.TypeFor[T]()); ok {
+		return mk.(func(Style) any)(style).(Codec[T])
+	}
+	var zero T
+	switch any(zero).(type) {
+	case string:
+		return any(StringCodec(style)).(Codec[T])
+	case []byte:
+		return any(BytesCodec(style)).(Codec[T])
+	case int64:
+		return any(Int64Codec(style)).(Codec[T])
+	case int:
+		return any(IntCodec(style)).(Codec[T])
+	case float64:
+		return any(Float64Codec(style)).(Codec[T])
+	case bool:
+		return any(BoolCodec(style)).(Codec[T])
+	}
+	return GobCodec[T](style)
+}
+
+// OfPair returns the codec for core.Pair[K,V] composed from Of[K] and
+// Of[V]; the engines' shuffle paths use it for every keyed exchange.
+func OfPair[K comparable, V any](style Style) Codec[core.Pair[K, V]] {
+	return PairCodec(style, Of[K](style), Of[V](style))
+}

@@ -1,0 +1,95 @@
+// Package serde implements the three serialization strategies the paper
+// contrasts (Section IV-D):
+//
+//   - Java: Spark's default. Generic and reflective; every record carries a
+//     type descriptor and object header, making it verbose and slow.
+//   - Kryo: Spark's opt-in library serializer. Registered classes shrink the
+//     per-record overhead to a small tag.
+//   - TypeInfo: Flink's approach. The engine peeks into the data types up
+//     front, so records are encoded schema-first with no per-record
+//     overhead, and sort keys can be compared in binary form without
+//     deserialization (the paper's OptimizedText trick for Tera Sort).
+//
+// Codecs operate on concrete Go types; composite codecs (pairs, slices) are
+// built by composition. Types without a fast path fall back to encoding/gob
+// per record — which is exactly the "generic and slow" behaviour the Java
+// strategy models, and a measurable penalty for the other two.
+package serde
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Style selects one of the three serialization strategies.
+type Style int
+
+// Serialization strategies.
+const (
+	Java Style = iota
+	Kryo
+	TypeInfo
+)
+
+// ParseStyle maps configuration strings ("java", "kryo", "typeinfo") to a
+// Style, defaulting to Java like Spark does.
+func ParseStyle(s string) Style {
+	switch s {
+	case "kryo":
+		return Kryo
+	case "typeinfo", "flink":
+		return TypeInfo
+	default:
+		return Java
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case Java:
+		return "java"
+	case Kryo:
+		return "kryo"
+	case TypeInfo:
+		return "typeinfo"
+	}
+	return fmt.Sprintf("style(%d)", int(s))
+}
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("serde: short buffer")
+
+// Codec encodes and decodes values of one concrete type. Enc appends the
+// encoding of v to dst and returns the extended slice; Dec decodes one value
+// from the front of src and reports the number of bytes consumed.
+type Codec[T any] struct {
+	Enc func(dst []byte, v T) []byte
+	Dec func(src []byte) (T, int, error)
+}
+
+// EncodeAll encodes every value back to back, the layout of a shuffle
+// block or spill file.
+func EncodeAll[T any](c Codec[T], dst []byte, vs []T) []byte {
+	for _, v := range vs {
+		dst = c.Enc(dst, v)
+	}
+	return dst
+}
+
+// DecodeAll decodes the whole buffer back into values.
+func DecodeAll[T any](c Codec[T], src []byte) ([]T, error) {
+	var out []T
+	for len(src) > 0 {
+		v, n, err := c.Dec(src)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, errors.New("serde: decoder made no progress")
+		}
+		out = append(out, v)
+		src = src[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memory"
+)
+
+// WordCountJob simulates the paper's Word Count at cluster scale.
+type WordCountJob struct {
+	TotalBytes core.ByteSize
+}
+
+// Name implements Job.
+func (WordCountJob) Name() string { return "WordCount" }
+
+// Run implements Job.
+func (j WordCountJob) Run(p Params) Result {
+	r := newRun(p, j.Name())
+	perNodeMiB := float64(j.TotalBytes) / float64(p.Spec.Nodes) / (1 << 20)
+	shuffleMiB := perNodeMiB * wcShuffleFrac
+	outMiB := perNodeMiB * wcOutputFrac
+	remote := 1 - 1/float64(p.Spec.Nodes)
+
+	if p.Engine == Flink {
+		j.runFlink(r, perNodeMiB, shuffleMiB, outMiB, remote)
+	} else {
+		j.runSpark(r, perNodeMiB, shuffleMiB, outMiB, remote)
+	}
+	return r.finish(nil)
+}
+
+// runFlink: one pipelined job. The source chain alternates disk reads and
+// combine CPU (the sort-based combiner's anti-cyclic pattern); each round
+// feeds the GroupReduce side, which runs concurrently with production; the
+// sink writes once a node's reduction drains. Three overlapping timeline
+// spans reproduce Figure 3's DC/GR/DS rows.
+func (j WordCountJob) runFlink(r *run, perNodeMiB, shuffleMiB, outMiB, remote float64) {
+	spec := r.p.Spec
+	cores := float64(spec.CoresPerNode)
+	mapCPU := perNodeMiB * wcMapCPUFlink * (1 + flinkGraphGCPressure*memory.GCPressureAt(sparkBatchOccupancy))
+	redCPU := perNodeMiB * wcReduceCPU
+
+	var dcEnd, grEnd, dsEnd func()
+	r.span("DC=DataSource->FlatMap->GroupCombine", func(d func()) { dcEnd = d }, nil)
+	r.span("GR=GroupReduce", func(d func()) { grEnd = d }, nil)
+	r.span("DS=DataSink", func(d func()) { dsEnd = d }, nil)
+
+	producers := des.NewCounter(spec.Nodes, dcEnd)
+	reducers := des.NewCounter(spec.Nodes, grEnd)
+	sinks := des.NewCounter(spec.Nodes, dsEnd)
+
+	for n := range r.nodes {
+		n := n
+		// Memory ramps modestly (fig 3: "growing linearly up to 30%").
+		r.nodes[n].UseMem(0.3 * float64(spec.MemPerNode) * 0.1)
+		// Reducer side: K contributions, then this node's sink write.
+		nodeRed := des.NewCounter(pipelineRounds, func() {
+			reducers.Done()
+			des.Seq([]des.Step{r.diskWrite(n, outMiB*(1<<20))}, sinks.Done)
+		})
+		var steps []des.Step
+		steps = append(steps, r.hold(flinkDeployDelay))
+		for k := 0; k < pipelineRounds; k++ {
+			steps = append(steps,
+				r.diskRead(n, perNodeMiB/pipelineRounds*(1<<20)),
+				r.cpu(n, mapCPU/pipelineRounds, cores),
+				func(stepDone func()) {
+					// Hand the round's combined output to the reduce side
+					// without blocking the producer (pipelining).
+					des.Seq([]des.Step{
+						r.net(n, shuffleMiB/pipelineRounds*remote*(1<<20), int(cores)),
+						r.cpu(n, redCPU/pipelineRounds, cores),
+					}, nodeRed.Done)
+					stepDone()
+				},
+			)
+		}
+		des.Seq(steps, producers.Done)
+	}
+}
+
+// runSpark: two stages with a barrier. Stage 1 overlaps disk reads and map
+// CPU across task waves, then writes shuffle files; stage 2 fetches,
+// merges and saves.
+func (j WordCountJob) runSpark(r *run, perNodeMiB, shuffleMiB, outMiB, remote float64) {
+	spec := r.p.Spec
+	cores := float64(spec.CoresPerNode)
+	parallelism := sparkParallelism(r.p)
+	tasksPerNode := float64(parallelism) / float64(spec.Nodes)
+	penalty := parallelismPenalty(tasksPerNode / cores)
+	gc := 1 + memory.GCPressureAt(sparkBatchOccupancy)
+	bytesF := bytesFactorJava
+	if r.serdeFactor() == serdeFactorKryo {
+		bytesF = bytesFactorKryo
+	}
+	mapCPU := perNodeMiB*wcMapCPUSpark*gc*penalty*(r.serdeFactor()/serdeFactorJava) +
+		tasksPerNode*sparkTaskOverhead
+	redCPU := perNodeMiB * wcReduceCPU * r.serdeFactor() * gc
+
+	stage2 := func() {
+		r.span("S2=ReduceByKey->SaveAsTextFile", func(spanDone func()) {
+			barrier := des.NewCounter(spec.Nodes, spanDone)
+			for n := range r.nodes {
+				des.Seq([]des.Step{
+					r.hold(sparkStageLatency),
+					r.net(n, shuffleMiB*remote*bytesF*(1<<20), int(cores)),
+					r.cpu(n, redCPU, cores),
+					r.diskWrite(n, outMiB*bytesF*(1<<20)),
+				}, barrier.Done)
+			}
+		}, nil)
+	}
+	r.span("S1=FlatMap->MapToPair (map side)", func(spanDone func()) {
+		barrier := des.NewCounter(spec.Nodes, func() { spanDone(); stage2() })
+		for n := range r.nodes {
+			n := n
+			r.nodes[n].UseMem(0.3 * float64(spec.MemPerNode) * 0.1)
+			des.Seq([]des.Step{
+				func(done func()) {
+					des.Par([]des.Step{
+						r.diskRead(n, perNodeMiB*(1<<20)),
+						r.cpu(n, mapCPU, cores),
+					}, done)
+				},
+				r.diskWrite(n, shuffleMiB*bytesF*(1<<20)),
+			}, barrier.Done)
+		}
+	}, nil)
+}
+
+// GrepJob simulates the paper's Grep at cluster scale.
+type GrepJob struct {
+	TotalBytes  core.ByteSize
+	Selectivity float64 // fraction of input that matches
+}
+
+// Name implements Job.
+func (GrepJob) Name() string { return "Grep" }
+
+// Run implements Job.
+func (j GrepJob) Run(p Params) Result {
+	r := newRun(p, j.Name())
+	perNodeMiB := float64(j.TotalBytes) / float64(p.Spec.Nodes) / (1 << 20)
+	sel := j.Selectivity
+	if sel <= 0 {
+		sel = 0.10
+	}
+	cores := float64(p.Spec.CoresPerNode)
+
+	if p.Engine == Flink {
+		// Pipelined scan: reads of round k+1 overlap the filter CPU of
+		// round k; then the count sink collapses parallelism (the paper's
+		// "inefficient use of the resources in the latter phase").
+		scanCPU := perNodeMiB * grepCPUFlink
+		r.span("DM=DataSource->Filter->FlatMap | DS=DataSink(count)", func(spanDone func()) {
+			barrier := des.NewCounter(p.Spec.Nodes, spanDone)
+			for n := range r.nodes {
+				n := n
+				var steps []des.Step
+				steps = append(steps, r.hold(flinkDeployDelay))
+				for k := 0; k < pipelineRounds; k++ {
+					k := k
+					steps = append(steps, func(done func()) {
+						des.Par([]des.Step{
+							r.diskRead(n, perNodeMiB/pipelineRounds*(1<<20)),
+							func(d func()) {
+								if k == 0 {
+									d() // first round has nothing to overlap
+									return
+								}
+								r.cpu(n, scanCPU/pipelineRounds, cores)(d)
+							},
+						}, done)
+					})
+				}
+				steps = append(steps,
+					r.cpu(n, scanCPU/pipelineRounds, cores), // last round's CPU
+					// Count sink: near-single-threaded merge over matches.
+					r.cpu(n, perNodeMiB*sel*grepFlinkCountCPU, 1),
+				)
+				des.Seq(steps, barrier.Done)
+			}
+		}, nil)
+		return r.finish(nil)
+	}
+
+	// Spark: one stage, read and filter overlapped across task waves, count
+	// merged on the driver for free.
+	parallelism := sparkParallelism(p)
+	tasksPerNode := float64(parallelism) / float64(p.Spec.Nodes)
+	penalty := parallelismPenalty(tasksPerNode / cores)
+	gc := 1 + memory.GCPressureAt(sparkBatchOccupancy)
+	scanCPU := perNodeMiB*grepCPUSpark*gc*penalty + tasksPerNode*sparkTaskOverhead
+	r.span("FC=Filter->Count", func(spanDone func()) {
+		barrier := des.NewCounter(p.Spec.Nodes, spanDone)
+		for n := range r.nodes {
+			n := n
+			des.Seq([]des.Step{
+				r.hold(sparkStageLatency),
+				func(done func()) {
+					des.Par([]des.Step{
+						r.diskRead(n, perNodeMiB*(1<<20)),
+						r.cpu(n, scanCPU, cores),
+					}, done)
+				},
+			}, barrier.Done)
+		}
+	}, nil)
+	return r.finish(nil)
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// TestFig16Mechanisms asserts the paper's resource-usage claims for Page
+// Rank iterations: "Spark is using disks during iterations in order to
+// materialize intermediate ranks. We observe that the memory increases
+// from one iteration to another. In Flink, there is no disk usage during
+// iterations with Page Rank; the memory remains constant."
+func TestFig16Mechanisms(t *testing.T) {
+	job := GraphJob{Algo: PageRank, Graph: datagen.SmallGraph, SizeBytes: 14029 * core.MB, Iterations: 20}
+	edit := func(c *core.Config) {
+		c.SetBytes(core.SparkExecutorMemory, 96*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 18*core.GB)
+	}
+	s := job.Run(params(Spark, 27, edit))
+	f := job.Run(params(Flink, 27, edit))
+	if s.Err != nil || f.Err != nil {
+		t.Fatalf("runs failed: %v / %v", s.Err, f.Err)
+	}
+	// Iteration windows (after load).
+	sIterStart := s.Seconds - s.IterSeconds
+	fIterStart := f.Seconds - f.IterSeconds
+
+	// Spark writes ranks to disk during iterations; Flink does not.
+	sparkIterIO := s.Corr.Usage.DiskIOMiBps.Avg(sIterStart+5, s.Seconds)
+	flinkIterIO := f.Corr.Usage.DiskIOMiBps.Avg(fIterStart+5, f.Seconds)
+	if sparkIterIO <= 0.1 {
+		t.Errorf("spark PR iterations should touch disk (materialized ranks), avg %.2f MiB/s", sparkIterIO)
+	}
+	if flinkIterIO > 0.1 {
+		t.Errorf("flink PR iterations must not touch disk, avg %.2f MiB/s", flinkIterIO)
+	}
+	// Spark memory grows across supersteps; Flink memory stays flat.
+	sparkMemEarly := s.Corr.Usage.MemPercent.At(sIterStart + 1)
+	sparkMemLate := s.Corr.Usage.MemPercent.At(s.Seconds - 1)
+	if sparkMemLate <= sparkMemEarly {
+		t.Errorf("spark memory should grow during iterations: %.2f%% → %.2f%%", sparkMemEarly, sparkMemLate)
+	}
+	flinkMemEarly := f.Corr.Usage.MemPercent.At(fIterStart + 1)
+	flinkMemLate := f.Corr.Usage.MemPercent.At(f.Seconds - 1)
+	if flinkMemLate > flinkMemEarly+0.01 {
+		t.Errorf("flink memory should stay constant during iterations: %.2f%% → %.2f%%", flinkMemEarly, flinkMemLate)
+	}
+	// Both: load is disk-active, iterations are network-active.
+	sparkLoadNet := s.Corr.Usage.NetIOMiBps.Avg(2, s.LoadSeconds)
+	sparkIterNet := s.Corr.Usage.NetIOMiBps.Avg(sIterStart, s.Seconds)
+	if sparkIterNet <= sparkLoadNet*0.1 {
+		t.Errorf("spark iterations should be network-active: load %.1f vs iter %.1f MiB/s", sparkLoadNet, sparkIterNet)
+	}
+}
+
+// TestFig17DeltaShrinks asserts that Flink's delta-iteration supersteps
+// shrink (the workset drains): the whole 23-superstep delta phase must
+// cost far less than 23 full supersteps (the bulk variant), and less than
+// four full supersteps (Σ 0.55^k ≈ 2.2).
+func TestFig17DeltaShrinks(t *testing.T) {
+	base := GraphJob{Algo: ConnComp, Graph: datagen.MediumGraph, SizeBytes: 30822 * core.MB, Iterations: 23}
+	edit := func(c *core.Config) { c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB) }
+	delta := base.Run(params(Flink, 27, edit))
+	bulkJob := base
+	bulkJob.BulkCC = true
+	bulk := bulkJob.Run(params(Flink, 27, edit))
+	if delta.Err != nil || bulk.Err != nil {
+		t.Fatalf("runs failed: %v / %v", delta.Err, bulk.Err)
+	}
+	perBulkSuperstep := bulk.IterSeconds / 23
+	if delta.IterSeconds > 4*perBulkSuperstep {
+		t.Errorf("delta iterations (%.0f s) should cost under ~4 full supersteps (%.0f s each): the workset drains",
+			delta.IterSeconds, perBulkSuperstep)
+	}
+}
+
+// TestGrepCrossoverSmallClusters reproduces fig 4's small-cluster regime:
+// the paper shows similar times at 2-8 nodes and Spark pulling ahead only
+// at 16-32; our model keeps the gap at small clusters under the
+// large-cluster gap.
+func TestGrepCrossoverSmallClusters(t *testing.T) {
+	gap := func(nodes int) float64 {
+		job := GrepJob{TotalBytes: core.ByteSize(nodes) * 24 * core.GB, Selectivity: 0.1}
+		s := job.Run(params(Spark, nodes, nil)).Seconds
+		f := job.Run(params(Flink, nodes, nil)).Seconds
+		return (f - s) / s
+	}
+	if g2, g32 := gap(2), gap(32); g32 <= g2*0.9 {
+		t.Errorf("spark's grep advantage should not shrink with scale: %.1f%% @2n vs %.1f%% @32n", g2*100, g32*100)
+	}
+}
+
+// TestWeakScalingTeraSort verifies fig 7's premise: with 32 GB per node,
+// time stays near-constant as nodes grow.
+func TestWeakScalingTeraSort(t *testing.T) {
+	var prev float64
+	for _, n := range []int{17, 34, 63} {
+		job := TeraSortJob{TotalBytes: core.ByteSize(n) * 32 * core.GB}
+		f := job.Run(params(Flink, n, nil)).Seconds
+		if prev > 0 && (f > prev*1.15 || f < prev*0.85) {
+			t.Errorf("weak scaling drifted at %d nodes: %.0f vs %.0f", n, f, prev)
+		}
+		prev = f
+	}
+}
+
+// TestKryoImprovesSparkWordCount: Section IV-D's trade — Kryo is "more
+// efficient, trading speed for CPU cycles" — must show up as a clear
+// improvement over the Java default. (The paper ran its WC experiments
+// with the Java serializer; whether Kryo would flip the WC verdict is a
+// model prediction, not a paper claim, so only the direction is asserted.)
+func TestKryoImprovesSparkWordCount(t *testing.T) {
+	kryo := func(c *core.Config) { c.Set(core.SparkSerializer, "kryo") }
+	job := WordCountJob{TotalBytes: 768 * core.GB}
+	sparkJava := job.Run(params(Spark, 32, nil)).Seconds
+	sparkKryo := job.Run(params(Spark, 32, kryo)).Seconds
+	if sparkKryo >= sparkJava*0.97 {
+		t.Errorf("kryo (%.0f) should clearly improve on java (%.0f)", sparkKryo, sparkJava)
+	}
+}

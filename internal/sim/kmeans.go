@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memory"
+)
+
+// KMeansJob simulates the paper's K-Means at cluster scale (51 GB,
+// 1.2 billion 2-D samples, 10 iterations in Figure 10/11).
+type KMeansJob struct {
+	TotalBytes core.ByteSize
+	Iterations int
+}
+
+// Name implements Job.
+func (KMeansJob) Name() string { return "KMeans" }
+
+// Run implements Job.
+func (j KMeansJob) Run(p Params) Result {
+	r := newRun(p, j.Name())
+	perNodeMiB := float64(j.TotalBytes) / float64(p.Spec.Nodes) / (1 << 20)
+	iters := j.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	cores := float64(p.Spec.CoresPerNode)
+	nodes := p.Spec.Nodes
+
+	if p.Engine == Flink {
+		// Load: pipelined read + parse (points become the loop-invariant
+		// cached input of the bulk iteration).
+		loadCPU := perNodeMiB * kmParseCPU
+		iterCPU := perNodeMiB * kmIterCPU
+		r.span("DM=DataSource->Map (load points)", func(spanDone func()) {
+			barrier := des.NewCounter(nodes, func() {
+				spanDone()
+				// SBI: all supersteps inside one scheduled dataflow.
+				r.span(fmt.Sprintf("SBI=Sync Bulk Iteration ×%d", iters), func(iterDone func()) {
+					runSupersteps(r, iters, func(it int, stepDone func()) {
+						b := des.NewCounter(nodes, stepDone)
+						for n := range r.nodes {
+							des.Seq([]des.Step{
+								r.cpu(n, iterCPU, cores),
+								// Reduce + broadcast of the tiny centers.
+								r.net(n, 64*1024, 1),
+							}, b.Done)
+						}
+					}, iterDone)
+				}, nil)
+			})
+			for n := range r.nodes {
+				n := n
+				r.nodes[n].UseMem(0.1 * float64(p.Spec.MemPerNode) * 0.1)
+				// The chained source alternates reads with parse/cache CPU
+				// (the same buffer-stall pattern as the WC combiner), so
+				// disk and CPU serialize.
+				des.Seq([]des.Step{
+					r.hold(flinkDeployDelay),
+					r.diskRead(n, perNodeMiB*(1<<20)),
+					r.cpu(n, loadCPU, cores),
+				}, barrier.Done)
+			}
+		}, nil)
+		return r.finish(nil)
+	}
+
+	// Spark: the first job loads and caches the points; every iteration is
+	// a fresh two-stage job (map → reduceByKey → collectAsMap), paying
+	// scheduling latency per stage — Figure 10's repeating M/C span pairs.
+	gc := 1 + memory.GCPressureAt(sparkBatchOccupancy)
+	loadCPU := perNodeMiB * kmParseCPU * kmSparkLoadFactor * gc
+	iterCPU := perNodeMiB * kmIterCPU * kmSparkIterFactor * gc
+	r.span("M+C=first iteration (load+cache)", func(spanDone func()) {
+		barrier := des.NewCounter(nodes, func() {
+			spanDone()
+			runSupersteps(r, iters, func(it int, stepDone func()) {
+				r.span(fmt.Sprintf("MC=map->collectAsMap #%d", it+1), func(d func()) {
+					b := des.NewCounter(nodes, d)
+					for n := range r.nodes {
+						des.Seq([]des.Step{
+							r.hold(2 * sparkStageLatency), // two stages per iteration
+							r.cpu(n, iterCPU, cores),
+							r.net(n, 64*1024, 1),
+						}, b.Done)
+					}
+				}, stepDone)
+			}, nil)
+		})
+		for n := range r.nodes {
+			n := n
+			r.nodes[n].UseMem(0.15 * float64(p.Spec.MemPerNode) * 0.1)
+			des.Seq([]des.Step{
+				r.hold(2 * sparkStageLatency),
+				func(done func()) {
+					des.Par([]des.Step{
+						r.diskRead(n, perNodeMiB*(1<<20)),
+						r.cpu(n, loadCPU, cores),
+					}, done)
+				},
+			}, barrier.Done)
+		}
+	}, nil)
+	return r.finish(nil)
+}
+
+// runSupersteps drives `iters` sequential rounds of body, then done.
+func runSupersteps(r *run, iters int, body func(it int, stepDone func()), done func()) {
+	var next func(it int)
+	next = func(it int) {
+		if it >= iters {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		body(it, func() { next(it + 1) })
+	}
+	next(0)
+}

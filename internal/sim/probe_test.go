@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// TestProbeAnchors prints the simulated times for every paper anchor; it
+// never fails and exists to drive calibration (run with -v).
+func TestProbeAnchors(t *testing.T) {
+	show := func(name string, job Job, nodes int, conf func(*core.Config)) {
+		c := core.NewConfig()
+		if conf != nil {
+			conf(c)
+		}
+		p := Params{Spec: cluster.Grid5000(nodes), Conf: c}
+		p.Engine = Spark
+		rs := job.Run(p)
+		p.Engine = Flink
+		rf := job.Run(p)
+		errStr := func(r Result) string {
+			if r.Err != nil {
+				return "FAIL"
+			}
+			return fmt.Sprintf("%.0f (load %.0f iter %.0f)", r.Seconds, r.LoadSeconds, r.IterSeconds)
+		}
+		t.Logf("%-28s spark=%-26s flink=%-26s", name, errStr(rs), errStr(rf))
+	}
+
+	show("WC 32n 768GB (572/543)", WordCountJob{TotalBytes: 768 * core.GB}, 32, func(c *core.Config) {
+		c.SetInt(core.SparkDefaultParallelism, 1024)
+		c.SetInt(core.FlinkDefaultParallelism, 512)
+	})
+	show("Grep 32n 768GB (275/331)", GrepJob{TotalBytes: 768 * core.GB, Selectivity: 0.1}, 32, func(c *core.Config) {
+		c.SetInt(core.SparkDefaultParallelism, 1024)
+	})
+	show("TS 55n 3.5TB (5079/4669)", TeraSortJob{TotalBytes: 3584 * core.GB}, 55, func(c *core.Config) {
+		c.SetInt(core.SparkDefaultParallelism, 1760)
+		c.SetInt(core.FlinkDefaultParallelism, 475)
+	})
+	show("KM 24n 51GB (278/244)", KMeansJob{TotalBytes: 51 * core.GB, Iterations: 10}, 24, func(c *core.Config) {
+		c.SetInt(core.SparkDefaultParallelism, 24*16*2)
+	})
+	show("PR small 27n (232/192)", GraphJob{
+		Algo: PageRank, Graph: datagen.SmallGraph,
+		SizeBytes: 14029 * core.MB, Iterations: 20,
+	}, 27, func(c *core.Config) {
+		c.SetBytes(core.SparkExecutorMemory, 96*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 18*core.GB)
+		c.SetInt(core.SparkEdgePartitions, 27*16)
+	})
+	show("CC medium 27n (388/267)", GraphJob{
+		Algo: ConnComp, Graph: datagen.MediumGraph,
+		SizeBytes: 30822 * core.MB, Iterations: 23,
+	}, 27, func(c *core.Config) {
+		c.SetBytes(core.SparkExecutorMemory, 96*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 18*core.GB)
+		c.SetInt(core.SparkEdgePartitions, 256)
+	})
+	show("PR large 97n (tab7: S 418+596 F 1096+645)", GraphJob{
+		Algo: PageRank, Graph: datagen.LargeGraph,
+		SizeBytes: 1229 * core.GB, Iterations: 5,
+	}, 97, func(c *core.Config) {
+		c.SetBytes(core.SparkExecutorMemory, 62*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB)
+		c.SetInt(core.SparkEdgePartitions, 97*16*2)
+		c.SetInt(core.FlinkDefaultParallelism, 97*12)
+	})
+	show("CC large 27n (tab7: S 3717+3948 F FAIL)", GraphJob{
+		Algo: ConnComp, Graph: datagen.LargeGraph,
+		SizeBytes: 1229 * core.GB, Iterations: 10,
+	}, 27, func(c *core.Config) {
+		c.SetBytes(core.SparkExecutorMemory, 62*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB)
+		c.SetInt(core.SparkEdgePartitions, 27*16*2)
+	})
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memory"
+)
+
+// TeraSortJob simulates the paper's Tera Sort at cluster scale.
+type TeraSortJob struct {
+	TotalBytes core.ByteSize
+	// DisablePipeline is the ablation knob for the paper's central Flink
+	// claim: with it set, Flink's plan executes staged (a barrier between
+	// intake and merge, no read/compute overlap) with otherwise identical
+	// costs — isolating how much of the win the pipeline itself delivers.
+	DisablePipeline bool
+}
+
+// Name implements Job.
+func (TeraSortJob) Name() string { return "TeraSort" }
+
+// Run implements Job.
+func (j TeraSortJob) Run(p Params) Result {
+	r := newRun(p, j.Name())
+	perNodeMiB := float64(j.TotalBytes) / float64(p.Spec.Nodes) / (1 << 20)
+	remote := 1 - 1/float64(p.Spec.Nodes)
+	if p.Engine == Flink {
+		if j.DisablePipeline {
+			j.runFlinkStaged(r, perNodeMiB, remote)
+		} else {
+			j.runFlink(r, perNodeMiB, remote)
+		}
+	} else {
+		j.runSpark(r, perNodeMiB, remote)
+	}
+	return r.finish(nil)
+}
+
+// runFlinkStaged is the no-pipelining ablation: same cost constants as
+// runFlink, but map, transfer+intake, and merge run as three barriered
+// stages like Spark's model.
+func (j TeraSortJob) runFlinkStaged(r *run, perNodeMiB, remote float64) {
+	spec := r.p.Spec
+	cores := float64(spec.CoresPerNode)
+	mapCPU := perNodeMiB * tsMapCPUFlink
+	intakeCPU := perNodeMiB * tsIntakeCPUFlink
+	mergeCPU := perNodeMiB * tsMergeCPUFlink
+
+	stage3 := func() {
+		r.span("S3=Merge->DataSink (staged)", func(spanDone func()) {
+			b := des.NewCounter(spec.Nodes, spanDone)
+			for n := range r.nodes {
+				des.Seq([]des.Step{
+					r.diskRead(n, perNodeMiB*tsSpillFrac*(1<<20)),
+					r.cpu(n, mergeCPU, cores),
+					r.diskWrite(n, perNodeMiB*(1<<20)),
+				}, b.Done)
+			}
+		}, nil)
+	}
+	stage2 := func() {
+		r.span("S2=Shuffle->Intake (staged)", func(spanDone func()) {
+			b := des.NewCounter(spec.Nodes, func() { spanDone(); stage3() })
+			for n := range r.nodes {
+				des.Seq([]des.Step{
+					r.net(n, perNodeMiB*remote*(1<<20), int(cores)),
+					r.cpu(n, intakeCPU, cores),
+					r.diskWrite(n, perNodeMiB*tsSpillFrac*(1<<20)),
+				}, b.Done)
+			}
+		}, nil)
+	}
+	r.span("S1=Read->Map (staged)", func(spanDone func()) {
+		b := des.NewCounter(spec.Nodes, func() { spanDone(); stage2() })
+		for n := range r.nodes {
+			des.Seq([]des.Step{
+				r.hold(flinkDeployDelay),
+				r.diskRead(n, perNodeMiB*(1<<20)),
+				r.cpu(n, mapCPU, cores),
+			}, b.Done)
+		}
+	}, nil)
+}
+
+// runSpark: the two clearly separated stages of Figure 9 — RS (read +
+// local sort + compressed map output) with a barrier, then SSW (shuffle,
+// external merge sort with spills, write).
+func (j TeraSortJob) runSpark(r *run, perNodeMiB, remote float64) {
+	spec := r.p.Spec
+	cores := float64(spec.CoresPerNode)
+	parallelism := sparkParallelism(r.p)
+	tasksPerNode := float64(parallelism) / float64(spec.Nodes)
+	penalty := parallelismPenalty(tasksPerNode / cores)
+	gc := 1 + memory.GCPressureAt(sparkBatchOccupancy+0.2) // sort buffers press the heap
+	mapCPU := perNodeMiB*tsMapCPUSpark*gc*penalty + tasksPerNode*sparkTaskOverhead
+	redCPU := perNodeMiB * tsReduceCPUSpark * gc * penalty
+
+	stage2 := func() {
+		r.span("SSW=Shuffling->Sort->Write", func(spanDone func()) {
+			barrier := des.NewCounter(spec.Nodes, spanDone)
+			for n := range r.nodes {
+				n := n
+				des.Seq([]des.Step{
+					r.hold(sparkStageLatency),
+					func(done func()) {
+						des.Par([]des.Step{
+							r.net(n, perNodeMiB*tsSparkCompress*remote*(1<<20), int(cores)),
+							r.cpu(n, redCPU, cores),
+							// External sort: spill out and back, then the
+							// final HDFS write.
+							func(d func()) {
+								des.Seq([]des.Step{
+									r.diskWrite(n, perNodeMiB*tsSpillFrac*(1<<20)),
+									r.diskRead(n, perNodeMiB*tsSpillFrac*(1<<20)),
+									r.diskWrite(n, perNodeMiB*(1<<20)),
+								}, d)
+							},
+						}, done)
+					},
+				}, barrier.Done)
+			}
+		}, nil)
+	}
+	r.span("RS=Read->Sort", func(spanDone func()) {
+		barrier := des.NewCounter(spec.Nodes, func() { spanDone(); stage2() })
+		for n := range r.nodes {
+			n := n
+			r.nodes[n].UseMem(0.5 * float64(spec.MemPerNode) * 0.1)
+			// Task waves overlap the disk stream (read then map-output
+			// write) with the sort CPU across tasks.
+			des.Par([]des.Step{
+				func(done func()) {
+					des.Seq([]des.Step{
+						r.diskRead(n, perNodeMiB*(1<<20)),
+						r.diskWrite(n, perNodeMiB*tsSparkCompress*(1<<20)),
+					}, done)
+				},
+				r.cpu(n, mapCPU, cores),
+			}, barrier.Done)
+		}
+	}, nil)
+}
+
+// runFlink: one pipelined span (Figure 9 shows Flink in a single stage):
+// reads and map CPU overlap in rounds, transfers and sorter intake run
+// concurrently; when intake ends, the external merge (spill reads + CPU)
+// and the sink write follow.
+func (j TeraSortJob) runFlink(r *run, perNodeMiB, remote float64) {
+	spec := r.p.Spec
+	cores := float64(spec.CoresPerNode)
+	mapCPU := perNodeMiB * tsMapCPUFlink
+	intakeCPU := perNodeMiB * tsIntakeCPUFlink
+	mergeCPU := perNodeMiB * tsMergeCPUFlink
+
+	var dmEnd, smEnd, dsEnd func()
+	r.span("DM=DataSource->Map | P=Partition", func(d func()) { dmEnd = d }, nil)
+	r.span("SM=Sort-Partition->Map", func(d func()) { smEnd = d }, nil)
+	r.span("DS=DataSink", func(d func()) { dsEnd = d }, nil)
+
+	producers := des.NewCounter(spec.Nodes, dmEnd)
+	sorters := des.NewCounter(spec.Nodes, smEnd)
+	sinks := des.NewCounter(spec.Nodes, dsEnd)
+
+	for n := range r.nodes {
+		n := n
+		r.nodes[n].UseMem(0.6 * float64(spec.MemPerNode) * 0.1)
+		// Consumer side: K intake rounds (transfer + insert + spill write),
+		// then the final merge pass, which reads spilled runs, merges and
+		// streams the sorted output to the sink concurrently.
+		intake := des.NewCounter(pipelineRounds, func() {
+			des.Par([]des.Step{
+				r.diskRead(n, perNodeMiB*tsSpillFrac*(1<<20)),
+				r.cpu(n, mergeCPU, cores),
+				r.diskWrite(n, perNodeMiB*(1<<20)),
+			}, func() {
+				sorters.Done()
+				sinks.Done()
+			})
+		})
+		var steps []des.Step
+		steps = append(steps, r.hold(flinkDeployDelay))
+		for k := 0; k < pipelineRounds; k++ {
+			k := k
+			steps = append(steps,
+				// Pipelined read: overlaps the previous round's map CPU.
+				func(done func()) {
+					des.Par([]des.Step{
+						r.diskRead(n, perNodeMiB/pipelineRounds*(1<<20)),
+						func(d func()) {
+							if k == 0 {
+								d()
+								return
+							}
+							r.cpu(n, mapCPU/pipelineRounds, cores)(d)
+						},
+					}, done)
+				},
+				func(stepDone func()) {
+					// Transfer + sorter intake, concurrent with production.
+					des.Seq([]des.Step{
+						r.net(n, perNodeMiB/pipelineRounds*remote*(1<<20), int(cores)),
+						r.cpu(n, intakeCPU/pipelineRounds, cores),
+						r.diskWrite(n, perNodeMiB/pipelineRounds*tsSpillFrac*(1<<20)),
+					}, intake.Done)
+					stepDone()
+				},
+			)
+		}
+		steps = append(steps, r.cpu(n, mapCPU/pipelineRounds, cores)) // last round's map CPU
+		des.Seq(steps, producers.Done)
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+import "sort"
+
+// StepSeries is a right-continuous step function: value V[i] holds from
+// time T[i] until T[i+1]. Resource recorders append (time, new value)
+// breakpoints as simulated activities start and stop.
+type StepSeries struct {
+	T []float64
+	V []float64
+}
+
+// Add appends a breakpoint. Times must be non-decreasing; a breakpoint at
+// an existing last time overwrites it (the fluid simulator emits several
+// rate changes at the same instant).
+func (s *StepSeries) Add(t, v float64) {
+	if n := len(s.T); n > 0 {
+		if t < s.T[n-1] {
+			panic("stats: StepSeries times must be non-decreasing")
+		}
+		if t == s.T[n-1] {
+			s.V[n-1] = v
+			return
+		}
+		if s.V[n-1] == v {
+			return // collapse runs of equal values
+		}
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// At evaluates the step function at time t; before the first breakpoint the
+// value is 0.
+func (s *StepSeries) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Len returns the number of breakpoints.
+func (s *StepSeries) Len() int { return len(s.T) }
+
+// End returns the time of the last breakpoint, 0 when empty.
+func (s *StepSeries) End() float64 {
+	if len(s.T) == 0 {
+		return 0
+	}
+	return s.T[len(s.T)-1]
+}
+
+// Max returns the maximum value over all breakpoints.
+func (s *StepSeries) Max() float64 {
+	m := 0.0
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Integral returns the integral of the step function over [t0, t1].
+func (s *StepSeries) Integral(t0, t1 float64) float64 {
+	if t1 <= t0 || len(s.T) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range s.T {
+		segStart := s.T[i]
+		segEnd := t1
+		if i+1 < len(s.T) {
+			segEnd = s.T[i+1]
+		}
+		lo, hi := segStart, segEnd
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		if hi > lo {
+			total += s.V[i] * (hi - lo)
+		}
+	}
+	return total
+}
+
+// Avg returns the time-weighted average over [t0, t1].
+func (s *StepSeries) Avg(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	return s.Integral(t0, t1) / (t1 - t0)
+}
+
+// Resample returns n average values over equal sub-intervals of [t0, t1];
+// figure renderers use it to draw fixed-width charts.
+func (s *StepSeries) Resample(t0, t1 float64, n int) []float64 {
+	if n <= 0 || t1 <= t0 {
+		return nil
+	}
+	out := make([]float64, n)
+	dt := (t1 - t0) / float64(n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Avg(t0+float64(i)*dt, t0+float64(i+1)*dt)
+	}
+	return out
+}
+
+// MeanOf returns the pointwise mean of several step series — the cluster-
+// wide average the paper's figures plot ("aggregated values of all
+// nodes"). Breakpoints are the union of the inputs' breakpoints.
+func MeanOf(series []*StepSeries) *StepSeries {
+	out := &StepSeries{}
+	if len(series) == 0 {
+		return out
+	}
+	var times []float64
+	for _, s := range series {
+		times = append(times, s.T...)
+	}
+	sort.Float64s(times)
+	prev := 0.0
+	for i, t := range times {
+		if i > 0 && t == prev {
+			continue
+		}
+		prev = t
+		sum := 0.0
+		for _, s := range series {
+			sum += s.At(t)
+		}
+		out.Add(t, sum/float64(len(series)))
+	}
+	return out
+}
+
+// Scale returns a copy with every value multiplied by f (e.g. fraction to
+// percent).
+func (s *StepSeries) Scale(f float64) *StepSeries {
+	out := &StepSeries{T: make([]float64, len(s.T)), V: make([]float64, len(s.V))}
+	copy(out.T, s.T)
+	for i, v := range s.V {
+		out.V[i] = v * f
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+	"repro/internal/graph/gellylike"
+	"repro/internal/graph/graphxlike"
+)
+
+// PageRankSpark runs the GraphX-like standalone PageRank.
+func PageRankSpark(ctx *spark.Context, edges []datagen.Edge, iters int) (map[int64]float64, error) {
+	rdd := spark.Parallelize(ctx, edges, 0)
+	g := graphxlike.FromEdges(ctx, rdd, int64(0))
+	ranks, _, err := graphxlike.PageRank(g, iters)
+	if err != nil {
+		return nil, err
+	}
+	return spark.CollectAsMap(ranks)
+}
+
+// PageRankFlink runs the Gelly-like vertex-centric PageRank (with its
+// count-vertices pre-job).
+func PageRankFlink(env *flink.Env, edges []datagen.Edge, iters int) (map[int64]float64, error) {
+	ds := flink.FromSlice(env, edges, 0)
+	g := gellylike.FromEdges(env, ds, int64(0))
+	ranks, err := gellylike.PageRank(g, iters)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := flink.Collect(ranks)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}
+
+// ConnectedComponentsSpark runs the GraphX-like CC until convergence.
+func ConnectedComponentsSpark(ctx *spark.Context, edges []datagen.Edge, maxIter int) (map[int64]int64, int, error) {
+	rdd := spark.Parallelize(ctx, edges, 0)
+	g := graphxlike.FromEdges(ctx, rdd, int64(0))
+	labels, iters, err := graphxlike.ConnectedComponents(g, maxIter)
+	if err != nil {
+		return nil, iters, err
+	}
+	m, err := spark.CollectAsMap(labels)
+	return m, iters, err
+}
+
+// ConnectedComponentsFlinkDelta runs the Gelly-like delta-iteration CC.
+func ConnectedComponentsFlinkDelta(env *flink.Env, edges []datagen.Edge, maxIter int) (map[int64]int64, int64, error) {
+	ds := flink.FromSlice(env, edges, 0)
+	g := gellylike.FromEdges(env, ds, int64(0))
+	labels, supersteps, err := gellylike.ConnectedComponentsDelta(g, maxIter)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := collectInt64Map(labels)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, *supersteps, nil
+}
+
+// ConnectedComponentsFlinkBulk runs the bulk-iteration CC baseline the
+// paper compares delta iterations against.
+func ConnectedComponentsFlinkBulk(env *flink.Env, edges []datagen.Edge, iters int) (map[int64]int64, error) {
+	ds := flink.FromSlice(env, edges, 0)
+	g := gellylike.FromEdges(env, ds, int64(0))
+	labels, err := gellylike.ConnectedComponentsBulk(g, iters)
+	if err != nil {
+		return nil, err
+	}
+	return collectInt64Map(labels)
+}
+
+func collectInt64Map(ds *flink.DataSet[core.Pair[int64, int64]]) (map[int64]int64, error) {
+	pairs, err := flink.Collect(ds)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]int64, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+)
+
+// TeraPartitioner builds the shared range partitioner both engines use,
+// seeded from a key sample of the input — the paper stresses that the same
+// Hadoop-style TotalOrderPartitioner is used on both sides for fairness.
+func TeraPartitioner(data []byte, partitions int) *core.RangePartitioner[string] {
+	sample := datagen.TeraKeySample(data, 50)
+	return core.NewRangePartitioner(partitions, sample, func(a, b string) bool { return a < b })
+}
+
+// TeraSortSpark sorts TeraGen records: read (newAPIHadoopFile) →
+// repartitionAndSortWithinPartitions with the range partitioner → save.
+func TeraSortSpark(ctx *spark.Context, input, output string, part *core.RangePartitioner[string]) error {
+	recs, err := spark.BinaryRecords(ctx, input, datagen.TeraRecordSize)
+	if err != nil {
+		return err
+	}
+	pairs := spark.MapToPair(recs, func(r []byte) core.Pair[string, string] {
+		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
+	})
+	sorted := spark.RepartitionAndSortWithinPartitions(pairs, part,
+		func(a, b string) bool { return a < b })
+	return saveTeraSpark(sorted, output)
+}
+
+// TeraSortFlink sorts TeraGen records: read → map to OptimizedText tuples
+// (key compared in binary form) → partitionCustom → sortPartition → write.
+func TeraSortFlink(env *flink.Env, input, output string, part *core.RangePartitioner[string]) error {
+	recs, err := flink.ReadFixedRecords(env, input, datagen.TeraRecordSize)
+	if err != nil {
+		return err
+	}
+	pairs := flink.Map(recs, func(r []byte) core.Pair[string, string] {
+		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
+	})
+	parted := flink.PartitionCustom(pairs, part, func(p core.Pair[string, string]) string { return p.Key })
+	sorted := flink.SortPartition(parted, func(a, b core.Pair[string, string]) bool { return a.Key < b.Key })
+	parts := make([][]core.Pair[string, string], sorted.Parallelism())
+	err = flink.ForEach(sorted, "DataSink", func(p int, batch []core.Pair[string, string]) error {
+		parts[p] = append(parts[p], batch...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, part := range parts {
+		for _, kv := range part {
+			sb.WriteString(kv.Key)
+			sb.WriteString(kv.Value)
+		}
+	}
+	env.FS().WriteFile(output, []byte(sb.String()))
+	env.Metrics().DiskBytesWritten.Add(int64(sb.Len()))
+	return nil
+}
+
+// saveTeraSpark writes sorted records back in record order.
+func saveTeraSpark(sorted *spark.RDD[core.Pair[string, string]], output string) error {
+	parts := make([][]core.Pair[string, string], sorted.NumPartitions())
+	err := spark.ForeachPartition(sorted, func(p int, data []core.Pair[string, string]) error {
+		parts[p] = data
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, part := range parts {
+		for _, kv := range part {
+			sb.WriteString(kv.Key)
+			sb.WriteString(kv.Value)
+		}
+	}
+	sorted.Context().FS().WriteFile(output, []byte(sb.String()))
+	sorted.Context().Metrics().DiskBytesWritten.Add(int64(sb.Len()))
+	return nil
+}
+
+// VerifyTeraSorted checks a TeraSort output file: correct length and
+// globally non-decreasing keys. It is the validation step of the original
+// benchmark (TeraValidate).
+func VerifyTeraSorted(fs *dfs.FS, name string, wantRecords int) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	data := f.Contents()
+	if len(data) != wantRecords*datagen.TeraRecordSize {
+		return fmt.Errorf("terasort output has %d bytes, want %d records × %d",
+			len(data), wantRecords, datagen.TeraRecordSize)
+	}
+	keys := make([]string, wantRecords)
+	for i := 0; i < wantRecords; i++ {
+		keys[i] = string(data[i*datagen.TeraRecordSize : i*datagen.TeraRecordSize+datagen.TeraKeySize])
+	}
+	if !sort.StringsAreSorted(keys) {
+		return fmt.Errorf("terasort output is not globally sorted")
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package workloads implements the paper's six benchmarks on both
+// mini-engines with exactly the operator sequences of Table I:
+//
+//	Word Count     S: flatMap→mapToPair→reduceByKey→saveAsTextFile
+//	               F: flatMap→groupBy→sum→writeAsText
+//	Grep           S/F: filter→count
+//	Tera Sort      S: newAPIHadoopFile→repartitionAndSortWithinPartitions→save
+//	               F: read→map(OptimizedText)→partitionCustom→sortPartition→write
+//	K-Means        S: loop { map→reduceByKey→collectAsMap }
+//	               F: bulkIterate { map(withBroadcastSet)→groupBy→reduce→map }
+//	Page Rank      S: GraphX-like Pregel; F: Gelly-like vertex-centric (bulk)
+//	Conn. Comp.    S: GraphX-like Pregel; F: Gelly-like delta (and bulk) iterations
+//
+// Each function returns enough to verify correctness; the experiment
+// harness, the examples and the benchmarks all call through here.
+package workloads
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/datagen"
+	"repro/internal/serde"
+)
+
+// KSum is the K-Means partial aggregate: coordinate sums and a count.
+type KSum struct {
+	X, Y float64
+	N    int64
+}
+
+func init() {
+	// Register compact schema codecs for the workload record types so the
+	// engines serialize them efficiently under every strategy (the Kryo
+	// registration / TypeInfo extraction step).
+	serde.Register(func(s serde.Style) serde.Codec[datagen.Point] {
+		return serde.FixedCodec(s, "Point", 16,
+			func(dst []byte, p datagen.Point) {
+				binary.BigEndian.PutUint64(dst, math.Float64bits(p.X))
+				binary.BigEndian.PutUint64(dst[8:], math.Float64bits(p.Y))
+			},
+			func(src []byte) datagen.Point {
+				return datagen.Point{
+					X: math.Float64frombits(binary.BigEndian.Uint64(src)),
+					Y: math.Float64frombits(binary.BigEndian.Uint64(src[8:])),
+				}
+			})
+	})
+	serde.Register(func(s serde.Style) serde.Codec[KSum] {
+		return serde.FixedCodec(s, "KSum", 24,
+			func(dst []byte, k KSum) {
+				binary.BigEndian.PutUint64(dst, math.Float64bits(k.X))
+				binary.BigEndian.PutUint64(dst[8:], math.Float64bits(k.Y))
+				binary.BigEndian.PutUint64(dst[16:], uint64(k.N))
+			},
+			func(src []byte) KSum {
+				return KSum{
+					X: math.Float64frombits(binary.BigEndian.Uint64(src)),
+					Y: math.Float64frombits(binary.BigEndian.Uint64(src[8:])),
+					N: int64(binary.BigEndian.Uint64(src[16:])),
+				}
+			})
+	})
+	serde.Register(func(s serde.Style) serde.Codec[datagen.Edge] {
+		return serde.FixedCodec(s, "Edge", 16,
+			func(dst []byte, e datagen.Edge) {
+				binary.BigEndian.PutUint64(dst, uint64(e.Src))
+				binary.BigEndian.PutUint64(dst[8:], uint64(e.Dst))
+			},
+			func(src []byte) datagen.Edge {
+				return datagen.Edge{
+					Src: int64(binary.BigEndian.Uint64(src)),
+					Dst: int64(binary.BigEndian.Uint64(src[8:])),
+				}
+			})
+	})
+}
