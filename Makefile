@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test lint bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# Fast benchmark subset (1 iteration, no unit tests) plus one benchrunner
+# experiment — the smoke coverage CI runs on every push.
+bench-smoke:
+	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/benchrunner -run tab1

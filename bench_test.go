@@ -18,6 +18,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dfs"
 	"repro/internal/engine/flink"
+	"repro/internal/engine/mapreduce"
 	"repro/internal/engine/spark"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -48,6 +49,9 @@ func benchExperiment(b *testing.B, id string) {
 		if !math.IsNaN(last.Flink) {
 			b.ReportMetric(last.Flink, "flink_s")
 		}
+		if rep.ThreeWay && !math.IsNaN(last.MapRed) {
+			b.ReportMetric(last.MapRed, "mapreduce_s")
+		}
 	}
 }
 
@@ -75,6 +79,9 @@ func BenchmarkFig15CCMedium(b *testing.B)         { benchExperiment(b, "fig15") 
 func BenchmarkFig16PageRankUsage(b *testing.B)    { benchExperiment(b, "fig16") }
 func BenchmarkFig17CCUsage(b *testing.B)          { benchExperiment(b, "fig17") }
 func BenchmarkTab7LargeGraph(b *testing.B)        { benchExperiment(b, "tab7") }
+func BenchmarkExt1WordCountThreeWay(b *testing.B) { benchExperiment(b, "ext1") }
+func BenchmarkExt2TeraSortThreeWay(b *testing.B)  { benchExperiment(b, "ext2") }
+func BenchmarkExt3KMeansThreeWay(b *testing.B)    { benchExperiment(b, "ext3") }
 
 // --- Ablations (DESIGN.md §7) ----------------------------------------------
 
@@ -237,6 +244,62 @@ func engineFixture(b *testing.B) (*spark.Context, *flink.Env) {
 	env := flink.NewEnv(core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
 		SetInt(core.FlinkNetworkBuffers, 8192), frt, ffs)
 	return ctx, env
+}
+
+func mrEngineFixture(b *testing.B) *mapreduce.Cluster {
+	b.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 500, NetMiBps: 500}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := dfs.New(2, 64*core.KB, 1)
+	fs.WriteFile("wiki", datagen.Text(5, 512*1024, 10))
+	return mapreduce.NewCluster(core.NewConfig(), rt, fs)
+}
+
+func BenchmarkEngineWordCountMapReduce(b *testing.B) {
+	c := mrEngineFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := workloads.WordCountMapReduce(c, "wiki", fmt.Sprintf("out%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineGrepMapReduce(b *testing.B) {
+	c := mrEngineFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workloads.GrepMapReduce(c, "wiki", "the"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTeraSortMapReduce(b *testing.B) {
+	c := mrEngineFixture(b)
+	data := datagen.TeraGen(3, 5000)
+	c.FS().WriteFile("tera", data)
+	part := workloads.TeraPartitioner(data, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := workloads.TeraSortMapReduce(c, "tera", "tera-out", part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineKMeansMapReduce(b *testing.B) {
+	points, _ := datagen.KMeansPoints(9, 5000, 3, 2.0)
+	c := mrEngineFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workloads.KMeansMapReduce(c, points, 3, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkEngineWordCountSpark(b *testing.B) {

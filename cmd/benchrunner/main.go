@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "experiment id (fig1..fig17, tab1..tab7) or 'all'")
+	runID := flag.String("run", "", "experiment id (fig1..fig17, tab1..tab7, ext1..ext3) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.String("md", "", "also write a markdown report to this file")
 	flag.Parse()

@@ -1,10 +1,12 @@
 // Package repro reproduces "Spark versus Flink: Understanding Performance
 // in Big Data Analytics Frameworks" (Marcu, Costan, Antoniu,
-// Pérez-Hernández; IEEE CLUSTER 2016) as a self-contained Go system: two
-// real executing mini-engines mirroring Spark 1.5's and Flink 0.10's
-// architectures, the six benchmark workloads, a deterministic paper-scale
+// Pérez-Hernández; IEEE CLUSTER 2016) as a self-contained Go system: three
+// real executing mini-engines — Spark 1.5's staged RDD architecture,
+// Flink 0.10's pipelined dataflow, and a classic Hadoop-style MapReduce
+// baseline — the six benchmark workloads, a deterministic paper-scale
 // cluster simulator, and a harness that regenerates every table and figure
-// of the evaluation. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results; bench_test.go holds one
-// benchmark per paper artifact plus the ablations.
+// of the evaluation plus the three-way ext1–ext3 extension experiments.
+// See README.md for build/test/benchrunner instructions and the
+// architecture sketch; bench_test.go holds one benchmark per paper
+// artifact plus the ablations.
 package repro

@@ -138,6 +138,32 @@ func TestRuntimeRejectsBadNode(t *testing.T) {
 	}
 }
 
+// TestRuntimeBadNodeLaunchesNothing is the regression test for the RunTasks
+// goroutine leak: a batch containing an invalid placement must be rejected
+// before ANY task goroutine launches. The old code validated mid-loop and
+// returned without wg.Wait(), abandoning the tasks already started.
+func TestRuntimeBadNodeLaunchesNothing(t *testing.T) {
+	rt, _ := NewRuntime(Spec{Nodes: 2, CoresPerNode: 2, MemPerNode: core.GB, DiskSeqMiBps: 1, NetMiBps: 1}, 2)
+	var ran atomic.Int64
+	tasks := []Task{
+		{Node: 0, Fn: func() error { ran.Add(1); return nil }},
+		{Node: 1, Fn: func() error { ran.Add(1); return nil }},
+		{Node: 9, Fn: func() error { ran.Add(1); return nil }}, // invalid, listed last
+	}
+	if err := rt.RunTasks(tasks); err == nil {
+		t.Fatal("batch with invalid placement accepted")
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d tasks ran from a rejected batch, want 0", got)
+	}
+	if rt.TasksLaunched() != 0 {
+		t.Errorf("TasksLaunched = %d after rejected batch, want 0", rt.TasksLaunched())
+	}
+	if rt.Waves() != 0 {
+		t.Errorf("Waves = %d after rejected batch, want 0", rt.Waves())
+	}
+}
+
 func TestRuntimeDefaultsSlots(t *testing.T) {
 	rt, _ := NewRuntime(Grid5000(2), 0)
 	if rt.SlotsPerNode() != 16 {

@@ -62,14 +62,19 @@ func (r *Runtime) NodeFor(partition int) int {
 // iteration scheduling overhead of Spark's loop unrolling shows up as many
 // waves, Flink's cyclic dataflow as few.
 func (r *Runtime) RunTasks(tasks []Task) error {
+	// Validate placements before launching anything: rejecting a task
+	// mid-loop would abandon the goroutines already started without a
+	// wg.Wait, leaking them past the call.
+	for _, t := range tasks {
+		if t.Node < 0 || t.Node >= r.spec.Nodes {
+			return fmt.Errorf("cluster: task pinned to node %d of %d", t.Node, r.spec.Nodes)
+		}
+	}
 	r.waves.Add(1)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	for _, t := range tasks {
-		if t.Node < 0 || t.Node >= r.spec.Nodes {
-			return fmt.Errorf("cluster: task pinned to node %d of %d", t.Node, r.spec.Nodes)
-		}
 		wg.Add(1)
 		r.tasksLaunched.Add(1)
 		sem := r.sems[t.Node]

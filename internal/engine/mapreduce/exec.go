@@ -1,0 +1,344 @@
+package mapreduce
+
+import (
+	"cmp"
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// Run executes one job: a wave of map tasks, a full materialization
+// barrier (every map output is on the DFS before any reduce starts), then
+// a wave of reduce tasks. It is the engine's entire execution model —
+// there is no pipelining, no caching and no iteration operator.
+func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I]) (*Output[K, V], error) {
+	jobID := c.nextJob.Add(1)
+	name := job.Name
+	if name == "" {
+		name = fmt.Sprintf("job-%d", jobID)
+	}
+	reduces := job.Reduces
+	if reduces <= 0 {
+		reduces = c.reduces
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = defaultPartition[K]
+	}
+	codec := serde.OfPair[K, V](c.style)
+
+	// --- Map phase -------------------------------------------------------
+	// One task per input split, scheduled data-local. Each task buffers its
+	// output in a bounded sort buffer, spills sorted runs when it fills,
+	// and ends with a merge pass that materializes one sorted segment per
+	// reduce partition on the DFS.
+	endMap := c.timeline.StartSpan(fmt.Sprintf("Map(%s)", name))
+	c.metrics.Stages.Add(1)
+	splitBytes := int64(0)
+	if n := int64(in.NumSplits()); n > 0 {
+		splitBytes = in.bytes / n
+	}
+	mapTasks := make([]cluster.Task, in.NumSplits())
+	for m := range mapTasks {
+		m := m
+		node := 0
+		if in.pref != nil {
+			node = in.pref(m)
+		}
+		mapTasks[m] = cluster.Task{Node: node, Fn: func() error {
+			return runMapTask(c, jobID, name, m, in.splits[m], splitBytes, reduces, job, partition, codec)
+		}}
+	}
+	err := c.rt.RunTasks(mapTasks)
+	endMap()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s map phase: %w", name, err)
+	}
+
+	// --- Barrier ---------------------------------------------------------
+	// RunTasks has joined every map task; all intermediate state is now
+	// materialized DFS files. Only then does the reduce wave schedule.
+
+	// --- Reduce phase ----------------------------------------------------
+	endReduce := c.timeline.StartSpan(fmt.Sprintf("Shuffle+Reduce(%s)", name))
+	c.metrics.Stages.Add(1)
+	out := &Output[K, V]{Partitions: make([][]core.Pair[K, V], reduces)}
+	reduceTasks := make([]cluster.Task, reduces)
+	for r := range reduceTasks {
+		r := r
+		reduceTasks[r] = cluster.Task{Node: c.rt.NodeFor(r), Fn: func() error {
+			part, err := runReduceTask(c, jobID, name, r, in.NumSplits(), job, codec)
+			if err != nil {
+				return err
+			}
+			out.Partitions[r] = part
+			return nil
+		}}
+	}
+	err = c.rt.RunTasks(reduceTasks)
+	endReduce()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s reduce phase: %w", name, err)
+	}
+
+	// Job cleanup: drop the intermediate segments like the MRAppMaster's
+	// shuffle cleanup does.
+	for m := 0; m < in.NumSplits(); m++ {
+		for r := 0; r < reduces; r++ {
+			c.fs.Delete(segmentFile(jobID, m, r))
+		}
+	}
+	return out, nil
+}
+
+// spillFile names map task m's s-th sorted run.
+func spillFile(job int64, m, s int) string {
+	return fmt.Sprintf("mr/%d/m%05d/spill%d", job, m, s)
+}
+
+// segmentFile names the sorted segment of map task m for reduce partition r.
+func segmentFile(job int64, m, r int) string {
+	return fmt.Sprintf("mr/%d/m%05d/p%05d", job, m, r)
+}
+
+// runMapTask maps one split and materializes its partitioned, sorted
+// output.
+func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, m int,
+	split []I, splitBytes int64, reduces int,
+	job Job[I, K, V], partition func(K, int) int, codec serde.Codec[core.Pair[K, V]]) error {
+	c.metrics.TasksLaunched.Add(1)
+	c.metrics.DiskBytesRead.Add(splitBytes)
+	c.metrics.RecordsRead.Add(int64(len(split)))
+
+	// Emit into the bounded sort buffer, spilling a sorted run every time
+	// it fills.
+	var buf []core.Pair[K, V]
+	spills := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := spillRun(c, jobID, m, spills, buf, reduces, job.Combine, partition, codec); err != nil {
+			return err
+		}
+		spills++
+		buf = buf[:0]
+		return nil
+	}
+	var emitErr error
+	emit := func(k K, v V) {
+		buf = append(buf, core.KV(k, v))
+		if len(buf) >= c.sortRecords {
+			if err := flush(); err != nil && emitErr == nil {
+				emitErr = err
+			}
+		}
+	}
+	for _, rec := range split {
+		job.Map(rec, emit)
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Final merge pass: read every spilled run back, k-way merge and write
+	// one sorted segment per reduce partition. Runs are deleted afterwards;
+	// the segments are the materialized map output the barrier guards.
+	segments := make([][]core.Pair[K, V], reduces)
+	for s := 0; s < spills; s++ {
+		f, err := c.fs.Open(spillFile(jobID, m, s))
+		if err != nil {
+			return err
+		}
+		data := f.Contents()
+		c.metrics.DiskBytesRead.Add(int64(len(data)))
+		run, err := serde.DecodeAll(codec, data)
+		if err != nil {
+			return err
+		}
+		for _, kv := range run {
+			p := partition(kv.Key, reduces)
+			segments[p] = append(segments[p], kv)
+		}
+		c.fs.Delete(spillFile(jobID, m, s))
+	}
+	for r, seg := range segments {
+		// Runs were individually sorted; the concatenation across runs is
+		// not. Re-establish the sort like the merge's loser tree would.
+		sort.SliceStable(seg, func(i, j int) bool { return seg[i].Key < seg[j].Key })
+		enc := serde.EncodeAll(codec, nil, seg)
+		c.fs.WriteFile(segmentFile(jobID, m, r), enc)
+		c.metrics.DiskBytesWritten.Add(int64(len(enc)))
+		c.metrics.ShuffleBytesWritten.Add(int64(len(enc)))
+	}
+	return nil
+}
+
+// spillRun sorts the buffer, applies the combiner and writes one run file.
+func spillRun[K cmp.Ordered, V any](c *Cluster, jobID int64, m, s int,
+	buf []core.Pair[K, V], reduces int, combine func(K, []V) V,
+	partition func(K, int) int, codec serde.Codec[core.Pair[K, V]]) error {
+	run := make([]core.Pair[K, V], len(buf))
+	copy(run, buf)
+	// Hadoop sorts spills by (partition, key) so the final merge can slice
+	// per-partition segments off contiguously.
+	sort.SliceStable(run, func(i, j int) bool {
+		pi, pj := partition(run[i].Key, reduces), partition(run[j].Key, reduces)
+		if pi != pj {
+			return pi < pj
+		}
+		return run[i].Key < run[j].Key
+	})
+	if combine != nil {
+		run = combineRun(c, run, combine)
+	}
+	enc := serde.EncodeAll(codec, nil, run)
+	c.fs.WriteFile(spillFile(jobID, m, s), enc)
+	c.metrics.SpillCount.Add(1)
+	c.metrics.SpillBytes.Add(int64(len(enc)))
+	c.metrics.DiskBytesWritten.Add(int64(len(enc)))
+	return nil
+}
+
+// combineRun folds equal adjacent keys of a sorted run.
+func combineRun[K cmp.Ordered, V any](c *Cluster, run []core.Pair[K, V], combine func(K, []V) V) []core.Pair[K, V] {
+	out := run[:0:0]
+	for i := 0; i < len(run); {
+		j := i + 1
+		for j < len(run) && run[j].Key == run[i].Key {
+			j++
+		}
+		vs := make([]V, 0, j-i)
+		for _, kv := range run[i:j] {
+			vs = append(vs, kv.Value)
+		}
+		out = append(out, core.KV(run[i].Key, combine(run[i].Key, vs)))
+		i = j
+	}
+	c.metrics.CombineInputRecords.Add(int64(len(run)))
+	c.metrics.CombineOutputRecs.Add(int64(len(out)))
+	return out
+}
+
+// runReduceTask fetches partition r's segment from every map output,
+// sort-merges them and reduces each key group.
+func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, r, maps int,
+	job Job[I, K, V], codec serde.Codec[core.Pair[K, V]]) ([]core.Pair[K, V], error) {
+	c.metrics.TasksLaunched.Add(1)
+	node := c.rt.NodeFor(r)
+	segments := make([][]core.Pair[K, V], 0, maps)
+	for m := 0; m < maps; m++ {
+		f, err := c.fs.Open(segmentFile(jobID, m, r))
+		if err != nil {
+			return nil, fmt.Errorf("shuffle fetch %s: %w", segmentFile(jobID, m, r), err)
+		}
+		data := f.Contents()
+		n := int64(len(data))
+		c.metrics.ShuffleBytesRead.Add(n)
+		c.metrics.DiskBytesRead.Add(n)
+		if replicaNode(f, 0) == node {
+			c.metrics.LocalBytesRead.Add(n)
+		} else {
+			c.metrics.RemoteBytesRead.Add(n)
+		}
+		seg, err := serde.DecodeAll(codec, data)
+		if err != nil {
+			return nil, err
+		}
+		if len(seg) > 0 {
+			segments = append(segments, seg)
+		}
+	}
+	merged := mergeSegments(segments)
+
+	var out []core.Pair[K, V]
+	emit := func(k K, v V) {
+		out = append(out, core.KV(k, v))
+		c.metrics.RecordsWritten.Add(1)
+	}
+	if job.Reduce == nil {
+		// Identity reducer: pass the merged stream through in key order.
+		for _, kv := range merged {
+			emit(kv.Key, kv.Value)
+		}
+		return out, nil
+	}
+	for i := 0; i < len(merged); {
+		j := i + 1
+		for j < len(merged) && merged[j].Key == merged[i].Key {
+			j++
+		}
+		vs := make([]V, 0, j-i)
+		for _, kv := range merged[i:j] {
+			vs = append(vs, kv.Value)
+		}
+		job.Reduce(merged[i].Key, vs, emit)
+		i = j
+	}
+	return out, nil
+}
+
+// mergeSegments k-way merges sorted segments into one sorted stream with a
+// min-heap over the segment heads — the reduce side's sort-merge, at
+// O(records · log segments) like Hadoop's merge.
+func mergeSegments[K cmp.Ordered, V any](segments [][]core.Pair[K, V]) []core.Pair[K, V] {
+	total := 0
+	h := mergeHeap[K, V]{}
+	for s, seg := range segments {
+		total += len(seg)
+		if len(seg) > 0 {
+			h.entries = append(h.entries, mergeEntry[K, V]{seg: s, segs: segments})
+		}
+	}
+	heap.Init(&h)
+	out := make([]core.Pair[K, V], 0, total)
+	for h.Len() > 0 {
+		e := &h.entries[0]
+		out = append(out, segments[e.seg][e.idx])
+		e.idx++
+		if e.idx >= len(segments[e.seg]) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// mergeEntry is one segment's cursor on the merge heap.
+type mergeEntry[K cmp.Ordered, V any] struct {
+	seg  int
+	idx  int
+	segs [][]core.Pair[K, V]
+}
+
+type mergeHeap[K cmp.Ordered, V any] struct {
+	entries []mergeEntry[K, V]
+}
+
+func (h *mergeHeap[K, V]) Len() int { return len(h.entries) }
+func (h *mergeHeap[K, V]) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	ka, kb := a.segs[a.seg][a.idx].Key, b.segs[b.seg][b.idx].Key
+	if ka != kb {
+		return ka < kb
+	}
+	// Equal keys drain in segment order, keeping the merge stable.
+	return a.seg < b.seg
+}
+func (h *mergeHeap[K, V]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap[K, V]) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry[K, V])) }
+func (h *mergeHeap[K, V]) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}

@@ -1,0 +1,152 @@
+package mapreduce
+
+import (
+	"cmp"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+)
+
+// Job describes one MapReduce job over input records of type I with
+// intermediate key/value pairs (K, V). Keys must be ordered because the
+// engine is strictly sort-based: map outputs are spilled as sorted runs and
+// reduces consume a sort-merge of those runs, like Hadoop's
+// WritableComparable contract.
+type Job[I any, K cmp.Ordered, V any] struct {
+	// Name labels timeline spans and intermediate files.
+	Name string
+	// Map emits zero or more intermediate pairs per input record.
+	Map func(in I, emit func(K, V))
+	// Combine optionally folds the values of one key within a sorted run
+	// before it spills (the map-side combiner). Nil disables combining.
+	Combine func(k K, vs []V) V
+	// Reduce folds the values of one key and emits output pairs. Nil uses
+	// the identity reducer (every (k, v) is emitted as-is, in key order) —
+	// the TeraSort configuration.
+	Reduce func(k K, vs []V, emit func(K, V))
+	// Reduces is the reduce-task count; 0 uses the cluster default.
+	Reduces int
+	// Partition routes a key to a reduce task; nil hashes the key. TeraSort
+	// installs the shared range partitioner here.
+	Partition func(k K, reduces int) int
+}
+
+// Operators returns the job's operator chain for plan tables, in the rigid
+// order classic MapReduce always executes.
+func (j Job[I, K, V]) Operators() []string {
+	ops := []string{"InputSplit", "Map"}
+	if j.Combine != nil {
+		ops = append(ops, "Combine")
+	}
+	ops = append(ops, "SpillSort", "Materialize", "Shuffle", "MergeSort")
+	if j.Reduce != nil {
+		ops = append(ops, "Reduce")
+	} else {
+		ops = append(ops, "IdentityReduce")
+	}
+	return append(ops, "Output")
+}
+
+// Input is a splittable job input: one split per DFS block, each with its
+// preferred (data-local) node, like a Hadoop InputFormat.
+type Input[I any] struct {
+	file   string
+	splits [][]I
+	pref   func(split int) int
+	bytes  int64
+}
+
+// NumSplits returns the number of map tasks the input produces.
+func (in Input[I]) NumSplits() int { return len(in.splits) }
+
+// TextInput reads a DFS file as lines, one split per block with HDFS
+// record-boundary conventions (TextInputFormat).
+func TextInput(c *Cluster, name string) (Input[string], error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return Input[string]{}, fmt.Errorf("mapreduce: textInput: %w", err)
+	}
+	return Input[string]{file: name, splits: f.LineSplits(), pref: f.PreferredNode, bytes: f.Size()}, nil
+}
+
+// FixedRecordInput reads fixed-width binary records, one split per block —
+// TeraSort's input format.
+func FixedRecordInput(c *Cluster, name string, recSize int) (Input[[]byte], error) {
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return Input[[]byte]{}, fmt.Errorf("mapreduce: fixedRecordInput: %w", err)
+	}
+	return Input[[]byte]{file: name, splits: f.FixedRecordSplits(recSize), pref: f.PreferredNode, bytes: f.Size()}, nil
+}
+
+// SliceInput splits an in-memory slice over numSplits map tasks
+// (the testing analog of spark.Parallelize; placement is round-robin).
+func SliceInput[I any](c *Cluster, data []I, numSplits int) Input[I] {
+	if numSplits <= 0 {
+		numSplits = c.rt.Spec().Nodes
+	}
+	if numSplits > len(data) && len(data) > 0 {
+		numSplits = len(data)
+	}
+	if numSplits == 0 {
+		numSplits = 1
+	}
+	splits := make([][]I, numSplits)
+	for i := range splits {
+		lo := i * len(data) / numSplits
+		hi := (i + 1) * len(data) / numSplits
+		splits[i] = data[lo:hi:hi]
+	}
+	return Input[I]{file: "(slice)", splits: splits, pref: c.rt.NodeFor}
+}
+
+// Output is one job's reduce output, kept per reduce partition in key
+// order. The driver reads it back or writes it to the DFS.
+type Output[K cmp.Ordered, V any] struct {
+	Partitions [][]core.Pair[K, V]
+}
+
+// Pairs concatenates the partitions in partition order.
+func (o *Output[K, V]) Pairs() []core.Pair[K, V] {
+	var out []core.Pair[K, V]
+	for _, p := range o.Partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// WriteText stores the output on the DFS as one "key\tvalue" line per
+// record (TextOutputFormat) and charges the write.
+func (o *Output[K, V]) WriteText(c *Cluster, name string) {
+	var buf []byte
+	for _, part := range o.Partitions {
+		for _, kv := range part {
+			buf = append(buf, fmt.Sprintf("%v\t%v\n", kv.Key, kv.Value)...)
+		}
+	}
+	c.fs.WriteFile(name, buf)
+	c.metrics.DiskBytesWritten.Add(int64(len(buf)))
+	c.metrics.RecordsWritten.Add(int64(countRecords(o.Partitions)))
+}
+
+func countRecords[K cmp.Ordered, V any](parts [][]core.Pair[K, V]) int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}
+
+// defaultPartition hashes the key's string form, the HashPartitioner
+// default.
+func defaultPartition[K cmp.Ordered](k K, reduces int) int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%v", k)
+	return int(h.Sum32() % uint32(reduces))
+}
+
+// replicaNode returns the node holding block i of a DFS file (for the
+// local- vs remote-fetch accounting of the shuffle).
+func replicaNode(f *dfs.File, i int) int { return f.PreferredNode(i) }

@@ -1,0 +1,266 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+)
+
+func fixture(t testing.TB, conf *core.Config) *Cluster {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 500, NetMiBps: 500}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCluster(conf, rt, dfs.New(2, 4*core.KB, 1))
+}
+
+func wordCountJob() Job[string, string, int64] {
+	return Job[string, string, int64]{
+		Name: "WordCount",
+		Map: func(line string, emit func(string, int64)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int64) int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		},
+		Reduce: func(k string, vs []int64, emit func(string, int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(k, s)
+		},
+	}
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	c := fixture(t, nil)
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog\nthe end\n", 200)
+	c.FS().WriteFile("in", []byte(text))
+	in, err := TextInput(c, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(c, wordCountJob(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{}
+	for _, w := range strings.Fields(text) {
+		want[w]++
+	}
+	got := map[string]int64{}
+	for _, kv := range out.Pairs() {
+		if _, dup := got[kv.Key]; dup {
+			t.Errorf("key %q appears in more than one reduce group", kv.Key)
+		}
+		got[kv.Key] = kv.Value
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct words, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if c.Metrics().CombineRatio() <= 1 {
+		t.Errorf("combiner did not reduce records: ratio %.2f", c.Metrics().CombineRatio())
+	}
+}
+
+func TestSpillsWithTinySortBuffer(t *testing.T) {
+	conf := core.NewConfig().SetInt(MRSortRecords, 16)
+	c := fixture(t, conf)
+	c.FS().WriteFile("in", []byte(strings.Repeat("a b c d e f g h\n", 100)))
+	in, err := TextInput(c, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(c, wordCountJob(), in); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().SpillCount.Load() < 2 {
+		t.Errorf("spills = %d, want several with a 16-record sort buffer", c.Metrics().SpillCount.Load())
+	}
+	if c.Metrics().SpillBytes.Load() <= 0 {
+		t.Error("spill bytes not charged")
+	}
+}
+
+func TestBarrierBetweenPhases(t *testing.T) {
+	c := fixture(t, nil)
+	c.FS().WriteFile("in", []byte("x y z\n"))
+	in, _ := TextInput(c, "in")
+	if _, err := Run(c, wordCountJob(), in); err != nil {
+		t.Fatal(err)
+	}
+	// One job = exactly two scheduling waves: the map wave drains fully
+	// before the reduce wave launches (the materialization barrier).
+	if waves := c.Runtime().Waves(); waves != 2 {
+		t.Errorf("runtime waves = %d, want 2 (map, reduce)", waves)
+	}
+	if stages := c.Metrics().Stages.Load(); stages != 2 {
+		t.Errorf("stages = %d, want 2", stages)
+	}
+	spans := c.Timeline().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("timeline spans = %d, want 2", len(spans))
+	}
+	// The reduce span must start no earlier than the map span ends.
+	if spans[1].Start < spans[0].End {
+		t.Errorf("reduce span started at %v before map span ended at %v", spans[1].Start, spans[0].End)
+	}
+}
+
+func TestIdentityReduceWithRangePartitionerSorts(t *testing.T) {
+	c := fixture(t, nil)
+	var recs []string
+	for i := 0; i < 500; i++ {
+		recs = append(recs, fmt.Sprintf("key%03d", (i*7919)%500))
+	}
+	part := core.NewRangePartitioner(4, []string{"key125", "key250", "key375"},
+		func(a, b string) bool { return a < b })
+	job := Job[string, string, bool]{
+		Name:    "MiniTeraSort",
+		Reduces: 4,
+		Map:     func(r string, emit func(string, bool)) { emit(r, true) },
+		Partition: func(k string, _ int) int {
+			return part.Partition(k)
+		},
+	}
+	out, err := Run(c, job, SliceInput(c, recs, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(recs))
+	for _, kv := range out.Pairs() {
+		keys = append(keys, kv.Key)
+	}
+	if len(keys) != len(recs) {
+		t.Fatalf("identity reduce kept %d records, want %d", len(keys), len(recs))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("range partition + sort-merge should yield a global sort")
+	}
+}
+
+func TestNoCachingAcrossChainedJobs(t *testing.T) {
+	c := fixture(t, nil)
+	c.FS().WriteFile("in", []byte(strings.Repeat("a b c\n", 500)))
+	var reads []int64
+	err := Iterate(c, 3, func(round int) error {
+		in, err := TextInput(c, "in")
+		if err != nil {
+			return err
+		}
+		if _, err := Run(c, wordCountJob(), in); err != nil {
+			return err
+		}
+		reads = append(reads, c.Metrics().DiskBytesRead.Load())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every chained job re-reads the input from the DFS: cumulative read
+	// bytes must keep growing by at least the input size each round.
+	inSize := int64(len("a b c\n") * 500)
+	for i := 1; i < len(reads); i++ {
+		if reads[i]-reads[i-1] < inSize {
+			t.Errorf("round %d re-read only %d bytes, want ≥ %d (no caching)", i, reads[i]-reads[i-1], inSize)
+		}
+	}
+	if c.Metrics().CacheHits.Load() != 0 {
+		t.Error("a MapReduce engine has no cache to hit")
+	}
+	if got := len(c.Timeline().Spans()); got < 3+6 {
+		t.Errorf("timeline has %d spans, want per-round chain spans plus phases", got)
+	}
+}
+
+func TestMissingInputAndIdentityJob(t *testing.T) {
+	c := fixture(t, nil)
+	if _, err := TextInput(c, "missing-file"); err == nil {
+		t.Error("opening a missing input should fail")
+	}
+	identity := Job[string, string, int64]{
+		Name: "Identity",
+		Map:  func(r string, emit func(string, int64)) { emit(r, 1) },
+	}
+	c.FS().WriteFile("in", []byte("a\nb\n"))
+	in, _ := TextInput(c, "in")
+	out, err := Run(c, identity, in)
+	if err != nil {
+		t.Fatalf("identity job should pass: %v", err)
+	}
+	if len(out.Pairs()) != 2 {
+		t.Errorf("identity reduce kept %d records, want 2", len(out.Pairs()))
+	}
+}
+
+func TestIterateStopsOnError(t *testing.T) {
+	c := fixture(t, nil)
+	boom := errors.New("round failed")
+	ran := 0
+	err := Iterate(c, 5, func(round int) error {
+		ran++
+		if round == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Iterate error = %v, want %v", err, boom)
+	}
+	if ran != 2 {
+		t.Errorf("Iterate ran %d rounds after failure, want 2", ran)
+	}
+}
+
+func TestOperatorsChain(t *testing.T) {
+	j := wordCountJob()
+	ops := strings.Join(j.Operators(), "→")
+	for _, frag := range []string{"Map", "Combine", "SpillSort", "Materialize", "Shuffle", "MergeSort", "Reduce"} {
+		if !strings.Contains(ops, frag) {
+			t.Errorf("operator chain missing %s: %s", frag, ops)
+		}
+	}
+	ident := Job[string, string, bool]{Name: "ident"}
+	if ops := strings.Join(ident.Operators(), "→"); !strings.Contains(ops, "IdentityReduce") {
+		t.Errorf("identity chain missing IdentityReduce: %s", ops)
+	}
+}
+
+func TestWriteTextOutput(t *testing.T) {
+	c := fixture(t, nil)
+	c.FS().WriteFile("in", []byte("b a\n"))
+	in, _ := TextInput(c, "in")
+	out, err := Run(c, wordCountJob(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteText(c, "wc-out")
+	f, err := c.FS().Open("wc-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(f.Contents())
+	if !strings.Contains(body, "a\t1") || !strings.Contains(body, "b\t1") {
+		t.Errorf("unexpected text output: %q", body)
+	}
+}

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"tab3", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"tab4", "tab5", "tab6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab7",
+		"ext1", "ext2", "ext3",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -26,6 +27,86 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if got := sortedCopy(ids); got[0] > got[len(got)-1] {
 		t.Error("sortedCopy not sorted")
+	}
+}
+
+// TestRegistryResolvesAndStable: every registered id resolves via Get with
+// matching metadata, and IDs() renders the same order on every call.
+func TestRegistryResolvesAndStable(t *testing.T) {
+	first := IDs()
+	for _, id := range first {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("registered id %s does not resolve via Get", id)
+		}
+		if r.ID != id {
+			t.Errorf("Get(%q).ID = %q", id, r.ID)
+		}
+		if r.Title == "" || r.Run == nil {
+			t.Errorf("%s: incomplete runner (title %q)", id, r.Title)
+		}
+	}
+	second := IDs()
+	if len(first) != len(second) {
+		t.Fatalf("IDs() length unstable: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("IDs() order unstable at %d: %s vs %s", i, first[i], second[i])
+		}
+	}
+}
+
+// TestExtThreeWayFinite: the ext* experiments produce finite, positive
+// times for all three engines in every row.
+func TestExtThreeWayFinite(t *testing.T) {
+	for _, id := range []string{"ext1", "ext2", "ext3"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.ThreeWay {
+			t.Errorf("%s should render three-way", id)
+		}
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		for _, row := range rep.Rows {
+			for col, v := range map[string]float64{
+				"spark": row.Spark, "flink": row.Flink, "mapreduce": row.MapRed,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Errorf("%s %s: %s time %v not finite/positive", id, row.Label, col, v)
+				}
+			}
+		}
+		if !strings.Contains(rep.Render(), "mapreduce (s)") {
+			t.Errorf("%s render missing mapreduce column", id)
+		}
+	}
+}
+
+// TestExt3IterativeOrdering reproduces the related-work ordering: on
+// iterative K-Means the MapReduce baseline is slower than both in-memory
+// engines at every cluster size, and not marginally so.
+func TestExt3IterativeOrdering(t *testing.T) {
+	rep, err := runExt3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row.MapRed <= row.Spark || row.MapRed <= row.Flink {
+			t.Errorf("%s: mapreduce %.0f should trail spark %.0f and flink %.0f",
+				row.Label, row.MapRed, row.Spark, row.Flink)
+		}
+		if row.MapRed < 2*row.Spark {
+			t.Errorf("%s: iterative gap %.1fx too small for a disk-chained baseline",
+				row.Label, row.MapRed/row.Spark)
+		}
 	}
 }
 

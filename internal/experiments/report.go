@@ -9,23 +9,28 @@ import (
 
 // Row is one x-axis group of a comparison chart: mean ± std seconds per
 // framework. NaN marks a failed run (the paper's "no" cells in Table VII).
+// The MapRed columns are only rendered for three-way reports (the ext*
+// experiments comparing against the MapReduce baseline).
 type Row struct {
 	Label     string
 	Spark     float64
 	SparkStd  float64
 	Flink     float64
 	FlinkStd  float64
+	MapRed    float64
+	MapRedStd float64
 	PaperNote string // the paper's reported values or claim, for the report
 }
 
 // Report is the regenerated artifact for one experiment id.
 type Report struct {
-	ID      string
-	Title   string
-	Rows    []Row
-	Figures []string // rendered resource-usage correlation figures
-	Notes   []string
-	Table   [][]string // free-form table (operator/config tables)
+	ID       string
+	Title    string
+	Rows     []Row
+	Figures  []string // rendered resource-usage correlation figures
+	Notes    []string
+	Table    [][]string // free-form table (operator/config tables)
+	ThreeWay bool       // render the mapreduce column next to spark/flink
 }
 
 // Render produces the report as text: a paper-style comparison table plus
@@ -53,10 +58,21 @@ func (r *Report) Render() string {
 		}
 	}
 	if len(r.Rows) > 0 {
-		fmt.Fprintf(&b, "%-16s %-18s %-18s %s\n", "config", "spark (s)", "flink (s)", "paper")
+		noteHeader := "paper"
+		if r.ThreeWay {
+			noteHeader = "notes"
+		}
+		printRow := func(label, spark, flink, mapred, note string) {
+			fmt.Fprintf(&b, "%-16s %-18s %-18s ", label, spark, flink)
+			if r.ThreeWay {
+				fmt.Fprintf(&b, "%-18s ", mapred)
+			}
+			fmt.Fprintf(&b, "%s\n", note)
+		}
+		printRow("config", "spark (s)", "flink (s)", "mapreduce (s)", noteHeader)
 		for _, row := range r.Rows {
-			fmt.Fprintf(&b, "%-16s %-18s %-18s %s\n",
-				row.Label, cell(row.Spark, row.SparkStd), cell(row.Flink, row.FlinkStd), row.PaperNote)
+			printRow(row.Label, cell(row.Spark, row.SparkStd), cell(row.Flink, row.FlinkStd),
+				cell(row.MapRed, row.MapRedStd), row.PaperNote)
 		}
 	}
 	for _, fig := range r.Figures {

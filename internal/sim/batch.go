@@ -22,9 +22,12 @@ func (j WordCountJob) Run(p Params) Result {
 	outMiB := perNodeMiB * wcOutputFrac
 	remote := 1 - 1/float64(p.Spec.Nodes)
 
-	if p.Engine == Flink {
+	switch p.Engine {
+	case Flink:
 		j.runFlink(r, perNodeMiB, shuffleMiB, outMiB, remote)
-	} else {
+	case MapReduce:
+		j.runMapReduce(r, perNodeMiB, shuffleMiB, outMiB)
+	default:
 		j.runSpark(r, perNodeMiB, shuffleMiB, outMiB, remote)
 	}
 	return r.finish(nil)
@@ -148,6 +151,10 @@ func (j GrepJob) Run(p Params) Result {
 	}
 	cores := float64(p.Spec.CoresPerNode)
 
+	if p.Engine == MapReduce {
+		j.runMapReduce(r, perNodeMiB, sel)
+		return r.finish(nil)
+	}
 	if p.Engine == Flink {
 		// Pipelined scan: reads of round k+1 overlap the filter CPU of
 		// round k; then the count sink collapses parallelism (the paper's

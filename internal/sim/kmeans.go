@@ -29,6 +29,10 @@ func (j KMeansJob) Run(p Params) Result {
 	cores := float64(p.Spec.CoresPerNode)
 	nodes := p.Spec.Nodes
 
+	if p.Engine == MapReduce {
+		j.runMapReduce(r, perNodeMiB, iters)
+		return r.finish(nil)
+	}
 	if p.Engine == Flink {
 		// Load: pipelined read + parse (points become the loop-invariant
 		// cached input of the bulk iteration).

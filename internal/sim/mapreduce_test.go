@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func mrRun(t *testing.T, job Job, nodes int, e EngineKind) float64 {
+	t.Helper()
+	res := job.Run(Params{Spec: cluster.Grid5000(nodes), Engine: e, Conf: core.NewConfig()})
+	if res.Err != nil {
+		t.Fatalf("%s on %v failed: %v", job.Name(), e, res.Err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("%s on %v took %v s", job.Name(), e, res.Seconds)
+	}
+	return res.Seconds
+}
+
+// TestMapReduceTrailsInMemoryEngines pins the qualitative ordering of the
+// related work ([LIT] in calibrate.go): the disk-oriented baseline is
+// slower than both in-memory engines on every workload, moderately on
+// one-pass batch jobs and by a wide margin on iterative K-Means.
+func TestMapReduceTrailsInMemoryEngines(t *testing.T) {
+	cases := []struct {
+		name  string
+		job   Job
+		nodes int
+	}{
+		{"WordCount", WordCountJob{TotalBytes: 768 * core.GB}, 32},
+		{"Grep", GrepJob{TotalBytes: 768 * core.GB, Selectivity: 0.1}, 32},
+		{"TeraSort", TeraSortJob{TotalBytes: 3584 * core.GB}, 55},
+	}
+	for _, tc := range cases {
+		spark := mrRun(t, tc.job, tc.nodes, Spark)
+		flink := mrRun(t, tc.job, tc.nodes, Flink)
+		mr := mrRun(t, tc.job, tc.nodes, MapReduce)
+		if mr <= spark || mr <= flink {
+			t.Errorf("%s: mapreduce %.0f s should trail spark %.0f and flink %.0f",
+				tc.name, mr, spark, flink)
+		}
+		if mr > 3*spark {
+			t.Errorf("%s: mapreduce %.0f s vs spark %.0f — batch gap should be moderate (<3x)",
+				tc.name, mr, spark)
+		}
+	}
+}
+
+// TestMapReduceIterativeGap: per-iteration re-reads and job startup make
+// the chained-job K-Means several times slower than either cached loop —
+// the headline result of Tekdogan & Cakmak.
+func TestMapReduceIterativeGap(t *testing.T) {
+	job := KMeansJob{TotalBytes: 51 * core.GB, Iterations: 10}
+	spark := mrRun(t, job, 24, Spark)
+	flink := mrRun(t, job, 24, Flink)
+	mr := mrRun(t, job, 24, MapReduce)
+	if mr < 3*spark || mr < 3*flink {
+		t.Errorf("kmeans: mapreduce %.0f s should be ≥3x spark %.0f / flink %.0f", mr, spark, flink)
+	}
+}
+
+// TestMapReduceIterationsScaleLinearly: each iteration pays the full
+// load+startup cost again, so doubling iterations nearly doubles runtime
+// (Spark and Flink only pay their cheap superstep).
+func TestMapReduceIterationsScaleLinearly(t *testing.T) {
+	t5 := mrRun(t, KMeansJob{TotalBytes: 51 * core.GB, Iterations: 5}, 24, MapReduce)
+	t10 := mrRun(t, KMeansJob{TotalBytes: 51 * core.GB, Iterations: 10}, 24, MapReduce)
+	if ratio := t10 / t5; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("10/5 iteration ratio = %.2f, want ≈2 (no cross-job caching)", ratio)
+	}
+}
+
+// TestGraphJobRejectsMapReduce: there is no MapReduce graph model, so a
+// GraphJob must fail loudly instead of reporting Spark-shaped numbers
+// under the mapreduce label.
+func TestGraphJobRejectsMapReduce(t *testing.T) {
+	job := GraphJob{Algo: PageRank, Graph: datagen.SmallGraph, SizeBytes: 14 * core.GB, Iterations: 5}
+	res := job.Run(Params{Spec: cluster.Grid5000(8), Engine: MapReduce, Conf: core.NewConfig()})
+	if res.Err == nil {
+		t.Fatal("graph workload on the mapreduce engine should error, not fall back to spark")
+	}
+}
+
+func TestEngineKindStrings(t *testing.T) {
+	if Spark.String() != "spark" || Flink.String() != "flink" || MapReduce.String() != "mapreduce" {
+		t.Errorf("engine names wrong: %v %v %v", Spark, Flink, MapReduce)
+	}
+	if got := Engines(); len(got) != 3 || got[0] != Spark || got[2] != MapReduce {
+		t.Errorf("Engines() = %v", got)
+	}
+}
+
+// TestMapReduceTimelineStaged: the two phases of each job appear as
+// non-overlapping spans — the materialization barrier in the simulator.
+func TestMapReduceTimelineStaged(t *testing.T) {
+	res := WordCountJob{TotalBytes: 24 * core.GB}.Run(Params{
+		Spec: cluster.Grid5000(2), Engine: MapReduce, Conf: core.NewConfig()})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	spans := res.Corr.Timeline.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (Map, Shuffle+Reduce)", len(spans))
+	}
+	if spans[1].Start < spans[0].End-1e-9 {
+		t.Errorf("reduce span starts at %.1f before map ends at %.1f", spans[1].Start, spans[0].End)
+	}
+}

@@ -29,15 +29,26 @@ type EngineKind int
 const (
 	Spark EngineKind = iota
 	Flink
+	// MapReduce is the disk-oriented Hadoop-style baseline: staged map and
+	// reduce phases with a full materialization barrier, sort-merge reduce,
+	// no caching and one independent job per iteration.
+	MapReduce
 )
 
 // String implements fmt.Stringer.
 func (e EngineKind) String() string {
-	if e == Flink {
+	switch e {
+	case Flink:
 		return "flink"
+	case MapReduce:
+		return "mapreduce"
+	default:
+		return "spark"
 	}
-	return "spark"
 }
+
+// Engines lists the simulated frameworks in report-column order.
+func Engines() []EngineKind { return []EngineKind{Spark, Flink, MapReduce} }
 
 // Params configures one simulated execution.
 type Params struct {
@@ -195,11 +206,14 @@ func (r *run) finish(err error) Result {
 }
 
 // serdeFactor returns the serialization cost multiplier for the engine's
-// configured strategy: Flink always uses TypeInfo; Spark uses
-// spark.serializer.
+// configured strategy: Flink always uses TypeInfo; MapReduce always uses
+// Writables; Spark uses spark.serializer.
 func (r *run) serdeFactor() float64 {
 	if r.p.Engine == Flink {
 		return serdeFactorTypeInfo
+	}
+	if r.p.Engine == MapReduce {
+		return serdeFactorWritable
 	}
 	if serde.ParseStyle(r.p.Conf.String(core.SparkSerializer, "java")) == serde.Kryo {
 		return serdeFactorKryo

@@ -24,13 +24,14 @@ func (j TeraSortJob) Run(p Params) Result {
 	r := newRun(p, j.Name())
 	perNodeMiB := float64(j.TotalBytes) / float64(p.Spec.Nodes) / (1 << 20)
 	remote := 1 - 1/float64(p.Spec.Nodes)
-	if p.Engine == Flink {
-		if j.DisablePipeline {
-			j.runFlinkStaged(r, perNodeMiB, remote)
-		} else {
-			j.runFlink(r, perNodeMiB, remote)
-		}
-	} else {
+	switch {
+	case p.Engine == Flink && j.DisablePipeline:
+		j.runFlinkStaged(r, perNodeMiB, remote)
+	case p.Engine == Flink:
+		j.runFlink(r, perNodeMiB, remote)
+	case p.Engine == MapReduce:
+		j.runMapReduce(r, perNodeMiB)
+	default:
 		j.runSpark(r, perNodeMiB, remote)
 	}
 	return r.finish(nil)
