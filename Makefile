@@ -8,10 +8,17 @@ build:
 test:
 	$(GO) test -race ./...
 
+# gofmt + go vet always; staticcheck when the binary is available (CI
+# installs it — locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Fast benchmark subset (1 iteration, no unit tests) plus one benchrunner
 # experiment — the smoke coverage CI runs on every push.

@@ -15,10 +15,13 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflow/backend/flinkexec"
+	"repro/internal/dataflow/backend/mrexec"
+	"repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
 	"repro/internal/engine/flink"
-	"repro/internal/engine/mapreduce"
 	"repro/internal/engine/spark"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -224,7 +227,10 @@ func BenchmarkAblationEdgePartitions(b *testing.B) {
 
 // --- Real-engine microbenchmarks --------------------------------------------
 
-func engineFixture(b *testing.B) (*spark.Context, *flink.Env) {
+// engineFixture builds matched spark and flink dataflow sessions over the
+// same topology with identical inputs; all Engine* benchmarks go through
+// the unified dataflow API.
+func engineFixture(b *testing.B) (*dataflow.Session, *dataflow.Session) {
 	b.Helper()
 	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 500, NetMiBps: 500}
 	srt, err := cluster.NewRuntime(spec, 4)
@@ -240,13 +246,15 @@ func engineFixture(b *testing.B) (*spark.Context, *flink.Env) {
 	sfs.WriteFile("wiki", text)
 	ffs := dfs.New(2, 64*core.KB, 1)
 	ffs.WriteFile("wiki", text)
-	ctx := spark.NewContext(core.NewConfig().SetInt(core.SparkDefaultParallelism, 8), srt, sfs)
-	env := flink.NewEnv(core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
-		SetInt(core.FlinkNetworkBuffers, 8192), frt, ffs)
-	return ctx, env
+	sparkS := dataflow.NewSession(sparkexec.New(
+		core.NewConfig().SetInt(core.SparkDefaultParallelism, 8), srt, sfs))
+	flinkS := dataflow.NewSession(flinkexec.New(
+		core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
+			SetInt(core.FlinkNetworkBuffers, 8192), frt, ffs))
+	return sparkS, flinkS
 }
 
-func mrEngineFixture(b *testing.B) *mapreduce.Cluster {
+func mrEngineFixture(b *testing.B) *dataflow.Session {
 	b.Helper()
 	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 500, NetMiBps: 500}
 	rt, err := cluster.NewRuntime(spec, 4)
@@ -255,37 +263,37 @@ func mrEngineFixture(b *testing.B) *mapreduce.Cluster {
 	}
 	fs := dfs.New(2, 64*core.KB, 1)
 	fs.WriteFile("wiki", datagen.Text(5, 512*1024, 10))
-	return mapreduce.NewCluster(core.NewConfig(), rt, fs)
+	return dataflow.NewSession(mrexec.New(core.NewConfig(), rt, fs))
 }
 
 func BenchmarkEngineWordCountMapReduce(b *testing.B) {
-	c := mrEngineFixture(b)
+	s := mrEngineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.WordCountMapReduce(c, "wiki", fmt.Sprintf("out%d", i)); err != nil {
+		if err := workloads.WordCount(s, "wiki", fmt.Sprintf("out%d", i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineGrepMapReduce(b *testing.B) {
-	c := mrEngineFixture(b)
+	s := mrEngineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := workloads.GrepMapReduce(c, "wiki", "the"); err != nil {
+		if _, err := workloads.Grep(s, "wiki", "the"); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineTeraSortMapReduce(b *testing.B) {
-	c := mrEngineFixture(b)
+	s := mrEngineFixture(b)
 	data := datagen.TeraGen(3, 5000)
-	c.FS().WriteFile("tera", data)
+	s.FS().WriteFile("tera", data)
 	part := workloads.TeraPartitioner(data, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.TeraSortMapReduce(c, "tera", "tera-out", part); err != nil {
+		if err := workloads.TeraSort(s, "tera", "tera-out", part); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -293,76 +301,76 @@ func BenchmarkEngineTeraSortMapReduce(b *testing.B) {
 
 func BenchmarkEngineKMeansMapReduce(b *testing.B) {
 	points, _ := datagen.KMeansPoints(9, 5000, 3, 2.0)
-	c := mrEngineFixture(b)
+	s := mrEngineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := workloads.KMeansMapReduce(c, points, 3, 5); err != nil {
+		if _, err := workloads.KMeans(s, points, 3, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineWordCountSpark(b *testing.B) {
-	ctx, _ := engineFixture(b)
+	s, _ := engineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.WordCountSpark(ctx, "wiki", fmt.Sprintf("out%d", i)); err != nil {
+		if err := workloads.WordCount(s, "wiki", fmt.Sprintf("out%d", i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineWordCountFlink(b *testing.B) {
-	_, env := engineFixture(b)
+	_, s := engineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.WordCountFlink(env, "wiki", fmt.Sprintf("out%d", i)); err != nil {
+		if err := workloads.WordCount(s, "wiki", fmt.Sprintf("out%d", i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineGrepSpark(b *testing.B) {
-	ctx, _ := engineFixture(b)
+	s, _ := engineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := workloads.GrepSpark(ctx, "wiki", "the"); err != nil {
+		if _, err := workloads.Grep(s, "wiki", "the"); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineGrepFlink(b *testing.B) {
-	_, env := engineFixture(b)
+	_, s := engineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := workloads.GrepFlink(env, "wiki", "the"); err != nil {
+		if _, err := workloads.Grep(s, "wiki", "the"); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineTeraSortSpark(b *testing.B) {
-	ctx, _ := engineFixture(b)
+	s, _ := engineFixture(b)
 	data := datagen.TeraGen(3, 5000)
-	ctx.FS().WriteFile("tera", data)
+	s.FS().WriteFile("tera", data)
 	part := workloads.TeraPartitioner(data, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.TeraSortSpark(ctx, "tera", "tera-out", part); err != nil {
+		if err := workloads.TeraSort(s, "tera", "tera-out", part); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineTeraSortFlink(b *testing.B) {
-	_, env := engineFixture(b)
+	_, s := engineFixture(b)
 	data := datagen.TeraGen(3, 5000)
-	env.FS().WriteFile("tera", data)
+	s.FS().WriteFile("tera", data)
 	part := workloads.TeraPartitioner(data, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workloads.TeraSortFlink(env, "tera", "tera-out", part); err != nil {
+		if err := workloads.TeraSort(s, "tera", "tera-out", part); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -371,17 +379,17 @@ func BenchmarkEngineTeraSortFlink(b *testing.B) {
 func BenchmarkEngineKMeans(b *testing.B) {
 	points, _ := datagen.KMeansPoints(9, 5000, 3, 2.0)
 	b.Run("spark", func(b *testing.B) {
-		ctx, _ := engineFixture(b)
+		s, _ := engineFixture(b)
 		for i := 0; i < b.N; i++ {
-			if _, err := workloads.KMeansSpark(ctx, points, 3, 5); err != nil {
+			if _, err := workloads.KMeans(s, points, 3, 5); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("flink", func(b *testing.B) {
-		_, env := engineFixture(b)
+		_, s := engineFixture(b)
 		for i := 0; i < b.N; i++ {
-			if _, err := workloads.KMeansFlink(env, points, 3, 5); err != nil {
+			if _, err := workloads.KMeans(s, points, 3, 5); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -391,7 +399,8 @@ func BenchmarkEngineKMeans(b *testing.B) {
 func BenchmarkEngineConnectedComponents(b *testing.B) {
 	edges := datagen.RMAT(12, datagen.GraphSpec{Name: "bench", Vertices: 256, Edges: 1024})
 	b.Run("spark", func(b *testing.B) {
-		ctx, _ := engineFixture(b)
+		s, _ := engineFixture(b)
+		ctx := s.Backend().Handle().(*spark.Context)
 		for i := 0; i < b.N; i++ {
 			if _, _, err := workloads.ConnectedComponentsSpark(ctx, edges, 30); err != nil {
 				b.Fatal(err)
@@ -399,7 +408,8 @@ func BenchmarkEngineConnectedComponents(b *testing.B) {
 		}
 	})
 	b.Run("flink-delta", func(b *testing.B) {
-		_, env := engineFixture(b)
+		_, s := engineFixture(b)
+		env := s.Backend().Handle().(*flink.Env)
 		for i := 0; i < b.N; i++ {
 			if _, _, err := workloads.ConnectedComponentsFlinkDelta(env, edges, 30); err != nil {
 				b.Fatal(err)

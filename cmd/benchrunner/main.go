@@ -4,6 +4,7 @@
 //
 //	benchrunner -run fig1          # one experiment
 //	benchrunner -run all           # everything, in paper order
+//	benchrunner -run ext3 -engines mapreduce   # one engine's numbers only
 //	benchrunner -list              # available experiment ids
 //	benchrunner -run all -md out.md  # write an EXPERIMENTS-style markdown report
 package main
@@ -14,6 +15,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/mrexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/experiments"
 )
 
@@ -21,7 +26,31 @@ func main() {
 	runID := flag.String("run", "", "experiment id (fig1..fig17, tab1..tab7, ext1..ext3) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.String("md", "", "also write a markdown report to this file")
+	engines := flag.String("engines", "",
+		fmt.Sprintf("comma-separated engine filter (registered: %s); default all",
+			strings.Join(dataflow.Names(), ",")))
 	flag.Parse()
+
+	if *engines != "" {
+		// Restrict the experiment runners so one engine's numbers can be
+		// regenerated without the full three-way matrix. The engine names
+		// are the dataflow backend registry's; SetEngineFilter validates.
+		var names []string
+		for _, name := range strings.Split(*engines, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(os.Stderr, "-engines %q names no engine (registered: %s)\n",
+				*engines, strings.Join(dataflow.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := experiments.SetEngineFilter(names); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -31,7 +60,7 @@ func main() {
 		return
 	}
 	if *runID == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchrunner -run <id>|all [-md report.md] | -list")
+		fmt.Fprintln(os.Stderr, "usage: benchrunner -run <id>|all [-engines spark,flink,mapreduce] [-md report.md] | -list")
 		os.Exit(2)
 	}
 

@@ -3,10 +3,12 @@
 // Pérez-Hernández; IEEE CLUSTER 2016) as a self-contained Go system: three
 // real executing mini-engines — Spark 1.5's staged RDD architecture,
 // Flink 0.10's pipelined dataflow, and a classic Hadoop-style MapReduce
-// baseline — the six benchmark workloads, a deterministic paper-scale
-// cluster simulator, and a harness that regenerates every table and figure
-// of the evaluation plus the three-way ext1–ext3 extension experiments.
-// See README.md for build/test/benchrunner instructions and the
-// architecture sketch; bench_test.go holds one benchmark per paper
-// artifact plus the ablations.
+// baseline — behind one engine-agnostic dataflow API
+// (internal/dataflow) in which each benchmark workload is defined exactly
+// once and lowered onto every engine's physical idiom, plus a
+// deterministic paper-scale cluster simulator and a harness that
+// regenerates every table and figure of the evaluation and the three-way
+// ext1–ext3 extension experiments. See README.md for build/test/
+// benchrunner instructions and the architecture sketch; bench_test.go
+// holds one benchmark per paper artifact plus the ablations.
 package repro

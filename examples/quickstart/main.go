@@ -1,7 +1,7 @@
-// Quickstart: Word Count on both mini-engines over the same synthetic
-// corpus, printing the word totals, the operator plans, and the engine
-// metrics that drive the paper's analysis (combine ratio, shuffle volume,
-// scheduling rounds).
+// Quickstart: Word Count written ONCE against the engine-agnostic
+// dataflow API and executed on all three mini-engines over the same
+// synthetic corpus, printing the engine metrics that drive the paper's
+// analysis (stages, scheduling rounds, shuffle volume, combine ratio).
 package main
 
 import (
@@ -10,57 +10,56 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/mrexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 	"repro/internal/workloads"
 )
 
 func main() {
 	spec := cluster.Spec{Nodes: 4, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
-
-	// One runtime per framework, same topology, same input.
-	srt, err := cluster.NewRuntime(spec, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	frt, err := cluster.NewRuntime(spec, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
 	corpus := datagen.Text(42, 256*1024, 10)
 
-	sfs := dfs.New(spec.Nodes, 16*core.KB, 2)
-	sfs.WriteFile("wiki", corpus)
-	ffs := dfs.New(spec.Nodes, 16*core.KB, 2)
-	ffs.WriteFile("wiki", corpus)
-
-	sconf := core.NewConfig().SetInt(core.SparkDefaultParallelism, 16)
-	fconf := core.NewConfig().
-		SetInt(core.FlinkDefaultParallelism, 8).
-		SetInt(core.FlinkNetworkBuffers, 8192)
-
-	ctx := spark.NewContext(sconf, srt, sfs)
-	env := flink.NewEnv(fconf, frt, ffs)
-
-	if err := workloads.WordCountSpark(ctx, "wiki", "counts"); err != nil {
-		log.Fatal(err)
-	}
-	if err := workloads.WordCountFlink(env, "wiki", "counts"); err != nil {
-		log.Fatal(err)
+	confs := map[string]*core.Config{
+		"spark":     core.NewConfig().SetInt(core.SparkDefaultParallelism, 16),
+		"flink":     core.NewConfig().SetInt(core.FlinkDefaultParallelism, 8).SetInt(core.FlinkNetworkBuffers, 8192),
+		"mapreduce": core.NewConfig(),
 	}
 
-	sm := ctx.Metrics().Snapshot()
-	fm := env.Metrics().Snapshot()
-	fmt.Println("spark: stages =", sm.Stages, "tasks =", sm.TasksLaunched,
-		"shuffleBytes =", sm.ShuffleBytesWritten, "combineRatio =", fmt.Sprintf("%.1f", sm.CombineRatio))
-	fmt.Println("flink: stages =", fm.Stages, "tasks =", fm.TasksLaunched,
-		"shuffleBytes =", fm.ShuffleBytesWritten, "combineRatio =", fmt.Sprintf("%.1f", fm.CombineRatio))
+	// One runtime and filesystem per engine, same topology, same input —
+	// and exactly one Word Count definition for all of them.
+	sessions := map[string]*dataflow.Session{}
+	for _, engine := range dataflow.Names() {
+		rt, err := cluster.NewRuntime(spec, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := dfs.New(spec.Nodes, 16*core.KB, 2)
+		fs.WriteFile("wiki", corpus)
+		s, err := dataflow.Open(engine, confs[engine], rt, fs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := workloads.WordCount(s, "wiki", "counts"); err != nil {
+			log.Fatal(err)
+		}
+		m := s.Metrics().Snapshot()
+		fmt.Printf("%-10s stages=%-3d tasks=%-4d shuffleBytes=%-8d combineRatio=%.1f schedulingRounds=%d\n",
+			engine, m.Stages, m.TasksLaunched, m.ShuffleBytesWritten, m.CombineRatio, m.SchedulingRounds)
+		sessions[engine] = s
+	}
+
 	fmt.Println()
-	fmt.Println("The architectural contrast the paper studies, visible on real runs:")
-	fmt.Printf("  spark scheduled %d rounds (staged execution with barriers)\n", sm.SchedulingRounds)
-	fmt.Printf("  flink scheduled %d rounds (one pipelined deployment)\n", fm.SchedulingRounds)
-	fmt.Printf("  flink shuffled %.1fx fewer bytes (TypeInfo vs Java serialization)\n",
-		float64(sm.ShuffleBytesWritten)/float64(fm.ShuffleBytesWritten))
+	fmt.Println("The architectural contrast the paper studies, from ONE workload definition:")
+	fmt.Println("  spark:     staged execution — scheduling waves with barriers between stages")
+	fmt.Println("  flink:     one pipelined deployment, operator chaining, no barriers")
+	fmt.Println("  mapreduce: rigid map/materialize/reduce phases, everything through disk")
+	fmt.Println()
+	fmt.Println("Lowered physical plans (Table I) from the same definition:")
+	for _, engine := range dataflow.Names() {
+		fmt.Println("  " + workloads.WordCountPlan(sessions[engine]).String())
+	}
 }

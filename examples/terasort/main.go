@@ -1,7 +1,9 @@
-// Terasort: the paper's sort benchmark end to end at laptop scale — shared
-// TeraGen input, shared range partitioner, both engines, TeraValidate-style
-// verification, and the timeline contrast (Spark's two stages vs Flink's
-// pipeline).
+// Terasort: the paper's sort benchmark end to end at laptop scale, written
+// once against dataflow.Session — shared TeraGen input, the same range
+// partitioner on every engine (the paper's fairness requirement),
+// TeraValidate-style verification, and the timeline contrast: Spark's two
+// separated stages, Flink's single pipeline, MapReduce's materialized
+// map/reduce phases.
 package main
 
 import (
@@ -10,57 +12,46 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/mrexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 	"repro/internal/workloads"
 )
 
 func main() {
 	const records = 20000
 	spec := cluster.Spec{Nodes: 4, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
-	srt, err := cluster.NewRuntime(spec, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	frt, err := cluster.NewRuntime(spec, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
 	data := datagen.TeraGen(2016, records)
-	sfs := dfs.New(spec.Nodes, 64*core.KB, 1)
-	sfs.WriteFile("tera-in", data)
-	ffs := dfs.New(spec.Nodes, 64*core.KB, 1)
-	ffs.WriteFile("tera-in", data)
-
-	ctx := spark.NewContext(core.NewConfig().SetInt(core.SparkDefaultParallelism, 16), srt, sfs)
-	env := flink.NewEnv(core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
-		SetInt(core.FlinkNetworkBuffers, 8192), frt, ffs)
-
-	// The same range partitioner on both sides, as the paper requires for
-	// a fair comparison.
 	part := workloads.TeraPartitioner(data, 4)
 
-	if err := workloads.TeraSortSpark(ctx, "tera-in", "tera-out", part); err != nil {
-		log.Fatal(err)
+	confs := map[string]*core.Config{
+		"spark":     core.NewConfig().SetInt(core.SparkDefaultParallelism, 16),
+		"flink":     core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).SetInt(core.FlinkNetworkBuffers, 8192),
+		"mapreduce": core.NewConfig(),
 	}
-	if err := workloads.VerifyTeraSorted(sfs, "tera-out", records); err != nil {
-		log.Fatal("spark output invalid: ", err)
-	}
-	fmt.Println("spark: output globally sorted ✓")
-	fmt.Println(ctx.Timeline().String())
 
-	if err := workloads.TeraSortFlink(env, "tera-in", "tera-out", part); err != nil {
-		log.Fatal(err)
+	for _, engine := range dataflow.Names() {
+		rt, err := cluster.NewRuntime(spec, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := dfs.New(spec.Nodes, 64*core.KB, 1)
+		fs.WriteFile("tera-in", data)
+		s, err := dataflow.Open(engine, confs[engine], rt, fs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := workloads.TeraSort(s, "tera-in", "tera-out", part); err != nil {
+			log.Fatal(err)
+		}
+		if err := workloads.VerifyTeraSorted(fs, "tera-out", records); err != nil {
+			log.Fatalf("%s output invalid: %v", engine, err)
+		}
+		fmt.Printf("%s: output globally sorted ✓ — %d bytes shuffled over %d stage(s)\n",
+			engine, s.Metrics().ShuffleBytesWritten.Load(), s.Metrics().Stages.Load())
+		fmt.Println(s.Timeline().String())
 	}
-	if err := workloads.VerifyTeraSorted(ffs, "tera-out", records); err != nil {
-		log.Fatal("flink output invalid: ", err)
-	}
-	fmt.Println("flink: output globally sorted ✓")
-	fmt.Println(env.Timeline().String())
-
-	fmt.Printf("spark shuffled %d bytes over %d stages; flink %d bytes in %d stage(s)\n",
-		ctx.Metrics().ShuffleBytesWritten.Load(), ctx.Metrics().Stages.Load(),
-		env.Metrics().ShuffleBytesWritten.Load(), env.Metrics().Stages.Load())
 }

@@ -1,0 +1,241 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+)
+
+// Dataset is a typed, lazily evaluated distributed collection in the
+// engine-neutral plan. Transformations only grow the logical DAG; the
+// first action lowers it onto the session's backend and executes the
+// engine's physical plan. Like the engines' own APIs, transformations are
+// free functions because Go methods cannot introduce type parameters.
+type Dataset[T any] struct {
+	s    *Session
+	node *Node
+	// lower builds the engine representation: *spark.RDD[T],
+	// *flink.DataSet[T] or *mrFrag[T] depending on the backend kind.
+	lower func() (any, error)
+}
+
+// Session returns the owning session.
+func (d *Dataset[T]) Session() *Session { return d.s }
+
+// Node returns the logical plan node, the input to PlanOf.
+func (d *Dataset[T]) Node() *Node { return d.node }
+
+// Cached marks the dataset for persistence on engines that support it:
+// Spark's lowering persists the RDD (MEMORY_ONLY); Flink and MapReduce
+// have no persistence control — the Section VI-B asymmetry — and ignore
+// the hint, re-running the pipeline per action. Set it before the first
+// action; it returns the receiver for chaining.
+func (d *Dataset[T]) Cached() *Dataset[T] {
+	d.node.Cached = true
+	return d
+}
+
+// repOf returns d's engine representation, lowering on first use and
+// memoizing per logical node so shared subgraphs lower exactly once.
+func repOf[R any, T any](d *Dataset[T]) (R, error) {
+	var zero R
+	if v, ok := d.s.reps[d.node.ID]; ok {
+		r, ok := v.(R)
+		if !ok {
+			return zero, fmt.Errorf("dataflow: node %d lowered as %T, want %T", d.node.ID, v, zero)
+		}
+		return r, nil
+	}
+	v, err := d.lower()
+	if err != nil {
+		return zero, err
+	}
+	d.s.reps[d.node.ID] = v
+	r, ok := v.(R)
+	if !ok {
+		return zero, fmt.Errorf("dataflow: node %d lowered as %T, want %T", d.node.ID, v, zero)
+	}
+	return r, nil
+}
+
+// cacheHint applies the persistence hint where the engine has one.
+func cacheHint[T any](n *Node, r *spark.RDD[T]) *spark.RDD[T] {
+	if n.Cached {
+		return r.Cache()
+	}
+	return r
+}
+
+// --- Sources ------------------------------------------------------------
+
+// TextFile reads a DFS file as lines: Spark's textFile (one task per HDFS
+// block), Flink's readTextFile (slot-bounded subtasks pulling splits),
+// MapReduce's TextInputFormat. The file is opened at execution time, so
+// plans can be built before the input exists.
+func TextFile(s *Session, name string) *Dataset[string] {
+	d := &Dataset[string]{s: s, node: s.newNode(core.OpSource, "TextSource")}
+	d.lower = func() (any, error) {
+		switch s.kind() {
+		case Spark:
+			r, err := spark.TextFile(s.handle().(*spark.Context), name)
+			if err != nil {
+				return nil, err
+			}
+			return cacheHint(d.node, r), nil
+		case Flink:
+			return flink.ReadTextFile(s.handle().(*flink.Env), name)
+		default:
+			return textFrag(s, name), nil
+		}
+	}
+	return d
+}
+
+// BinaryFile reads fixed-width binary records (the Tera Sort input):
+// Spark's binaryRecords, Flink's fixed-record source, MapReduce's
+// fixed-record InputFormat.
+func BinaryFile(s *Session, name string, recSize int) *Dataset[[]byte] {
+	d := &Dataset[[]byte]{s: s, node: s.newNode(core.OpSource, "BinarySource")}
+	d.lower = func() (any, error) {
+		switch s.kind() {
+		case Spark:
+			r, err := spark.BinaryRecords(s.handle().(*spark.Context), name, recSize)
+			if err != nil {
+				return nil, err
+			}
+			return cacheHint(d.node, r), nil
+		case Flink:
+			return flink.ReadFixedRecords(s.handle().(*flink.Env), name, recSize)
+		default:
+			return binaryFrag(s, name, recSize), nil
+		}
+	}
+	return d
+}
+
+// FromSlice distributes an in-memory slice (parallelize / fromCollection /
+// slice input). parallelism ≤ 0 uses the engine default.
+func FromSlice[T any](s *Session, data []T, parallelism int) *Dataset[T] {
+	d := &Dataset[T]{s: s, node: s.newNode(core.OpSource, "Collection")}
+	d.lower = func() (any, error) {
+		switch s.kind() {
+		case Spark:
+			return cacheHint(d.node, spark.Parallelize(s.handle().(*spark.Context), data, parallelism)), nil
+		case Flink:
+			return flink.FromSlice(s.handle().(*flink.Env), data, parallelism), nil
+		default:
+			return sliceFrag(s, data, parallelism), nil
+		}
+	}
+	return d
+}
+
+// --- Narrow transformations ---------------------------------------------
+
+// Map applies f to every record. Narrow everywhere: Spark runs it in the
+// parent's tasks, Flink chains it into the producing operator, MapReduce
+// fuses it into the next job's map phase.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	out := &Dataset[U]{s: d.s, node: d.s.newNode(core.OpMap, "Map", d.node)}
+	out.lower = func() (any, error) {
+		switch d.s.kind() {
+		case Spark:
+			in, err := repOf[*spark.RDD[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return cacheHint(out.node, spark.Map(in, f)), nil
+		case Flink:
+			in, err := repOf[*flink.DataSet[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return flink.Map(in, f), nil
+		default:
+			in, err := repOf[*mrFrag[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return fragNarrow(in, func(recs []T) []U {
+				mapped := make([]U, len(recs))
+				for i, v := range recs {
+					mapped[i] = f(v)
+				}
+				return mapped
+			}), nil
+		}
+	}
+	return out
+}
+
+// FlatMap applies f and flattens the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	out := &Dataset[U]{s: d.s, node: d.s.newNode(core.OpFlatMap, "FlatMap", d.node)}
+	out.lower = func() (any, error) {
+		switch d.s.kind() {
+		case Spark:
+			in, err := repOf[*spark.RDD[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return cacheHint(out.node, spark.FlatMap(in, f)), nil
+		case Flink:
+			in, err := repOf[*flink.DataSet[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return flink.FlatMap(in, f), nil
+		default:
+			in, err := repOf[*mrFrag[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return fragNarrow(in, func(recs []T) []U {
+				var flat []U
+				for _, v := range recs {
+					flat = append(flat, f(v)...)
+				}
+				return flat
+			}), nil
+		}
+	}
+	return out
+}
+
+// Filter keeps records where f is true.
+func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
+	out := &Dataset[T]{s: d.s, node: d.s.newNode(core.OpFilter, "Filter", d.node)}
+	out.lower = func() (any, error) {
+		switch d.s.kind() {
+		case Spark:
+			in, err := repOf[*spark.RDD[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return cacheHint(out.node, spark.Filter(in, f)), nil
+		case Flink:
+			in, err := repOf[*flink.DataSet[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return flink.Filter(in, f), nil
+		default:
+			in, err := repOf[*mrFrag[T]](d)
+			if err != nil {
+				return nil, err
+			}
+			return fragNarrow(in, func(recs []T) []T {
+				var kept []T
+				for _, v := range recs {
+					if f(v) {
+						kept = append(kept, v)
+					}
+				}
+				return kept
+			}), nil
+		}
+	}
+	return out
+}

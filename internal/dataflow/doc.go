@@ -1,0 +1,41 @@
+// Package dataflow is the engine-neutral pipeline API: each workload is
+// written once as a typed logical plan and executed on any of the three
+// mini-engines through a pluggable Backend — the DataSet/RDD duality the
+// paper studies, factored out so that adding a workload or an engine costs
+// O(workloads + engines) instead of O(workloads × engines).
+//
+// A Session binds a Backend (spark, flink or mapreduce, built by the
+// adapters under backend/). Sources, transformations and actions mirror
+// the common core of Table I:
+//
+//	s, _ := dataflow.Open("flink", conf, rt, fs)     // or NewSession(backend)
+//	lines := dataflow.TextFile(s, "wiki")
+//	words := dataflow.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
+//	pairs := dataflow.MapToPair(words, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
+//	counts := dataflow.ReduceByKey(pairs, func(a, b int64) int64 { return a + b })
+//	err := dataflow.SaveAsText(counts, "counts")     // runs the engine's physical plan
+//
+// Nothing executes until an action (Collect, Count, SaveAsText, SaveBytes,
+// CollectAsMap, Iteration.Run) lowers the logical plan onto the session's
+// engine. Lowering preserves each engine's physical idiom — and with it the
+// performance asymmetries the paper measures:
+//
+//   - spark: lazy RDD lineage, staged execution, ReduceByKey with map-side
+//     combine, RepartitionAndSortWithinPartitions for sorts, Cached()
+//     honored as RDD persistence, iterations as driver loops with
+//     CollectAsMap per round (loop unrolling);
+//   - flink: one pipelined job per action with operator chaining and a
+//     sort-based combiner, partitionCustom→sortPartition for sorts,
+//     Cached() ignored (no persistence control — Section VI-B), iterations
+//     as a native bulk iteration scheduled once;
+//   - mapreduce: narrow operators fuse into the next job's map phase, every
+//     shuffle is a full spill-sort/materialize/merge job, Cached() ignored,
+//     iterations as chained jobs whose input and state round-trip through
+//     the DFS every round.
+//
+// The same logical plan is also introspectable without executing:
+// PlanOf(s, workload, action, sink.Node()) asks the backend to lower it
+// into the engine's core.Plan, which is how cmd/planviz and experiment
+// tab1 regenerate the paper's Table I for all engines from one definition
+// per workload.
+package dataflow

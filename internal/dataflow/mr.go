@@ -1,0 +1,228 @@
+package dataflow
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine/mapreduce"
+)
+
+// This file is the MapReduce half of the lowering: a Dataset[T] lowers to
+// an *mrFrag[T] — a splittable input with every narrow operator fused into
+// its record stream, i.e. the map phase of the NEXT job. Each shuffle
+// boundary (ReduceByKey, SortByKey) or job-shaped action (Count) turns the
+// frag into a full two-phase job on the real engine: spill-sorted map
+// output, a materialization barrier, shuffle and sort-merge reduce.
+// Nothing is cached anywhere: re-consuming a frag (a second action, an
+// iteration round) re-reads the input and re-runs the chain, the repeated
+// cost that Spark's persistence and Flink's native iterations eliminate.
+
+// mrSplits is one materialization of a frag's stream: records per input
+// split, their preferred nodes, and the byte volume the map phase charges
+// as DFS reads.
+type mrSplits[T any] struct {
+	parts [][]T
+	pref  func(int) int
+	bytes int64
+}
+
+// records flattens the splits in split order.
+func (sp mrSplits[T]) records() []T {
+	var out []T
+	for _, p := range sp.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// mrFrag is the MapReduce lowering of a Dataset: load materializes the
+// fused map-side stream (called once per consuming job — no caching).
+type mrFrag[T any] struct {
+	c    *mapreduce.Cluster
+	load func() (mrSplits[T], error)
+}
+
+// mrCluster asserts the session's engine handle.
+func mrCluster(s *Session) *mapreduce.Cluster { return s.handle().(*mapreduce.Cluster) }
+
+// textFrag reads a DFS file as lines, one split per block.
+func textFrag(s *Session, name string) *mrFrag[string] {
+	c := mrCluster(s)
+	return &mrFrag[string]{c: c, load: func() (mrSplits[string], error) {
+		f, err := c.FS().Open(name)
+		if err != nil {
+			return mrSplits[string]{}, fmt.Errorf("dataflow: mapreduce text source: %w", err)
+		}
+		return mrSplits[string]{parts: f.LineSplits(), pref: f.PreferredNode, bytes: f.Size()}, nil
+	}}
+}
+
+// binaryFrag reads fixed-width records, one split per block.
+func binaryFrag(s *Session, name string, recSize int) *mrFrag[[]byte] {
+	c := mrCluster(s)
+	return &mrFrag[[]byte]{c: c, load: func() (mrSplits[[]byte], error) {
+		f, err := c.FS().Open(name)
+		if err != nil {
+			return mrSplits[[]byte]{}, fmt.Errorf("dataflow: mapreduce binary source: %w", err)
+		}
+		return mrSplits[[]byte]{parts: f.FixedRecordSplits(recSize), pref: f.PreferredNode, bytes: f.Size()}, nil
+	}}
+}
+
+// sliceFrag splits an in-memory slice with the engine's own rule, so the
+// dataflow path partitions identically to native SliceInput jobs.
+func sliceFrag[T any](s *Session, data []T, parallelism int) *mrFrag[T] {
+	c := mrCluster(s)
+	return &mrFrag[T]{c: c, load: func() (mrSplits[T], error) {
+		return mrSplits[T]{parts: mapreduce.SplitSlice(c, data, parallelism), pref: c.Runtime().NodeFor}, nil
+	}}
+}
+
+// fragNarrow fuses a per-split transform into the map-side stream.
+func fragNarrow[T, U any](in *mrFrag[T], f func([]T) []U) *mrFrag[U] {
+	return &mrFrag[U]{c: in.c, load: func() (mrSplits[U], error) {
+		sp, err := in.load()
+		if err != nil {
+			return mrSplits[U]{}, err
+		}
+		parts := make([][]U, len(sp.parts))
+		for i, p := range sp.parts {
+			parts[i] = f(p)
+		}
+		return mrSplits[U]{parts: parts, pref: sp.pref, bytes: sp.bytes}, nil
+	}}
+}
+
+// foldValues reduces a non-empty value group with f.
+func foldValues[V any](vs []V, f func(V, V) V) V {
+	acc := vs[0]
+	for _, v := range vs[1:] {
+		acc = f(acc, v)
+	}
+	return acc
+}
+
+// fragReduceByKey runs the keyed aggregation as one full job: the fused
+// chain feeds the map phase, f is both the Combine and the Reduce.
+func fragReduceByKey[K cmp.Ordered, V any](in *mrFrag[core.Pair[K, V]], f func(V, V) V, reduces int) *mrFrag[core.Pair[K, V]] {
+	c := in.c
+	return &mrFrag[core.Pair[K, V]]{c: c, load: func() (mrSplits[core.Pair[K, V]], error) {
+		sp, err := in.load()
+		if err != nil {
+			return mrSplits[core.Pair[K, V]]{}, err
+		}
+		job := mapreduce.Job[core.Pair[K, V], K, V]{
+			Name:    "ReduceByKey",
+			Reduces: reduces,
+			Map:     func(p core.Pair[K, V], emit func(K, V)) { emit(p.Key, p.Value) },
+			Combine: func(_ K, vs []V) V { return foldValues(vs, f) },
+			Reduce:  func(k K, vs []V, emit func(K, V)) { emit(k, foldValues(vs, f)) },
+		}
+		out, err := mapreduce.Run(c, job, mapreduce.SplitsInput(c, sp.parts, sp.pref, sp.bytes))
+		if err != nil {
+			return mrSplits[core.Pair[K, V]]{}, err
+		}
+		return mrSplits[core.Pair[K, V]]{parts: out.Partitions, pref: c.Runtime().NodeFor}, nil
+	}}
+}
+
+// fragSortByKey runs the range-partitioned sort job: explicit partitioner,
+// identity reduce — the engine's sort-merge produces the order, exactly the
+// original Hadoop TeraSort.
+func fragSortByKey[K cmp.Ordered, V any](in *mrFrag[core.Pair[K, V]], part core.Partitioner[K]) *mrFrag[core.Pair[K, V]] {
+	c := in.c
+	return &mrFrag[core.Pair[K, V]]{c: c, load: func() (mrSplits[core.Pair[K, V]], error) {
+		sp, err := in.load()
+		if err != nil {
+			return mrSplits[core.Pair[K, V]]{}, err
+		}
+		job := mapreduce.Job[core.Pair[K, V], K, V]{
+			Name:      "SortByKey",
+			Reduces:   part.NumPartitions(),
+			Map:       func(p core.Pair[K, V], emit func(K, V)) { emit(p.Key, p.Value) },
+			Partition: func(k K, _ int) int { return part.Partition(k) },
+		}
+		out, err := mapreduce.Run(c, job, mapreduce.SplitsInput(c, sp.parts, sp.pref, sp.bytes))
+		if err != nil {
+			return mrSplits[core.Pair[K, V]]{}, err
+		}
+		return mrSplits[core.Pair[K, V]]{parts: out.Partitions, pref: c.Runtime().NodeFor}, nil
+	}}
+}
+
+// count runs the counting job (map emits one pair per record, a single
+// reduce sums — the distributed-grep shape from the MapReduce paper).
+func (f *mrFrag[T]) count() (int64, error) {
+	sp, err := f.load()
+	if err != nil {
+		return 0, err
+	}
+	job := mapreduce.Job[T, int, int64]{
+		Name:    "Count",
+		Reduces: 1,
+		Map:     func(_ T, emit func(int, int64)) { emit(0, 1) },
+		Combine: func(_ int, vs []int64) int64 { return foldValues(vs, func(a, b int64) int64 { return a + b }) },
+		Reduce: func(k int, vs []int64, emit func(int, int64)) {
+			emit(k, foldValues(vs, func(a, b int64) int64 { return a + b }))
+		},
+	}
+	out, err := mapreduce.Run(f.c, job, mapreduce.SplitsInput(f.c, sp.parts, sp.pref, sp.bytes))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, kv := range out.Pairs() {
+		total += kv.Value
+	}
+	return total, nil
+}
+
+// collect materializes the frag on the driver, like reading a job's output
+// directory back.
+func (f *mrFrag[T]) collect() ([]T, error) {
+	sp, err := f.load()
+	if err != nil {
+		return nil, err
+	}
+	return sp.records(), nil
+}
+
+// saveText writes one fmt line per record to the DFS in split order,
+// charging the write like the engines' text sinks do.
+func (f *mrFrag[T]) saveText(name string) error {
+	sp, err := f.load()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	records := int64(0)
+	for _, part := range sp.parts {
+		for _, v := range part {
+			buf = append(buf, fmt.Sprint(v)...)
+			buf = append(buf, '\n')
+			records++
+		}
+	}
+	f.c.FS().WriteFile(name, buf)
+	f.c.Metrics().RecordsWritten.Add(records)
+	f.c.Metrics().DiskBytesWritten.Add(int64(len(buf)))
+	return nil
+}
+
+// saveBytes writes enc(record) concatenated in split order.
+func (f *mrFrag[T]) saveBytes(name string, enc func(T) []byte) error {
+	sp, err := f.load()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, part := range sp.parts {
+		for _, v := range part {
+			buf = append(buf, enc(v)...)
+		}
+	}
+	f.c.FS().WriteFile(name, buf)
+	f.c.Metrics().DiskBytesWritten.Add(int64(len(buf)))
+	return nil
+}

@@ -84,6 +84,14 @@ func FixedRecordInput(c *Cluster, name string, recSize int) (Input[[]byte], erro
 // SliceInput splits an in-memory slice over numSplits map tasks
 // (the testing analog of spark.Parallelize; placement is round-robin).
 func SliceInput[I any](c *Cluster, data []I, numSplits int) Input[I] {
+	return Input[I]{file: "(slice)", splits: SplitSlice(c, data, numSplits), pref: c.rt.NodeFor}
+}
+
+// SplitSlice is the engine's slice-partitioning rule: one split per map
+// task, clamped so no split is empty; numSplits ≤ 0 derives one per node.
+// It is exported so layers that build their own inputs (the dataflow
+// lowering) partition identically to native jobs.
+func SplitSlice[I any](c *Cluster, data []I, numSplits int) [][]I {
 	if numSplits <= 0 {
 		numSplits = c.rt.Spec().Nodes
 	}
@@ -99,7 +107,19 @@ func SliceInput[I any](c *Cluster, data []I, numSplits int) Input[I] {
 		hi := (i + 1) * len(data) / numSplits
 		splits[i] = data[lo:hi:hi]
 	}
-	return Input[I]{file: "(slice)", splits: splits, pref: c.rt.NodeFor}
+	return splits
+}
+
+// SplitsInput wraps pre-partitioned in-memory records as a job input,
+// preserving split boundaries, preferred nodes and the byte volume the map
+// phase charges as DFS reads — the entry point for callers that fuse their
+// own record pipelines into the map phase (the dataflow layer's lowering).
+// A nil pref places splits round-robin like SliceInput.
+func SplitsInput[I any](c *Cluster, splits [][]I, pref func(split int) int, bytes int64) Input[I] {
+	if pref == nil {
+		pref = c.rt.NodeFor
+	}
+	return Input[I]{file: "(splits)", splits: splits, pref: pref, bytes: bytes}
 }
 
 // Output is one job's reduce output, kept per reduce partition in key

@@ -87,7 +87,9 @@ func (r *Report) Render() string {
 
 func cell(mean, std float64) string {
 	if math.IsNaN(mean) {
-		return "no (failed)"
+		// Either the run failed (the paper's "no" cells) or the engine was
+		// excluded by the -engines filter.
+		return "-"
 	}
 	if std > 0 {
 		return fmt.Sprintf("%.0f ± %.0f", mean, std)

@@ -62,8 +62,8 @@ func scalingReport(id, title string, nodeCounts []int,
 	for _, n := range nodeCounts {
 		conf := confFor(n)
 		job := jobFor(n)
-		row := Row{Label: labelFor(n), PaperNote: paperNotes[n]}
-		for _, engine := range []sim.EngineKind{sim.Spark, sim.Flink} {
+		row := skippedRow(labelFor(n), paperNotes[n])
+		for _, engine := range enabled([]sim.EngineKind{sim.Spark, sim.Flink}) {
 			p := sim.Params{Spec: cluster.Grid5000(n), Engine: engine, Conf: conf}
 			times, err := sim.Trials(job, p, trials)
 			if err != nil {
@@ -85,18 +85,19 @@ func scalingReport(id, title string, nodeCounts []int,
 // correlation figures.
 func usageReport(id, title string, nodes int, job sim.Job, conf *core.Config, notes []string) (*Report, error) {
 	rep := &Report{ID: id, Title: title, Notes: notes}
-	for _, engine := range []sim.EngineKind{sim.Flink, sim.Spark} {
+	for _, engine := range enabled([]sim.EngineKind{sim.Flink, sim.Spark}) {
 		res := job.Run(sim.Params{Spec: cluster.Grid5000(nodes), Engine: engine, Conf: conf})
 		if res.Err != nil {
 			return nil, fmt.Errorf("%s (%v): %w", id, engine, res.Err)
 		}
 		rep.Figures = append(rep.Figures, res.Corr.Render(64))
-		row := Row{Label: engine.String()}
+		row := skippedRow(engine.String(), "")
 		if engine == sim.Spark {
 			row.Spark = res.Seconds
 		} else {
 			row.Flink = res.Seconds
 		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
 }
@@ -117,8 +118,8 @@ func runFig2() (*Report, error) {
 	rep := &Report{ID: "fig2", Title: "Word Count, 16 nodes, growing datasets"}
 	for _, gb := range sizes {
 		job := sim.WordCountJob{TotalBytes: core.ByteSize(16*gb) * core.GB}
-		row := Row{Label: fmt.Sprintf("%d GB/node", gb), PaperNote: "paper: Flink ≈10% faster"}
-		for _, engine := range []sim.EngineKind{sim.Spark, sim.Flink} {
+		row := skippedRow(fmt.Sprintf("%d GB/node", gb), "paper: Flink ≈10% faster")
+		for _, engine := range enabled([]sim.EngineKind{sim.Spark, sim.Flink}) {
 			p := sim.Params{Spec: cluster.Grid5000(16), Engine: engine, Conf: tab2Config(16)}
 			times, err := sim.Trials(job, p, trials)
 			if err != nil {
@@ -155,8 +156,8 @@ func runFig5() (*Report, error) {
 	rep := &Report{ID: "fig5", Title: "Grep, 16 nodes, growing datasets"}
 	for _, gb := range []int{24, 27, 30, 33} {
 		job := sim.GrepJob{TotalBytes: core.ByteSize(16*gb) * core.GB, Selectivity: 0.1}
-		row := Row{Label: fmt.Sprintf("%d GB/node", gb), PaperNote: "paper: Spark's advantage preserved"}
-		for _, engine := range []sim.EngineKind{sim.Spark, sim.Flink} {
+		row := skippedRow(fmt.Sprintf("%d GB/node", gb), "paper: Spark's advantage preserved")
+		for _, engine := range enabled([]sim.EngineKind{sim.Spark, sim.Flink}) {
 			p := sim.Params{Spec: cluster.Grid5000(16), Engine: engine, Conf: tab2Config(16)}
 			times, err := sim.Trials(job, p, trials)
 			if err != nil {
@@ -290,7 +291,13 @@ func runTab7() (*Report, error) {
 			}
 			job := sim.GraphJob{Algo: algo, Graph: datagen.LargeGraph, SizeBytes: largeBytes, Iterations: iters}
 			cells := []string{fmt.Sprint(n), algo.String()}
+			// The table's engine columns are positional: a filtered-out
+			// engine must still occupy its two cells.
 			for _, engine := range []sim.EngineKind{sim.Spark, sim.Flink} {
+				if !engineOn(engine) {
+					cells = append(cells, "-", "-")
+					continue
+				}
 				res := job.Run(sim.Params{Spec: cluster.Grid5000(n), Engine: engine, Conf: tab7Config(n)})
 				if res.Err != nil {
 					cells = append(cells, "no", "no")

@@ -29,8 +29,8 @@ func threeWayReport(id, title string, nodeCounts []int,
 	for _, n := range nodeCounts {
 		conf := confFor(n)
 		job := jobFor(n)
-		row := Row{Label: fmt.Sprintf("%d nodes", n)}
-		for _, engine := range sim.Engines() {
+		row := skippedRow(fmt.Sprintf("%d nodes", n), "")
+		for _, engine := range enabled(sim.Engines()) {
 			p := sim.Params{Spec: cluster.Grid5000(n), Engine: engine, Conf: conf}
 			times, err := sim.Trials(job, p, trials)
 			if err != nil {

@@ -1,97 +1,53 @@
 package workloads
 
 import (
-	"strings"
-
-	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dataflow/backend/flinkexec"
+	"repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/engine/flink"
 	"repro/internal/engine/spark"
 )
 
-// WordCountSpark runs the paper's Spark Word Count plan: flatMap →
-// mapToPair → reduceByKey → saveAsTextFile.
+// The batch workloads are defined once in unified.go; these wrappers pin
+// the original per-engine signatures for existing tests and benchmarks.
+// The copy-pasted GrepMultiFilterSpark/GrepMultiFilterFlink pair is gone —
+// GrepMultiFilter (unified.go) covers both engines and MapReduce.
+
+// sparkSession wraps an existing context for the deprecated entry points.
+func sparkSession(ctx *spark.Context) *dataflow.Session {
+	return dataflow.NewSession(sparkexec.Wrap(ctx))
+}
+
+// flinkSession wraps an existing environment for the deprecated entry
+// points.
+func flinkSession(env *flink.Env) *dataflow.Session {
+	return dataflow.NewSession(flinkexec.Wrap(env))
+}
+
+// WordCountSpark runs the unified Word Count on a wrapped spark context.
+//
+// Deprecated: build a dataflow.Session and call WordCount.
 func WordCountSpark(ctx *spark.Context, input, output string) error {
-	lines, err := spark.TextFile(ctx, input)
-	if err != nil {
-		return err
-	}
-	words := spark.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
-	pairs := spark.MapToPair(words, func(w string) core.Pair[string, int64] {
-		return core.KV(w, int64(1))
-	})
-	counts := spark.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 0)
-	return spark.SaveAsTextFile(counts, output)
+	return WordCount(sparkSession(ctx), input, output)
 }
 
-// WordCountFlink runs the paper's Flink Word Count plan: flatMap →
-// groupBy → sum → writeAsText (with the optimizer's GroupCombine chained
-// into the source task).
+// WordCountFlink runs the unified Word Count on a wrapped flink env.
+//
+// Deprecated: build a dataflow.Session and call WordCount.
 func WordCountFlink(env *flink.Env, input, output string) error {
-	lines, err := flink.ReadTextFile(env, input)
-	if err != nil {
-		return err
-	}
-	words := flink.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
-	pairs := flink.Map(words, func(w string) core.Pair[string, int64] {
-		return core.KV(w, int64(1))
-	})
-	counts := flink.Sum(flink.GroupBy(pairs, func(p core.Pair[string, int64]) string { return p.Key }))
-	return flink.WriteAsText(counts, output)
+	return WordCount(flinkSession(env), input, output)
 }
 
-// GrepSpark runs filter → count on Spark.
+// GrepSpark runs the unified Grep on a wrapped spark context.
+//
+// Deprecated: build a dataflow.Session and call Grep.
 func GrepSpark(ctx *spark.Context, input, pattern string) (int64, error) {
-	lines, err := spark.TextFile(ctx, input)
-	if err != nil {
-		return 0, err
-	}
-	matched := spark.Filter(lines, func(l string) bool { return strings.Contains(l, pattern) })
-	return spark.Count(matched)
+	return Grep(sparkSession(ctx), input, pattern)
 }
 
-// GrepFlink runs filter → count on Flink.
+// GrepFlink runs the unified Grep on a wrapped flink env.
+//
+// Deprecated: build a dataflow.Session and call Grep.
 func GrepFlink(env *flink.Env, input, pattern string) (int64, error) {
-	lines, err := flink.ReadTextFile(env, input)
-	if err != nil {
-		return 0, err
-	}
-	matched := flink.Filter(lines, func(l string) bool { return strings.Contains(l, pattern) })
-	return flink.Count(matched)
-}
-
-// GrepMultiFilterSpark is the paper's Section VI-B discussion case:
-// several filter layers over the same dataset, where Spark's persistence
-// control pays off — the input is cached once and each pattern reuses it.
-func GrepMultiFilterSpark(ctx *spark.Context, input string, patterns []string) ([]int64, error) {
-	lines, err := spark.TextFile(ctx, input)
-	if err != nil {
-		return nil, err
-	}
-	cached := spark.Filter(lines, func(l string) bool { return len(l) > 0 }).Cache()
-	out := make([]int64, len(patterns))
-	for i, p := range patterns {
-		p := p
-		matched := spark.Filter(cached, func(l string) bool { return strings.Contains(l, p) })
-		n, err := spark.Count(matched)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = n
-	}
-	return out, nil
-}
-
-// GrepMultiFilterFlink is the same pipeline on Flink, which has no
-// persistence control: every pattern re-reads the input (the missing
-// feature the paper points out).
-func GrepMultiFilterFlink(env *flink.Env, input string, patterns []string) ([]int64, error) {
-	out := make([]int64, len(patterns))
-	for i, p := range patterns {
-		n, err := GrepFlink(env, input, p)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = n
-	}
-	return out, nil
+	return Grep(flinkSession(env), input, pattern)
 }

@@ -1,86 +1,30 @@
 package workloads
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine/flink"
 	"repro/internal/engine/spark"
 )
 
-// KMeansSpark clusters points with Spark's iteration model: the point RDD
-// is cached, and every iteration is a fresh job — map (assign to nearest
-// center) → reduceByKey (per-center sums) → collectAsMap (new centers on
-// the driver) — the loop-unrolled pattern of the paper's Figure 10.
+// K-Means is defined once in unified.go as a dataflow broadcast iteration;
+// these wrappers pin the original per-engine signatures. The helpers below
+// (nearest, dist2, addKSum, updateCenters, KMeansCost) are shared by the
+// unified definition and the deprecated MapReduce chain in mapreduce.go.
+
+// KMeansSpark runs the unified K-Means on a wrapped spark context: the
+// loop-unrolled map→reduceByKey→collectAsMap pattern of Figure 10.
+//
+// Deprecated: build a dataflow.Session and call KMeans.
 func KMeansSpark(ctx *spark.Context, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("workloads: kmeans needs k > 0")
-	}
-	rdd := spark.Parallelize(ctx, points, 0).Cache()
-	centers := datagen.InitialCenters(points, k)
-	for it := 0; it < iters; it++ {
-		cts := centers
-		assigned := spark.MapToPair(rdd, func(p datagen.Point) core.Pair[int, KSum] {
-			return core.KV(nearest(p, cts), KSum{X: p.X, Y: p.Y, N: 1})
-		})
-		sums := spark.ReduceByKey(assigned, addKSum, k)
-		m, err := spark.CollectAsMap(sums)
-		if err != nil {
-			return nil, err
-		}
-		centers = updateCenters(centers, m)
-	}
-	return centers, nil
+	return KMeans(sparkSession(ctx), points, k, iters)
 }
 
-// KMeansFlink clusters points with Flink's bulk iteration operator: the
-// centers DataSet cycles through map(withBroadcastSet) → groupBy → reduce
-// → map without any re-scheduling, per the paper's Figure 10 plan.
+// KMeansFlink runs the unified K-Means on a wrapped flink env: the native
+// bulk iteration, scheduled once.
+//
+// Deprecated: build a dataflow.Session and call KMeans.
 func KMeansFlink(env *flink.Env, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("workloads: kmeans needs k > 0")
-	}
-	pointsDS := flink.FromSlice(env, points, 0)
-	init := datagen.InitialCenters(points, k)
-	var initPairs []core.Pair[int, datagen.Point]
-	for i, c := range init {
-		initPairs = append(initPairs, core.KV(i, c))
-	}
-	centersDS := flink.FromSlice(env, initPairs, 1)
-	final := flink.IterateBulk(centersDS, iters,
-		func(cs *flink.DataSet[core.Pair[int, datagen.Point]]) *flink.DataSet[core.Pair[int, datagen.Point]] {
-			assigned := flink.MapWithBroadcast(pointsDS, cs,
-				func(p datagen.Point, cents []core.Pair[int, datagen.Point]) core.Pair[int, KSum] {
-					best, bestD := 0, -1.0
-					for _, c := range cents {
-						d := dist2(p, c.Value)
-						if bestD < 0 || d < bestD {
-							best, bestD = c.Key, d
-						}
-					}
-					return core.KV(best, KSum{X: p.X, Y: p.Y, N: 1})
-				})
-			sums := flink.Reduce(
-				flink.GroupBy(assigned, func(p core.Pair[int, KSum]) int { return p.Key }).WithParallelism(k),
-				func(a, b core.Pair[int, KSum]) core.Pair[int, KSum] {
-					return core.KV(a.Key, addKSum(a.Value, b.Value))
-				})
-			return flink.Map(sums, func(s core.Pair[int, KSum]) core.Pair[int, datagen.Point] {
-				return core.KV(s.Key, datagen.Point{X: s.Value.X / float64(s.Value.N), Y: s.Value.Y / float64(s.Value.N)})
-			})
-		})
-	pairs, err := flink.Collect(final)
-	if err != nil {
-		return nil, err
-	}
-	centers := make([]datagen.Point, len(init))
-	for _, p := range pairs {
-		if p.Key >= 0 && p.Key < len(centers) {
-			centers[p.Key] = p.Value
-		}
-	}
-	return centers, nil
+	return KMeans(flinkSession(env), points, k, iters)
 }
 
 func nearest(p datagen.Point, centers []datagen.Point) int {
@@ -113,7 +57,7 @@ func updateCenters(old []datagen.Point, sums map[int]KSum) []datagen.Point {
 }
 
 // KMeansCost is the within-cluster sum of squared distances, the quantity
-// K-Means minimizes; tests assert both engines reach the same cost.
+// K-Means minimizes; tests assert every engine reaches the same cost.
 func KMeansCost(points []datagen.Point, centers []datagen.Point) float64 {
 	total := 0.0
 	for _, p := range points {

@@ -32,7 +32,10 @@ func sumInt64(vs []int64) int64 {
 }
 
 // WordCountMapReduce runs the classic Hadoop Word Count: tokenize in map,
-// sum in combiner and reducer, text output on the DFS.
+// sum in combiner and reducer, text output on the DFS ("word\tcount"
+// lines, unlike the unified sink's fmt lines — tests pin this format).
+//
+// Deprecated: build a dataflow.Session over mrexec and call WordCount.
 func WordCountMapReduce(c *mapreduce.Cluster, input, output string) error {
 	in, err := mapreduce.TextInput(c, input)
 	if err != nil {
@@ -61,6 +64,8 @@ func WordCountMapReduce(c *mapreduce.Cluster, input, output string) error {
 // GrepMapReduce counts matching lines: map emits ("match", 1) per hit and a
 // single-reduce job sums them (the distributed-grep example from the
 // original MapReduce paper).
+//
+// Deprecated: build a dataflow.Session over mrexec and call Grep.
 func GrepMapReduce(c *mapreduce.Cluster, input, pattern string) (int64, error) {
 	in, err := mapreduce.TextInput(c, input)
 	if err != nil {
@@ -95,6 +100,8 @@ func GrepMapReduce(c *mapreduce.Cluster, input, pattern string) (int64, error) {
 // TeraSort does: map splits each record into (key, rest), the shared range
 // partitioner routes key ranges to reduces, and the engine's sort-merge
 // with an identity reducer yields the global order.
+//
+// Deprecated: build a dataflow.Session over mrexec and call TeraSort.
 func TeraSortMapReduce(c *mapreduce.Cluster, input, output string, part *core.RangePartitioner[string]) error {
 	in, err := mapreduce.FixedRecordInput(c, input, datagen.TeraRecordSize)
 	if err != nil {
@@ -161,7 +168,10 @@ func parsePointLine(line string) (datagen.Point, bool) {
 // mechanism: a chain of independent jobs. Every iteration re-reads the full
 // point set from the DFS, reloads the centers file (the distributed-cache
 // step), and writes the new centers back — the repeated I/O that Spark's
-// caching and Flink's native iterations eliminate.
+// caching and Flink's native iterations eliminate. Tests pin the text
+// round-trip files ("kmeans-points"/"kmeans-centers").
+//
+// Deprecated: build a dataflow.Session over mrexec and call KMeans.
 func KMeansMapReduce(c *mapreduce.Cluster, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("workloads: kmeans needs k > 0")

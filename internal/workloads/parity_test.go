@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/mrexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+)
+
+// paritySession builds one engine's session over its own runtime and
+// filesystem, with the same laptop-scale tuning the other workload tests
+// use.
+func paritySession(t *testing.T, engine string) *dataflow.Session {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
+	rt, err := cluster.NewRuntime(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.NewConfig()
+	switch engine {
+	case "spark":
+		conf.SetInt(core.SparkDefaultParallelism, 8).SetBytes(core.SparkExecutorMemory, 256*core.MB)
+	case "flink":
+		conf.SetInt(core.FlinkDefaultParallelism, 4).
+			SetBytes(core.FlinkTaskManagerMemory, 256*core.MB).
+			SetInt(core.FlinkNetworkBuffers, 8192)
+	}
+	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sortedLines canonicalizes a text output file (the engines write records
+// in engine-specific partition order).
+func sortedLines(t *testing.T, s *dataflow.Session, name string) string {
+	t.Helper()
+	f, err := s.FS().Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(f.Contents()), "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestCrossEngineParity runs every single-definition workload on all three
+// registered backends and requires byte-identical results: identical word
+// counts, identical grep counts, byte-identical sorted output, identical
+// converged centers. It is the correctness contract of the unified API —
+// one logical plan, three physical plans, one answer. The CI race job runs
+// it under -race.
+func TestCrossEngineParity(t *testing.T) {
+	engines := dataflow.Names()
+	if len(engines) < 3 {
+		t.Fatalf("expected 3 registered backends, got %v", engines)
+	}
+
+	text := datagen.Text(21, 96*1024, 10)
+	logs := datagen.GrepText(5, 4000, "NEEDLE", 0.08)
+	const teraRecords = 3000
+	tera := datagen.TeraGen(13, teraRecords)
+	teraPart := TeraPartitioner(tera, 4)
+	points, _ := datagen.KMeansPoints(17, 3000, 3, 2.0)
+
+	type result struct {
+		wordCounts string // sorted "{word n}" lines
+		grepCount  int64
+		multi      []int64
+		teraBytes  []byte
+		centers    string // "%.6f" formatted, key order
+	}
+	results := map[string]result{}
+
+	for _, engine := range engines {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			s := paritySession(t, engine)
+			s.FS().WriteFile("wiki", text)
+			s.FS().WriteFile("logs", logs)
+			s.FS().WriteFile("tera-in", tera)
+
+			var res result
+			if err := WordCount(s, "wiki", "wc-out"); err != nil {
+				t.Fatalf("wordcount: %v", err)
+			}
+			res.wordCounts = sortedLines(t, s, "wc-out")
+
+			n, err := Grep(s, "logs", "NEEDLE")
+			if err != nil {
+				t.Fatalf("grep: %v", err)
+			}
+			res.grepCount = n
+
+			res.multi, err = GrepMultiFilter(s, "logs", []string{"NEEDLE", "ba", "re"})
+			if err != nil {
+				t.Fatalf("grep multi-filter: %v", err)
+			}
+
+			if err := TeraSort(s, "tera-in", "tera-out", teraPart); err != nil {
+				t.Fatalf("terasort: %v", err)
+			}
+			if err := VerifyTeraSorted(s.FS(), "tera-out", teraRecords); err != nil {
+				t.Fatalf("terasort validate: %v", err)
+			}
+			tf, err := s.FS().Open("tera-out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.teraBytes = tf.Contents()
+
+			centers, err := KMeans(s, points, 3, 10)
+			if err != nil {
+				t.Fatalf("kmeans: %v", err)
+			}
+			var sb strings.Builder
+			for _, c := range centers {
+				fmt.Fprintf(&sb, "(%.6f,%.6f) ", c.X, c.Y)
+			}
+			res.centers = sb.String()
+			// Every engine must genuinely cluster, not just agree.
+			cost := KMeansCost(points, centers)
+			single := KMeansCost(points, []datagen.Point{{X: 0, Y: 0}})
+			if cost > single/10 {
+				t.Errorf("clustering failed on %s: cost %v vs single-center %v", engine, cost, single)
+			}
+
+			results[engine] = res
+		})
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Reference checks against direct computation.
+	ref := map[string]int64{}
+	for _, w := range strings.Fields(string(text)) {
+		ref[w]++
+	}
+	wantGrep := int64(0)
+	for _, line := range strings.Split(string(logs), "\n") {
+		if strings.Contains(line, "NEEDLE") {
+			wantGrep++
+		}
+	}
+
+	base := engines[0]
+	want := results[base]
+	if got := int64(strings.Count(want.wordCounts, "\n") + 1); got != int64(len(ref)) {
+		t.Errorf("%s found %d distinct words, reference %d", base, got, len(ref))
+	}
+	if want.grepCount != wantGrep {
+		t.Errorf("%s grep count = %d, reference %d", base, want.grepCount, wantGrep)
+	}
+	for _, engine := range engines[1:] {
+		got := results[engine]
+		if got.wordCounts != want.wordCounts {
+			t.Errorf("word counts differ: %s vs %s", engine, base)
+		}
+		if got.grepCount != want.grepCount {
+			t.Errorf("grep counts differ: %s=%d %s=%d", engine, got.grepCount, base, want.grepCount)
+		}
+		if fmt.Sprint(got.multi) != fmt.Sprint(want.multi) {
+			t.Errorf("multi-filter counts differ: %s=%v %s=%v", engine, got.multi, base, want.multi)
+		}
+		if !bytes.Equal(got.teraBytes, want.teraBytes) {
+			t.Errorf("terasort outputs are not byte-identical: %s vs %s", engine, base)
+		}
+		if got.centers != want.centers {
+			t.Errorf("kmeans centers differ:\n%s: %s\n%s: %s", engine, got.centers, base, want.centers)
+		}
+	}
+}

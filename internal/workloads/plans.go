@@ -1,9 +1,8 @@
 package workloads
 
 import (
-	"strings"
-
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/datagen"
 	"repro/internal/engine/flink"
 	"repro/internal/engine/spark"
@@ -12,104 +11,36 @@ import (
 )
 
 // Plans builds (without executing) the logical plans of every workload on
-// both frameworks — the data behind the paper's Table I. Tiny inputs are
-// written to the contexts' filesystems to satisfy the source operators.
+// both in-memory frameworks — the data behind the paper's Table I. The
+// batch rows come from the unified dataflow definitions lowered per
+// backend; the graph rows come from the engine-native graph layers.
+// cmd/planviz additionally prints the MapReduce column via UnifiedPlans.
 func Plans(ctx *spark.Context, env *flink.Env) []*core.Plan {
-	ctx.FS().WriteFile("plan-text", []byte("a b\nc d\n"))
-	env.FS().WriteFile("plan-text", []byte("a b\nc d\n"))
-	ctx.FS().WriteFile("plan-tera", datagen.TeraGen(1, 10))
-	env.FS().WriteFile("plan-tera", datagen.TeraGen(1, 10))
-
+	sessions := []*dataflow.Session{sparkSession(ctx), flinkSession(env)}
+	builders := []func(*dataflow.Session) *core.Plan{
+		WordCountPlan, GrepPlan, TeraSortPlan, KMeansPlan,
+	}
 	var plans []*core.Plan
-	plans = append(plans, wordCountPlans(ctx, env)...)
-	plans = append(plans, grepPlans(ctx, env)...)
-	plans = append(plans, teraSortPlans(ctx, env)...)
-	plans = append(plans, kmeansPlans(ctx, env)...)
-	plans = append(plans, graphPlans(ctx, env)...)
-	return plans
+	for _, build := range builders {
+		for _, s := range sessions {
+			plans = append(plans, build(s))
+		}
+	}
+	return append(plans, GraphPlans(ctx, env)...)
 }
 
-func wordCountPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
-	lines, _ := spark.TextFile(ctx, "plan-text")
-	words := spark.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
-	pairs := spark.MapToPair(words, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
-	counts := spark.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 0)
-	sp := spark.PlanOf(counts, "WordCount", "SaveAsTextFile")
-
-	fl, _ := flink.ReadTextFile(env, "plan-text")
-	fw := flink.FlatMap(fl, func(l string) []string { return strings.Fields(l) })
-	fp := flink.Map(fw, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
-	fc := flink.Sum(flink.GroupBy(fp, func(p core.Pair[string, int64]) string { return p.Key }))
-	fpn := flink.PlanOf(fc, "WordCount", "DataSink")
-	return []*core.Plan{sp, fpn}
-}
-
-func grepPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
-	lines, _ := spark.TextFile(ctx, "plan-text")
-	matched := spark.Filter(lines, func(l string) bool { return strings.Contains(l, "a") })
-	sp := spark.PlanOf(matched, "Grep", "Count")
-
-	fl, _ := flink.ReadTextFile(env, "plan-text")
-	fm := flink.Filter(fl, func(l string) bool { return strings.Contains(l, "a") })
-	fpn := flink.PlanOf(fm, "Grep", "Count")
-	return []*core.Plan{sp, fpn}
-}
-
-func teraSortPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
-	part := TeraPartitioner(datagen.TeraGen(1, 10), 2)
-	recs, _ := spark.BinaryRecords(ctx, "plan-tera", datagen.TeraRecordSize)
-	pairs := spark.MapToPair(recs, func(r []byte) core.Pair[string, string] {
-		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
-	})
-	sorted := spark.RepartitionAndSortWithinPartitions(pairs, part, func(a, b string) bool { return a < b })
-	sp := spark.PlanOf(sorted, "TeraSort", "SaveAsHadoopFile")
-
-	fr, _ := flink.ReadFixedRecords(env, "plan-tera", datagen.TeraRecordSize)
-	fp := flink.Map(fr, func(r []byte) core.Pair[string, string] {
-		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
-	})
-	fparted := flink.PartitionCustom(fp, part, func(p core.Pair[string, string]) string { return p.Key })
-	fsorted := flink.SortPartition(fparted, func(a, b core.Pair[string, string]) bool { return a.Key < b.Key })
-	fpn := flink.PlanOf(fsorted, "TeraSort", "DataSink")
-	return []*core.Plan{sp, fpn}
-}
-
-func kmeansPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
-	pts := []datagen.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
-	rdd := spark.Parallelize(ctx, pts, 1)
-	assigned := spark.MapToPair(rdd, func(p datagen.Point) core.Pair[int, KSum] {
-		return core.KV(0, KSum{X: p.X, Y: p.Y, N: 1})
-	})
-	sums := spark.ReduceByKey(assigned, addKSum, 1)
-	sp := spark.PlanOf(sums, "KMeans", "CollectAsMap (per iteration)")
-
-	pointsDS := flink.FromSlice(env, pts, 1)
-	centersDS := flink.FromSlice(env, []core.Pair[int, datagen.Point]{core.KV(0, pts[0])}, 1)
-	final := flink.IterateBulk(centersDS, 1,
-		func(cs *flink.DataSet[core.Pair[int, datagen.Point]]) *flink.DataSet[core.Pair[int, datagen.Point]] {
-			assigned := flink.MapWithBroadcast(pointsDS, cs,
-				func(p datagen.Point, _ []core.Pair[int, datagen.Point]) core.Pair[int, KSum] {
-					return core.KV(0, KSum{X: p.X, Y: p.Y, N: 1})
-				})
-			sums := flink.Reduce(flink.GroupBy(assigned, func(p core.Pair[int, KSum]) int { return p.Key }),
-				func(a, b core.Pair[int, KSum]) core.Pair[int, KSum] { return core.KV(a.Key, addKSum(a.Value, b.Value)) })
-			return flink.Map(sums, func(s core.Pair[int, KSum]) core.Pair[int, datagen.Point] {
-				return core.KV(s.Key, datagen.Point{})
-			})
-		})
-	fpn := flink.PlanOf(final, "KMeans", "DataSink")
-	return []*core.Plan{sp, fpn}
-}
-
-func graphPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
+// GraphPlans renders the Page Rank and Connected Components plans from the
+// engine-native graph layers (the graph workloads stay engine-specific:
+// Pregel on spark, vertex-centric/delta iterations on flink).
+func GraphPlans(ctx *spark.Context, env *flink.Env) []*core.Plan {
 	edges := []datagen.Edge{{Src: 0, Dst: 1}}
 	g := graphxlike.FromEdges(ctx, spark.Parallelize(ctx, edges, 1), int64(0))
-	sp := spark.PlanOf(g.OutDegrees(), "PageRank", "Pregel(outerJoinVertices,mapTriplets,joinVertices)")
-	spc := spark.PlanOf(g.Vertices(), "ConnectedComponents", "Pregel(mapVertices,mapReduceTriplets,joinVertices)")
+	spr := spark.PlanOf(g.OutDegrees(), "PageRank", "Pregel(outerJoinVertices,mapTriplets,joinVertices)")
+	scc := spark.PlanOf(g.Vertices(), "ConnectedComponents", "Pregel(mapVertices,mapReduceTriplets,joinVertices)")
 
 	fg := gellylike.FromEdges(env, flink.FromSlice(env, edges, 1), int64(0))
 	fpr := flink.PlanOf(fg.OutDegrees(), "PageRank", "VertexCentric(BulkIteration)")
 	labels, _, _ := gellylike.ConnectedComponentsDelta(fg, 1)
 	fcc := flink.PlanOf(labels, "ConnectedComponents", "DataSink")
-	return []*core.Plan{sp, fpr, spc, fcc}
+	return []*core.Plan{spr, fpr, scc, fcc}
 }

@@ -3,7 +3,6 @@ package workloads
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -12,81 +11,31 @@ import (
 	"repro/internal/engine/spark"
 )
 
-// TeraPartitioner builds the shared range partitioner both engines use,
+// Tera Sort is defined once in unified.go; these wrappers pin the original
+// per-engine signatures. TeraPartitioner and VerifyTeraSorted stay here:
+// they are engine-neutral benchmark plumbing (TeraGen sampling and
+// TeraValidate), not workload logic.
+
+// TeraPartitioner builds the shared range partitioner every engine uses,
 // seeded from a key sample of the input — the paper stresses that the same
-// Hadoop-style TotalOrderPartitioner is used on both sides for fairness.
+// Hadoop-style TotalOrderPartitioner is used on all sides for fairness.
 func TeraPartitioner(data []byte, partitions int) *core.RangePartitioner[string] {
 	sample := datagen.TeraKeySample(data, 50)
 	return core.NewRangePartitioner(partitions, sample, func(a, b string) bool { return a < b })
 }
 
-// TeraSortSpark sorts TeraGen records: read (newAPIHadoopFile) →
-// repartitionAndSortWithinPartitions with the range partitioner → save.
+// TeraSortSpark runs the unified Tera Sort on a wrapped spark context.
+//
+// Deprecated: build a dataflow.Session and call TeraSort.
 func TeraSortSpark(ctx *spark.Context, input, output string, part *core.RangePartitioner[string]) error {
-	recs, err := spark.BinaryRecords(ctx, input, datagen.TeraRecordSize)
-	if err != nil {
-		return err
-	}
-	pairs := spark.MapToPair(recs, func(r []byte) core.Pair[string, string] {
-		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
-	})
-	sorted := spark.RepartitionAndSortWithinPartitions(pairs, part,
-		func(a, b string) bool { return a < b })
-	return saveTeraSpark(sorted, output)
+	return TeraSort(sparkSession(ctx), input, output, part)
 }
 
-// TeraSortFlink sorts TeraGen records: read → map to OptimizedText tuples
-// (key compared in binary form) → partitionCustom → sortPartition → write.
+// TeraSortFlink runs the unified Tera Sort on a wrapped flink env.
+//
+// Deprecated: build a dataflow.Session and call TeraSort.
 func TeraSortFlink(env *flink.Env, input, output string, part *core.RangePartitioner[string]) error {
-	recs, err := flink.ReadFixedRecords(env, input, datagen.TeraRecordSize)
-	if err != nil {
-		return err
-	}
-	pairs := flink.Map(recs, func(r []byte) core.Pair[string, string] {
-		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
-	})
-	parted := flink.PartitionCustom(pairs, part, func(p core.Pair[string, string]) string { return p.Key })
-	sorted := flink.SortPartition(parted, func(a, b core.Pair[string, string]) bool { return a.Key < b.Key })
-	parts := make([][]core.Pair[string, string], sorted.Parallelism())
-	err = flink.ForEach(sorted, "DataSink", func(p int, batch []core.Pair[string, string]) error {
-		parts[p] = append(parts[p], batch...)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	var sb strings.Builder
-	for _, part := range parts {
-		for _, kv := range part {
-			sb.WriteString(kv.Key)
-			sb.WriteString(kv.Value)
-		}
-	}
-	env.FS().WriteFile(output, []byte(sb.String()))
-	env.Metrics().DiskBytesWritten.Add(int64(sb.Len()))
-	return nil
-}
-
-// saveTeraSpark writes sorted records back in record order.
-func saveTeraSpark(sorted *spark.RDD[core.Pair[string, string]], output string) error {
-	parts := make([][]core.Pair[string, string], sorted.NumPartitions())
-	err := spark.ForeachPartition(sorted, func(p int, data []core.Pair[string, string]) error {
-		parts[p] = data
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	var sb strings.Builder
-	for _, part := range parts {
-		for _, kv := range part {
-			sb.WriteString(kv.Key)
-			sb.WriteString(kv.Value)
-		}
-	}
-	sorted.Context().FS().WriteFile(output, []byte(sb.String()))
-	sorted.Context().Metrics().DiskBytesWritten.Add(int64(sb.Len()))
-	return nil
+	return TeraSort(flinkSession(env), input, output, part)
 }
 
 // VerifyTeraSorted checks a TeraSort output file: correct length and

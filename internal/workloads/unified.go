@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+)
+
+// This file holds the single, engine-agnostic definition of every
+// non-graph workload: one logical pipeline per benchmark, executable on
+// spark, flink and mapreduce through dataflow.Session, with per-engine
+// plans for Table I coming from the same definitions (see *Plan below).
+// The per-engine functions in batch.go / terasort.go / kmeans.go /
+// mapreduce.go are deprecated wrappers kept only for pinned signatures.
+
+// WordCount is the paper's aggregation benchmark, written once:
+// source → flatMap → mapToPair → reduceByKey → save.
+func WordCount(s *dataflow.Session, input, output string) error {
+	return dataflow.SaveAsText(wordCountPipeline(s, input), output)
+}
+
+func wordCountPipeline(s *dataflow.Session, input string) *dataflow.Dataset[core.Pair[string, int64]] {
+	lines := dataflow.TextFile(s, input)
+	words := dataflow.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
+	pairs := dataflow.MapToPair(words, func(w string) core.Pair[string, int64] {
+		return core.KV(w, int64(1))
+	})
+	return dataflow.ReduceByKey(pairs, func(a, b int64) int64 { return a + b })
+}
+
+// WordCountPlan lowers the Word Count pipeline onto s's engine without
+// executing it — its Table I row.
+func WordCountPlan(s *dataflow.Session) *core.Plan {
+	return dataflow.PlanOf(s, "WordCount", dataflow.ActionSaveText,
+		wordCountPipeline(s, "plan-text").Node())
+}
+
+// Grep is the paper's filter benchmark: source → filter → count.
+func Grep(s *dataflow.Session, input, pattern string) (int64, error) {
+	return dataflow.Count(grepPipeline(s, input, pattern))
+}
+
+func grepPipeline(s *dataflow.Session, input, pattern string) *dataflow.Dataset[string] {
+	lines := dataflow.TextFile(s, input)
+	return dataflow.Filter(lines, func(l string) bool { return strings.Contains(l, pattern) })
+}
+
+// GrepPlan is Grep's Table I row on s's engine.
+func GrepPlan(s *dataflow.Session) *core.Plan {
+	return dataflow.PlanOf(s, "Grep", dataflow.ActionCount,
+		grepPipeline(s, "plan-text", "a").Node())
+}
+
+// GrepMultiFilter is the Section VI-B discussion case, written once:
+// several filter passes over the same dataset, with the input marked
+// Cached(). Spark's persistence control scans the input once and serves
+// every pattern from the cache; Flink and MapReduce have no persistence
+// control and re-read the input per pattern — the asymmetry falls out of
+// the lowering instead of being hand-coded twice.
+func GrepMultiFilter(s *dataflow.Session, input string, patterns []string) ([]int64, error) {
+	cached := dataflow.Filter(dataflow.TextFile(s, input),
+		func(l string) bool { return len(l) > 0 }).Cached()
+	out := make([]int64, len(patterns))
+	for i, p := range patterns {
+		p := p
+		n, err := dataflow.Count(dataflow.Filter(cached, func(l string) bool {
+			return strings.Contains(l, p)
+		}))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// GrepMultiFilterPlan renders the multi-pass pipeline with three sample
+// patterns: on Spark the cached dataset is one shared node with fan-out;
+// on Flink and MapReduce each pattern repeats the whole source chain.
+func GrepMultiFilterPlan(s *dataflow.Session) *core.Plan {
+	cached := dataflow.Filter(dataflow.TextFile(s, "plan-text"),
+		func(l string) bool { return len(l) > 0 }).Cached()
+	var sinks []*dataflow.Node
+	for _, p := range []string{"a", "b", "c"} {
+		p := p
+		sinks = append(sinks, dataflow.Filter(cached, func(l string) bool {
+			return strings.Contains(l, p)
+		}).Node())
+	}
+	return dataflow.PlanOf(s, "GrepMultiFilter", dataflow.ActionCount, sinks...)
+}
+
+// TeraSort is the paper's sort benchmark, written once: binary source →
+// mapToPair(key, rest) → sortByKey over the shared range partitioner →
+// binary save. The same Hadoop-style TotalOrderPartitioner is used on
+// every engine, as the paper requires for fairness.
+func TeraSort(s *dataflow.Session, input, output string, part *core.RangePartitioner[string]) error {
+	return dataflow.SaveBytes(teraSortPipeline(s, input, part), output,
+		func(p core.Pair[string, string]) []byte {
+			return append([]byte(p.Key), p.Value...)
+		})
+}
+
+func teraSortPipeline(s *dataflow.Session, input string, part *core.RangePartitioner[string]) *dataflow.Dataset[core.Pair[string, string]] {
+	recs := dataflow.BinaryFile(s, input, datagen.TeraRecordSize)
+	pairs := dataflow.MapToPair(recs, func(r []byte) core.Pair[string, string] {
+		return core.KV(datagen.TeraKey(r), string(r[datagen.TeraKeySize:]))
+	})
+	return dataflow.SortByKey(pairs, part)
+}
+
+// TeraSortPlan is Tera Sort's Table I row on s's engine.
+func TeraSortPlan(s *dataflow.Session) *core.Plan {
+	part := TeraPartitioner(datagen.TeraGen(1, 10), 2)
+	return dataflow.PlanOf(s, "TeraSort", dataflow.ActionSaveRecords,
+		teraSortPipeline(s, "plan-tera", part).Node())
+}
+
+// KMeans is the paper's iterative benchmark, written once as a broadcast
+// iteration: assign every point to its nearest center, reduce per-center
+// sums, recompute the centers. The engines' iteration models diverge in
+// the lowering — Spark's cached RDD + per-round jobs, Flink's native bulk
+// iteration, MapReduce's DFS-chained jobs — which is exactly the contrast
+// of Figures 10-11.
+func KMeans(s *dataflow.Session, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("workloads: kmeans needs k > 0")
+	}
+	it := kmeansIteration(s, points, k, iters)
+	state, err := it.Run()
+	if err != nil {
+		return nil, err
+	}
+	centers := make([]datagen.Point, k)
+	for _, p := range state {
+		if p.Key >= 0 && p.Key < k {
+			centers[p.Key] = p.Value
+		}
+	}
+	return centers, nil
+}
+
+func kmeansIteration(s *dataflow.Session, points []datagen.Point, k, iters int) *dataflow.Iteration[datagen.Point, int, KSum, datagen.Point] {
+	data := dataflow.FromSlice(s, points, 0).Cached()
+	init := datagen.InitialCenters(points, k)
+	state := make([]core.Pair[int, datagen.Point], k)
+	for i, c := range init {
+		state[i] = core.KV(i, c)
+	}
+	return dataflow.NewIteration(data, state, iters,
+		func(p datagen.Point, centers []core.Pair[int, datagen.Point]) core.Pair[int, KSum] {
+			return core.KV(nearestPair(p, centers), KSum{X: p.X, Y: p.Y, N: 1})
+		},
+		addKSum,
+		func(_ int, sum KSum) datagen.Point {
+			if sum.N == 0 {
+				return datagen.Point{}
+			}
+			return datagen.Point{X: sum.X / float64(sum.N), Y: sum.Y / float64(sum.N)}
+		})
+}
+
+// nearestPair picks the closest center from broadcast state pairs, with a
+// deterministic lowest-key tie-break so every engine assigns identically
+// regardless of the order the broadcast arrives in.
+func nearestPair(p datagen.Point, centers []core.Pair[int, datagen.Point]) int {
+	best, bestD := 0, -1.0
+	for _, c := range centers {
+		d := dist2(p, c.Value)
+		if bestD < 0 || d < bestD || (d == bestD && c.Key < best) {
+			best, bestD = c.Key, d
+		}
+	}
+	return best
+}
+
+// KMeansPlan is K-Means' Table I row on s's engine (one symbolic
+// iteration, like the paper's Figure 10 plan).
+func KMeansPlan(s *dataflow.Session) *core.Plan {
+	it := kmeansIteration(s, []datagen.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, 1, 1)
+	return dataflow.PlanOf(s, "KMeans", dataflow.ActionIterate, it.Node())
+}
+
+// UnifiedPlans lowers all five single-definition workloads onto the
+// session's engine — the engine's column of Table I from the unified API.
+func UnifiedPlans(s *dataflow.Session) []*core.Plan {
+	return []*core.Plan{
+		WordCountPlan(s),
+		GrepPlan(s),
+		GrepMultiFilterPlan(s),
+		TeraSortPlan(s),
+		KMeansPlan(s),
+	}
+}
