@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test lint bench-smoke
+# Coverage floor (%) enforced by `make cover` over the unified-API and
+# graph-library packages.
+COVER_FLOOR ?= 60
+COVER_PKGS = ./internal/dataflow/... ./internal/graph/...
+
+.PHONY: build test lint cover bench-smoke
 
 build:
 	$(GO) build ./...
@@ -10,18 +15,31 @@ test:
 
 # gofmt + go vet always; staticcheck when the binary is available (CI
 # installs it — locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
+# ./examples/... is vetted explicitly so example rot is caught even if the
+# package patterns above it ever drift behind build tags.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) vet ./examples/...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-# Fast benchmark subset (1 iteration, no unit tests) plus one benchrunner
-# experiment — the smoke coverage CI runs on every push.
+# Coverage gate for the dataflow layer (incl. the graph subsystem) and the
+# engine-native graph libraries.
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
+
+# Fast benchmark subset (1 iteration, no unit tests) plus two benchrunner
+# experiments — tab1 (operator plans) and ext4 (a three-way graph run) —
+# whose reports land in BENCH_smoke.json, the per-push CI artifact.
 bench-smoke:
 	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1
+	$(GO) run ./cmd/benchrunner -run tab1,ext4 -json BENCH_smoke.json

@@ -85,6 +85,8 @@ func BenchmarkTab7LargeGraph(b *testing.B)        { benchExperiment(b, "tab7") }
 func BenchmarkExt1WordCountThreeWay(b *testing.B) { benchExperiment(b, "ext1") }
 func BenchmarkExt2TeraSortThreeWay(b *testing.B)  { benchExperiment(b, "ext2") }
 func BenchmarkExt3KMeansThreeWay(b *testing.B)    { benchExperiment(b, "ext3") }
+func BenchmarkExt4PageRankThreeWay(b *testing.B)  { benchExperiment(b, "ext4") }
+func BenchmarkExt5CCThreeWay(b *testing.B)        { benchExperiment(b, "ext5") }
 
 // --- Ablations (DESIGN.md §7) ----------------------------------------------
 
@@ -416,6 +418,22 @@ func BenchmarkEngineConnectedComponents(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEnginePageRankUnified measures the real engines end to end on
+// the unified graph workload — one definition, three Pregel lowerings.
+func BenchmarkEnginePageRankUnified(b *testing.B) {
+	edges := datagen.RMAT(12, datagen.GraphSpec{Name: "bench", Vertices: 256, Edges: 1024})
+	run := func(b *testing.B, s *dataflow.Session) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := workloads.PageRank(s, edges, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("spark", func(b *testing.B) { s, _ := engineFixture(b); run(b, s) })
+	b.Run("flink", func(b *testing.B) { _, s := engineFixture(b); run(b, s) })
+	b.Run("mapreduce", func(b *testing.B) { run(b, mrEngineFixture(b)) })
 }
 
 // TestBenchmarksSmoke keeps the benchmark harness correct under plain

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// The -json output: the perf trajectory artifact CI uploads per push
+// (BENCH_*.json). NaN cells (failed runs, filtered engines) become null,
+// which encoding/json would otherwise reject.
+
+type jsonRow struct {
+	Label        string   `json:"label"`
+	Spark        *float64 `json:"spark_s"`
+	SparkStd     *float64 `json:"spark_std,omitempty"`
+	Flink        *float64 `json:"flink_s"`
+	FlinkStd     *float64 `json:"flink_std,omitempty"`
+	MapReduce    *float64 `json:"mapreduce_s,omitempty"`
+	MapReduceStd *float64 `json:"mapreduce_std,omitempty"`
+	Note         string   `json:"note,omitempty"`
+}
+
+type jsonReport struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Rows  []jsonRow  `json:"rows,omitempty"`
+	Table [][]string `json:"table,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+func finite(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func toJSONReport(rep *experiments.Report) jsonReport {
+	out := jsonReport{ID: rep.ID, Title: rep.Title, Table: rep.Table, Notes: rep.Notes}
+	for _, row := range rep.Rows {
+		jr := jsonRow{
+			Label:    row.Label,
+			Spark:    finite(row.Spark),
+			SparkStd: finite(row.SparkStd),
+			Flink:    finite(row.Flink),
+			FlinkStd: finite(row.FlinkStd),
+			Note:     row.PaperNote,
+		}
+		if rep.ThreeWay {
+			jr.MapReduce = finite(row.MapRed)
+			jr.MapReduceStd = finite(row.MapRedStd)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return out
+}
+
+// writeJSON writes the collected reports as an indented JSON array.
+func writeJSON(name string, reps []*experiments.Report) error {
+	out := make([]jsonReport, len(reps))
+	for i, rep := range reps {
+		out[i] = toJSONReport(rep)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(data, '\n'), 0o644)
+}

@@ -3,10 +3,12 @@
 // Usage:
 //
 //	benchrunner -run fig1          # one experiment
+//	benchrunner -run tab1,ext4     # several, comma-separated
 //	benchrunner -run all           # everything, in paper order
 //	benchrunner -run ext3 -engines mapreduce   # one engine's numbers only
 //	benchrunner -list              # available experiment ids
 //	benchrunner -run all -md out.md  # write an EXPERIMENTS-style markdown report
+//	benchrunner -run all -json out.json  # machine-readable reports (CI artifact)
 package main
 
 import (
@@ -23,9 +25,10 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "experiment id (fig1..fig17, tab1..tab7, ext1..ext3) or 'all'")
+	runID := flag.String("run", "", "experiment ids (fig1..fig17, tab1..tab7, ext1..ext5), comma-separated, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.String("md", "", "also write a markdown report to this file")
+	jsonOut := flag.String("json", "", "also write the reports as JSON to this file")
 	engines := flag.String("engines", "",
 		fmt.Sprintf("comma-separated engine filter (registered: %s); default all",
 			strings.Join(dataflow.Names(), ",")))
@@ -64,11 +67,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	ids := []string{*runID}
+	var ids []string
 	if *runID == "all" {
 		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
 	}
 	var mdOut strings.Builder
+	var reps []*experiments.Report
 	for _, id := range ids {
 		r, ok := experiments.Get(id)
 		if !ok {
@@ -80,6 +90,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			os.Exit(1)
 		}
+		reps = append(reps, rep)
 		out := rep.Render()
 		fmt.Println(out)
 		if *md != "" {
@@ -92,5 +103,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *md)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, reps); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -5,10 +5,12 @@
 // Flink 0.10's pipelined dataflow, and a classic Hadoop-style MapReduce
 // baseline — behind one engine-agnostic dataflow API
 // (internal/dataflow) in which each benchmark workload is defined exactly
-// once and lowered onto every engine's physical idiom, plus a
-// deterministic paper-scale cluster simulator and a harness that
-// regenerates every table and figure of the evaluation and the three-way
-// ext1–ext3 extension experiments. See README.md for build/test/
+// once and lowered onto every engine's physical idiom — including the
+// graph workloads (PageRank, Connected Components, SSSP) via the
+// Pregel-style internal/dataflow/graph subsystem — plus a deterministic
+// paper-scale cluster simulator and a harness that regenerates every
+// table and figure of the evaluation and the three-way ext1–ext5
+// extension experiments. See README.md for build/test/
 // benchrunner instructions and the architecture sketch; bench_test.go
 // holds one benchmark per paper artifact plus the ablations.
 package repro

@@ -1,0 +1,111 @@
+// Package graph is the engine-agnostic, Pregel-style graph subsystem of
+// the dataflow layer: a Graph[V] built from an edge Dataset, a
+// vertex-centric Pregel loop with convergence detection, and a one-round
+// AggregateMessages primitive. One logical definition lowers onto each
+// backend's physical idiom — the contrast the paper measures in its graph
+// experiments (Tables IV–VII, Figures 12–17):
+//
+//   - spark: GraphX-like aggregate-messages rounds built from joins and
+//     reductions, loop-unrolled into per-superstep jobs over cached RDDs
+//     (internal/graph/graphxlike);
+//   - flink: a Gelly-like native delta iteration — the solution set stays
+//     resident in managed memory and the shrinking workset carries only
+//     vertices whose value changed last superstep;
+//   - mapreduce: chained DFS jobs — every superstep is an independent job
+//     that re-reads the full edge list from the DFS and round-trips the
+//     vertex states through a state file, modeling Hadoop's iteration cost
+//     (the several-fold iterative graph gap of the related work).
+package graph
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+)
+
+// Graph is a property graph over one dataflow session: edges are the
+// Dataset the graph was built from, vertices are derived from the edge
+// endpoints and carry V-typed values assigned by each operation's initial
+// function. V is fixed at construction so the Pregel and AggregateMessages
+// type parameters infer from the graph.
+type Graph[V any] struct {
+	s     *dataflow.Session
+	edges *dataflow.Dataset[datagen.Edge]
+}
+
+// FromEdges builds a graph from an edge Dataset, deriving the vertex set
+// from edge endpoints (GraphX's Graph.fromEdges, Gelly's fromDataSet with
+// a vertex initializer). The edge dataset is marked Cached(): Spark's
+// lowering persists it across supersteps, Flink and MapReduce have no
+// persistence control and re-run the producing pipeline per consumption —
+// the Section VI-B asymmetry carried over to graphs.
+func FromEdges[V any](edges *dataflow.Dataset[datagen.Edge]) *Graph[V] {
+	return &Graph[V]{s: edges.Session(), edges: edges.Cached()}
+}
+
+// Session returns the owning session.
+func (g *Graph[V]) Session() *dataflow.Session { return g.s }
+
+// Edges returns the edge Dataset.
+func (g *Graph[V]) Edges() *dataflow.Dataset[datagen.Edge] { return g.edges }
+
+// Undirected returns the graph with every edge present in both directions
+// (GraphX's symmetrization, Gelly's getUndirected) — the view connected
+// components runs on. The reversal is a dataflow FlatMap, so each backend
+// pays for it in its own coin: Spark caches the doubled RDD, MapReduce
+// re-reads and re-doubles per job.
+func (g *Graph[V]) Undirected() *Graph[V] {
+	both := dataflow.FlatMap(g.edges, func(e datagen.Edge) []datagen.Edge {
+		return []datagen.Edge{e, {Src: e.Dst, Dst: e.Src}}
+	}).Cached()
+	return &Graph[V]{s: g.s, edges: both}
+}
+
+// vertexIDs is the distinct endpoint set as a keyed dataset, the shared
+// building block of NumVertices (distinct ids need a shuffle on every
+// engine: reduceByKey / groupBy→reduce / a Combine+Reduce job).
+func (g *Graph[V]) vertexIDs() *dataflow.Dataset[core.Pair[int64, int64]] {
+	ids := dataflow.FlatMap(g.edges, func(e datagen.Edge) []int64 {
+		return []int64{e.Src, e.Dst}
+	})
+	pairs := dataflow.MapToPair(ids, func(id int64) core.Pair[int64, int64] {
+		return core.KV(id, int64(1))
+	})
+	return dataflow.ReduceByKey(pairs, func(a, b int64) int64 { return a })
+}
+
+// NumVertices counts the distinct vertices — on Flink this is the separate
+// count job the paper remarks on for PageRank ("Flink's implementation
+// will first execute a job to count the vertices").
+func (g *Graph[V]) NumVertices() (int64, error) {
+	return dataflow.Count(g.vertexIDs())
+}
+
+// NumEdges counts the edges.
+func (g *Graph[V]) NumEdges() (int64, error) {
+	return dataflow.Count(g.edges)
+}
+
+// OutDegrees returns the per-vertex out-degree map (GraphX's outDegrees,
+// Gelly's outDegrees). Vertices with no out-edges are absent — callers
+// treat missing as zero, like the engines' degree datasets. It runs as a
+// keyed reduction through the unified API, so MapReduce pays a full
+// Combine+Reduce job for what Spark answers from the cached edge RDD.
+func (g *Graph[V]) OutDegrees() (map[int64]int64, error) {
+	ones := dataflow.MapToPair(g.edges, func(e datagen.Edge) core.Pair[int64, int64] {
+		return core.KV(e.Src, int64(1))
+	})
+	return dataflow.CollectAsMap(dataflow.ReduceByKey(ones, func(a, b int64) int64 { return a + b }))
+}
+
+// InDegrees returns the per-vertex in-degree map via an AggregateMessages
+// round (each edge sends 1 to its destination). Vertices with no in-edges
+// are absent.
+func (g *Graph[V]) InDegrees() (map[int64]int64, error) {
+	return AggregateMessages(g,
+		func(int64) V { var zero V; return zero },
+		func(src int64, _ V, dst int64) []Msg[int64] {
+			return []Msg[int64]{{To: dst, Value: 1}}
+		},
+		func(a, b int64) int64 { return a + b })
+}

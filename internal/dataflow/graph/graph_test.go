@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/mrexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+)
+
+func session(t *testing.T, engine string) *dataflow.Session {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
+	rt, err := cluster.NewRuntime(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.NewConfig()
+	switch engine {
+	case "spark":
+		conf.SetInt(core.SparkDefaultParallelism, 4).SetInt(core.SparkEdgePartitions, 4)
+	case "flink":
+		// Joins pipeline both producer chains concurrently; parallelism 2
+		// keeps the widest plan within the 8 slots per node.
+		conf.SetInt(core.FlinkDefaultParallelism, 2).SetInt(core.FlinkNetworkBuffers, 8192)
+	}
+	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// forEachEngine runs body once per registered backend.
+func forEachEngine(t *testing.T, body func(t *testing.T, s *dataflow.Session)) {
+	t.Helper()
+	engines := dataflow.Names()
+	if len(engines) < 3 {
+		t.Fatalf("expected 3 registered backends, got %v", engines)
+	}
+	for _, engine := range engines {
+		engine := engine
+		t.Run(engine, func(t *testing.T) { body(t, session(t, engine)) })
+	}
+}
+
+func chainGraphOf(s *dataflow.Session, n int64) *Graph[int64] {
+	return FromEdges[int64](dataflow.FromSlice(s, datagen.ChainGraph(n), 0))
+}
+
+func minLabelPregel(t *testing.T, g *Graph[int64], maxIter int) (map[int64]int64, int) {
+	t.Helper()
+	labels, supersteps, err := Pregel(g,
+		func(id int64) int64 { return id },
+		func(id int64, label, msg int64) (int64, bool) {
+			if msg < label {
+				return msg, true
+			}
+			return label, false
+		},
+		func(src int64, label, dst int64) (int64, bool) { return label, true },
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		maxIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels, supersteps
+}
+
+func TestGraphCounts(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := chainGraphOf(s, 6)
+		nv, err := g.NumVertices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv != 6 {
+			t.Errorf("vertices = %d, want 6", nv)
+		}
+		ne, err := g.NumEdges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ne != 10 {
+			t.Errorf("edges = %d, want 10", ne)
+		}
+	})
+}
+
+func TestOutAndInDegrees(t *testing.T) {
+	edges := []datagen.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := FromEdges[int64](dataflow.FromSlice(s, edges, 0))
+		out, err := g.OutDegrees()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[1] != 2 || out[2] != 1 || out[3] != 0 {
+			t.Errorf("out degrees = %v", out)
+		}
+		in, err := g.InDegrees()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in[3] != 2 || in[2] != 1 || in[1] != 0 {
+			t.Errorf("in degrees = %v", in)
+		}
+	})
+}
+
+func TestPregelMinLabelChain(t *testing.T) {
+	// Min-label propagation on an 8-chain: all labels converge to 0, early
+	// (well under the 20-iteration budget), with the same superstep count
+	// on every backend.
+	counts := map[string]int{}
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := chainGraphOf(s, 8)
+		labels, supersteps, err := func() (map[int64]int64, int, error) {
+			l, n := minLabelPregel(t, g, 20)
+			return l, n, nil
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) != 8 {
+			t.Fatalf("labelled %d vertices, want 8", len(labels))
+		}
+		for id, l := range labels {
+			if l != 0 {
+				t.Errorf("label[%d] = %d, want 0", id, l)
+			}
+		}
+		if supersteps >= 20 {
+			t.Errorf("no convergence detection: %d supersteps", supersteps)
+		}
+		if supersteps < 6 {
+			t.Errorf("converged suspiciously fast: %d supersteps", supersteps)
+		}
+		counts[s.Name()] = supersteps
+	})
+	if len(counts) == 3 {
+		if counts["spark"] != counts["flink"] || counts["spark"] != counts["mapreduce"] {
+			t.Errorf("superstep counts diverge: %v", counts)
+		}
+	}
+}
+
+func TestPregelEmptyGraph(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := FromEdges[int64](dataflow.FromSlice(s, []datagen.Edge{}, 0))
+		labels, supersteps := minLabelPregel(t, g, 5)
+		if len(labels) != 0 {
+			t.Errorf("empty graph produced %d vertices", len(labels))
+		}
+		if supersteps != 0 {
+			t.Errorf("empty graph ran %d supersteps", supersteps)
+		}
+	})
+}
+
+func TestPregelSingleVertexSelfLoop(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := FromEdges[int64](dataflow.FromSlice(s, []datagen.Edge{{Src: 7, Dst: 7}}, 0))
+		labels, _ := minLabelPregel(t, g, 5)
+		if len(labels) != 1 || labels[7] != 7 {
+			t.Errorf("self-loop graph labels = %v, want {7:7}", labels)
+		}
+	})
+}
+
+func TestAggregateMessagesRankContribs(t *testing.T) {
+	// One PageRank-style contribution round: each vertex sends 1/outDeg
+	// along its out-edges; results must agree with a direct computation on
+	// every backend.
+	edges := datagen.RMAT(7, datagen.GraphSpec{Name: "agg", Vertices: 32, Edges: 96})
+	outDeg := map[int64]int64{}
+	for _, e := range edges {
+		outDeg[e.Src]++
+	}
+	want := map[int64]float64{}
+	for _, e := range edges {
+		want[e.Dst] += 1.0 / float64(outDeg[e.Src])
+	}
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := FromEdges[int64](dataflow.FromSlice(s, edges, 0))
+		degs, err := g.OutDegrees()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AggregateMessages(g,
+			func(id int64) int64 { return degs[id] },
+			func(src int64, deg int64, dst int64) []Msg[float64] {
+				if deg == 0 {
+					return nil
+				}
+				return []Msg[float64]{{To: dst, Value: 1.0 / float64(deg)}}
+			},
+			func(a, b float64) float64 { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("messaged %d vertices, want %d", len(got), len(want))
+		}
+		for id, w := range want {
+			if math.Abs(got[id]-w) > 1e-9 {
+				t.Errorf("contrib[%d] = %v, want %v", id, got[id], w)
+			}
+		}
+	})
+}
+
+func TestPregelDanglingDestination(t *testing.T) {
+	// Vertex 2 has no out-edges: it must still exist, receive messages and
+	// apply its program; SSSP-style frontier growth covers the directed
+	// case (vertex 0 unreachable keeps +Inf on the reversed edge).
+	edges := []datagen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	forEachEngine(t, func(t *testing.T, s *dataflow.Session) {
+		g := FromEdges[float64](dataflow.FromSlice(s, edges, 0))
+		dists, supersteps, err := Pregel(g,
+			func(id int64) float64 {
+				if id == 0 {
+					return 0
+				}
+				return math.Inf(1)
+			},
+			func(id int64, d, msg float64) (float64, bool) {
+				if msg < d {
+					return msg, true
+				}
+				return d, false
+			},
+			func(src int64, d float64, dst int64) (float64, bool) {
+				if math.IsInf(d, 1) {
+					return 0, false
+				}
+				return d + 1, true
+			},
+			math.Min, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprint(map[int64]float64{0: 0, 1: 1, 2: 2})
+		if got := fmt.Sprint(dists); got != want {
+			t.Errorf("distances = %v, want %v", got, want)
+		}
+		if supersteps != 2 {
+			t.Errorf("supersteps = %d, want 2", supersteps)
+		}
+	})
+}

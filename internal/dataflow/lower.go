@@ -1,0 +1,26 @@
+package dataflow
+
+import (
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+)
+
+// Lowering hooks for subsystem packages built on top of the dataflow layer
+// (internal/dataflow/graph): they expose a Dataset's engine representation
+// so a subsystem can continue the pipeline with engine-native libraries
+// (graphxlike on spark, delta iterations on flink) while the inputs keep
+// flowing through the unified API. Both memoize per logical node like every
+// other lowering, so a Dataset shared between dataflow actions and a
+// subsystem lowers exactly once.
+
+// SparkRDDOf lowers d on its spark-backed session and returns the RDD.
+// It errors when the session is not bound to the spark backend.
+func SparkRDDOf[T any](d *Dataset[T]) (*spark.RDD[T], error) {
+	return repOf[*spark.RDD[T]](d)
+}
+
+// FlinkDataSetOf lowers d on its flink-backed session and returns the
+// DataSet. It errors when the session is not bound to the flink backend.
+func FlinkDataSetOf[T any](d *Dataset[T]) (*flink.DataSet[T], error) {
+	return repOf[*flink.DataSet[T]](d)
+}

@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"tab3", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"tab4", "tab5", "tab6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab7",
-		"ext1", "ext2", "ext3",
+		"ext1", "ext2", "ext3", "ext4", "ext5",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -60,7 +60,7 @@ func TestRegistryResolvesAndStable(t *testing.T) {
 // TestExtThreeWayFinite: the ext* experiments produce finite, positive
 // times for all three engines in every row.
 func TestExtThreeWayFinite(t *testing.T) {
-	for _, id := range []string{"ext1", "ext2", "ext3"} {
+	for _, id := range []string{"ext1", "ext2", "ext3", "ext4", "ext5"} {
 		r, ok := Get(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)
@@ -106,6 +106,24 @@ func TestExt3IterativeOrdering(t *testing.T) {
 		if row.MapRed < 2*row.Spark {
 			t.Errorf("%s: iterative gap %.1fx too small for a disk-chained baseline",
 				row.Label, row.MapRed/row.Spark)
+		}
+	}
+}
+
+// TestExt4Ext5GraphOrdering: on the graph workloads the chained-job
+// baseline trails both in-memory engines by an iterative-class margin at
+// every cluster size, while spark and flink stay at the paper's ratios.
+func TestExt4Ext5GraphOrdering(t *testing.T) {
+	for _, run := range []func() (*Report, error){runExt4, runExt5} {
+		rep, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			if row.MapRed < 2*row.Spark || row.MapRed < 2*row.Flink {
+				t.Errorf("%s %s: mapreduce %.0f should be ≥2x spark %.0f / flink %.0f",
+					rep.ID, row.Label, row.MapRed, row.Spark, row.Flink)
+			}
 		}
 	}
 }

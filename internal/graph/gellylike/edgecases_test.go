@@ -1,0 +1,134 @@
+package gellylike
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+)
+
+// Edge cases beyond the happy paths: empty edge lists, single-vertex
+// graphs (self-loop) and dangling vertices, in both iteration variants.
+
+func TestEmptyEdgeList(t *testing.T) {
+	e := testEnv(t)
+	g := loadGraph(t, e, nil)
+	nv, err := g.NumVertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 0 {
+		t.Errorf("vertices = %d, want 0", nv)
+	}
+	labels, supersteps, err := ConnectedComponentsDelta(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := collectMap(t, labels); len(m) != 0 {
+		t.Errorf("empty graph labelled %v", m)
+	}
+	if *supersteps != 0 {
+		t.Errorf("empty graph ran %d supersteps; the workset should start drained", *supersteps)
+	}
+	bulk, err := ConnectedComponentsBulk(loadGraph(t, e, nil), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := collectMap(t, bulk); len(m) != 0 {
+		t.Errorf("bulk CC on empty graph labelled %v", m)
+	}
+	ranks, err := PageRank(loadGraph(t, e, nil), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := flink.Collect(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("empty graph ranked %d vertices", len(pairs))
+	}
+}
+
+func TestSingleVertexSelfLoop(t *testing.T) {
+	e := testEnv(t)
+	g := loadGraph(t, e, []datagen.Edge{{Src: 3, Dst: 3}})
+	nv, err := g.NumVertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 1 {
+		t.Fatalf("vertices = %d, want 1", nv)
+	}
+	labels, _, err := ConnectedComponentsDelta(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := collectMap(t, labels); len(m) != 1 || m[3] != 3 {
+		t.Errorf("labels = %v, want {3:3}", m)
+	}
+	ranks, err := PageRank(loadGraph(t, e, []datagen.Edge{{Src: 3, Dst: 3}}), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := flink.Collect(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || math.Abs(pairs[0].Value-1.0) > 1e-6 {
+		t.Errorf("self-loop ranks = %v, want [{3 1.0}]", pairs)
+	}
+}
+
+func TestDanglingVertices(t *testing.T) {
+	e := testEnv(t)
+	edges := []datagen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	g := loadGraph(t, e, edges)
+	degPairs, err := flink.Collect(g.OutDegrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := map[int64]int64{}
+	for _, p := range degPairs {
+		degs[p.Key] = p.Value
+	}
+	// OutDegrees only lists vertices with out-edges; the dangling vertex 2
+	// is absent, and the load phase must still give it a state.
+	if degs[0] != 1 || degs[1] != 1 || degs[2] != 0 {
+		t.Errorf("out degrees = %v", degs)
+	}
+	ranks, err := PageRank(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := flink.Collect(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := map[int64]float64{}
+	for _, p := range pairs {
+		rm[p.Key] = p.Value
+	}
+	if len(rm) != 3 {
+		t.Fatalf("ranked %d vertices, want 3", len(rm))
+	}
+	if rm[2] <= 0 {
+		t.Errorf("dangling vertex rank = %v, want > 0", rm[2])
+	}
+	// Both CC variants agree that the path is one component.
+	delta, _, err := ConnectedComponentsDelta(loadGraph(t, e, edges), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := ConnectedComponentsBulk(loadGraph(t, e, edges), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, bm := collectMap(t, delta), collectMap(t, bulk)
+	for id := int64(0); id < 3; id++ {
+		if dm[id] != 0 || bm[id] != 0 {
+			t.Errorf("label[%d]: delta=%d bulk=%d, want 0", id, dm[id], bm[id])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package graphxlike
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine/spark"
+)
+
+// Edge cases beyond the happy paths: empty edge lists, single-vertex
+// graphs (self-loop) and dangling vertices (no out-edges). These are the
+// inputs real crawl data hands GraphX constantly; the loaders and Pregel
+// must degrade gracefully, not wedge or drop vertices.
+
+func TestEmptyEdgeList(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, nil)
+	nv, err := g.NumVertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 0 {
+		t.Errorf("vertices = %d, want 0", nv)
+	}
+	labels, iters, err := ConnectedComponents(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 || iters != 0 {
+		t.Errorf("empty graph: labels=%v supersteps=%d, want none", m, iters)
+	}
+	ranks, _, err := PageRank(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := spark.CollectAsMap(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm) != 0 {
+		t.Errorf("empty graph ranked %d vertices", len(rm))
+	}
+}
+
+func TestSingleVertexSelfLoop(t *testing.T) {
+	ctx := testCtx(t)
+	g := loadGraph(t, ctx, []datagen.Edge{{Src: 3, Dst: 3}})
+	nv, err := g.NumVertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 1 {
+		t.Fatalf("vertices = %d, want 1", nv)
+	}
+	labels, _, err := ConnectedComponents(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spark.CollectAsMap(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[3] != 3 {
+		t.Errorf("labels = %v, want {3:3}", m)
+	}
+	// A self-loop is a 1-cycle: the full rank mass cycles, so rank = 1.
+	ranks, _, err := PageRank(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := spark.CollectAsMap(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rm[3]-1.0) > 1e-6 {
+		t.Errorf("self-loop rank = %v, want 1.0", rm[3])
+	}
+}
+
+func TestDanglingVertices(t *testing.T) {
+	ctx := testCtx(t)
+	// Vertex 2 is dangling (no out-edges): it must exist, carry out-degree
+	// zero, absorb rank without scattering, and still join its component.
+	g := loadGraph(t, ctx, []datagen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	degs, err := spark.CollectAsMap(g.OutDegrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degs[0] != 1 || degs[1] != 1 || degs[2] != 0 {
+		t.Errorf("out degrees = %v", degs)
+	}
+	ranks, _, err := PageRank(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := spark.CollectAsMap(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm) != 3 {
+		t.Fatalf("ranked %d vertices, want 3", len(rm))
+	}
+	if rm[2] <= 0 {
+		t.Errorf("dangling vertex rank = %v, want > 0", rm[2])
+	}
+	labels, _, err := ConnectedComponents(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := spark.CollectAsMap(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, l := range lm {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0 (one component)", id, l)
+		}
+	}
+}

@@ -145,6 +145,22 @@ const (
 	// plus Writable overhead, applied where spark uses serdeFactorJava.
 	// [LIT] — MapReduce map/reduce function costs track Spark's closely.
 	mrCPUFactor = serdeFactorWritable
+	// Graph chains: every superstep's job re-parses the full edge list from
+	// its text/Writable form (core-s per MiB of edge list) — the cost the
+	// in-memory engines pay exactly once at load. [LIT]
+	mrGraphParseCPU = 0.60
+	// Per-superstep message generation, core-s per million edges at full
+	// activity; tracks the Flink superstep costs with Writable overhead on
+	// top (no resident adjacency — every edge's endpoint state is looked up
+	// from the distributed-cache copy). [LIT]
+	mrGraphPRIterEdgeCPU = flinkPRIterEdgeCPU * mrCPUFactor
+	mrGraphCCIterEdgeCPU = flinkCCIterEdgeCPU * mrCPUFactor
+	// Reduce-side vertex update, core-s per million vertices (tracks
+	// Spark's full vertex-set join cost with Writable overhead). [LIT]
+	mrGraphVtxCPU = sparkIterVtxCPU * mrCPUFactor
+	// Vertex-state file bytes per vertex (id + value + activity flag in
+	// Writable encoding). [MECH]
+	mrGraphStateBytesPerVtx = 24.0
 
 	// --- Memory rules (Table VII failure boundaries) ---------------------
 	// Flink's CoGroup/solution-set must hold its per-node share of the

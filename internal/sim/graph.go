@@ -46,10 +46,7 @@ func (j GraphJob) Name() string { return j.Algo.String() }
 func (j GraphJob) Run(p Params) Result {
 	r := newRun(p, j.Name())
 	if p.Engine == MapReduce {
-		// No MapReduce graph model exists: falling through to the Spark
-		// path would report Spark-shaped numbers (with Writable serde
-		// contamination) under the mapreduce label. Fail loudly instead.
-		return r.finish(fmt.Errorf("sim: %s not modeled for the mapreduce engine", j.Name()))
+		return j.runMapReduce(r)
 	}
 	if p.Engine == Flink {
 		if err := j.flinkMemoryCheck(p); err != nil {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/des"
@@ -117,6 +118,57 @@ func (j TeraSortJob) runMapReduce(r *run, perNodeMiB float64) {
 		redCPU:    perNodeMiB * (tsIntakeCPUFlink + tsMergeCPUFlink) * mrCPUFactor,
 		outMiB:    perNodeMiB,
 	}, nil)
+}
+
+// runMapReduce for graphs: Pregel-on-Hadoop as chained jobs. No graph is
+// ever resident — an init job derives the vertex states, then EVERY
+// superstep is an independent job that re-reads and re-parses the full
+// edge list from the DFS, shuffles the messages uncompressed and writes
+// the next vertex-state file back. Connected components' message volume
+// shrinks as labels converge, but the per-superstep edge scan and job
+// startup never do — the structural contrast with Flink's delta iteration
+// (shrinking work) and Spark's cached edge RDD (no re-read).
+func (j GraphJob) runMapReduce(r *run) Result {
+	spec := r.p.Spec
+	perNodeMiB := float64(j.SizeBytes) / float64(spec.Nodes) / (1 << 20)
+	mE := j.mEdgesPerNode(r.p)
+	mV := j.mVertsPerNode(r.p)
+	stateMiB := mV * 1e6 * mrGraphStateBytesPerVtx / (1 << 20)
+	iterEdgeCPU := mrGraphPRIterEdgeCPU
+	if j.Algo == ConnComp {
+		iterEdgeCPU = mrGraphCCIterEdgeCPU
+	}
+
+	var loadEndT, iterStartT float64
+	loadJob := mrJob{
+		readMiB:   perNodeMiB,
+		mapCPU:    perNodeMiB * mrGraphParseCPU,
+		mapOutMiB: stateMiB,
+		redCPU:    mV * mrGraphVtxCPU,
+		outMiB:    stateMiB,
+	}
+	runMRJob(r, "InitVertexStates", loadJob, func() {
+		loadEndT = r.sim.Now()
+		iterStartT = loadEndT
+		runSupersteps(r, j.Iterations, func(it int, stepDone func()) {
+			frac := 1.0
+			if j.Algo == ConnComp {
+				frac = math.Pow(ccWorksetShrink, float64(it))
+			}
+			iterJob := mrJob{
+				readMiB:   perNodeMiB + stateMiB,
+				mapCPU:    perNodeMiB*mrGraphParseCPU + mE*iterEdgeCPU*frac,
+				mapOutMiB: mE * 1e6 * graphMsgBytesPerEdge * bytesFactorWritable * frac / (1 << 20),
+				redCPU:    mV * mrGraphVtxCPU,
+				outMiB:    stateMiB,
+			}
+			runMRJob(r, fmt.Sprintf("%s#%d", j.Algo, it+1), iterJob, stepDone)
+		}, nil)
+	})
+	res := r.finish(nil)
+	res.LoadSeconds = loadEndT
+	res.IterSeconds = res.Seconds - iterStartT
+	return res
 }
 
 // runMapReduce for K-Means: the engine has no iteration operator, so every

@@ -73,15 +73,54 @@ func TestMapReduceIterationsScaleLinearly(t *testing.T) {
 	}
 }
 
-// TestGraphJobRejectsMapReduce: there is no MapReduce graph model, so a
-// GraphJob must fail loudly instead of reporting Spark-shaped numbers
-// under the mapreduce label.
-func TestGraphJobRejectsMapReduce(t *testing.T) {
-	job := GraphJob{Algo: PageRank, Graph: datagen.SmallGraph, SizeBytes: 14 * core.GB, Iterations: 5}
-	res := job.Run(Params{Spec: cluster.Grid5000(8), Engine: MapReduce, Conf: core.NewConfig()})
-	if res.Err == nil {
-		t.Fatal("graph workload on the mapreduce engine should error, not fall back to spark")
+// TestMapReduceGraphGap: the chained-job Pregel re-reads the edge list
+// every superstep, so the graph workloads trail both in-memory engines by
+// a wide (iterative-class) margin, like K-Means.
+func TestMapReduceGraphGap(t *testing.T) {
+	conf := func() *core.Config {
+		c := core.NewConfig()
+		c.SetBytes(core.SparkExecutorMemory, 96*core.GB)
+		c.SetBytes(core.FlinkTaskManagerMemory, 62*core.GB)
+		c.SetInt(core.SparkEdgePartitions, 27*16)
+		return c
 	}
+	for _, algo := range []GraphAlgo{PageRank, ConnComp} {
+		job := GraphJob{Algo: algo, Graph: datagen.SmallGraph, SizeBytes: 14029 * core.MB, Iterations: 20}
+		spark := mrRunConf(t, job, 27, Spark, conf())
+		flink := mrRunConf(t, job, 27, Flink, conf())
+		mr := mrRunConf(t, job, 27, MapReduce, conf())
+		if mr <= 2*spark || mr <= 2*flink {
+			t.Errorf("%s: mapreduce %.0f s should be ≥2x spark %.0f / flink %.0f",
+				algo, mr, spark, flink)
+		}
+	}
+}
+
+// TestMapReduceGraphPhases: the init job is reported as the load phase and
+// the chained supersteps as the iteration phase (Table VII's load/iter
+// split extended to the baseline).
+func TestMapReduceGraphPhases(t *testing.T) {
+	job := GraphJob{Algo: PageRank, Graph: datagen.SmallGraph, SizeBytes: 14029 * core.MB, Iterations: 5}
+	res := job.Run(Params{Spec: cluster.Grid5000(8), Engine: MapReduce, Conf: core.NewConfig()})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.LoadSeconds <= 0 || res.IterSeconds <= 0 {
+		t.Fatalf("load/iter split missing: load=%.1f iter=%.1f", res.LoadSeconds, res.IterSeconds)
+	}
+	if res.IterSeconds <= res.LoadSeconds {
+		t.Errorf("5 chained supersteps (%.0f s) should outweigh the init job (%.0f s)",
+			res.IterSeconds, res.LoadSeconds)
+	}
+}
+
+func mrRunConf(t *testing.T, job Job, nodes int, e EngineKind, conf *core.Config) float64 {
+	t.Helper()
+	res := job.Run(Params{Spec: cluster.Grid5000(nodes), Engine: e, Conf: conf})
+	if res.Err != nil {
+		t.Fatalf("%s on %v failed: %v", job.Name(), e, res.Err)
+	}
+	return res.Seconds
 }
 
 func TestEngineKindStrings(t *testing.T) {

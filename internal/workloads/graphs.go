@@ -1,92 +1,122 @@
 package workloads
 
 import (
-	"repro/internal/core"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/dataflow/graph"
 	"repro/internal/datagen"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
-	"repro/internal/graph/gellylike"
-	"repro/internal/graph/graphxlike"
 )
 
-// PageRankSpark runs the GraphX-like standalone PageRank.
-func PageRankSpark(ctx *spark.Context, edges []datagen.Edge, iters int) (map[int64]float64, error) {
-	rdd := spark.Parallelize(ctx, edges, 0)
-	g := graphxlike.FromEdges(ctx, rdd, int64(0))
-	ranks, _, err := graphxlike.PageRank(g, iters)
-	if err != nil {
-		return nil, err
-	}
-	return spark.CollectAsMap(ranks)
+// The graph workloads are defined ONCE against the Pregel-style
+// internal/dataflow/graph subsystem and lowered per backend: GraphX-like
+// loop-unrolled rounds on spark, a Gelly-like native delta iteration on
+// flink, chained DFS jobs on mapreduce. The per-engine duplicates that
+// used to live here are gone; graphs_deprecated.go keeps thin wrappers for
+// the pinned signatures.
+
+// PRVertex is the PageRank vertex state of the unified graph workloads:
+// current rank plus the out-degree the scatter divides by.
+type PRVertex struct {
+	Rank   float64
+	OutDeg int64
 }
 
-// PageRankFlink runs the Gelly-like vertex-centric PageRank (with its
-// count-vertices pre-job).
-func PageRankFlink(env *flink.Env, edges []datagen.Edge, iters int) (map[int64]float64, error) {
-	ds := flink.FromSlice(env, edges, 0)
-	g := gellylike.FromEdges(env, ds, int64(0))
-	ranks, err := gellylike.PageRank(g, iters)
-	if err != nil {
-		return nil, err
-	}
-	pairs, err := flink.Collect(ranks)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int64]float64, len(pairs))
-	for _, p := range pairs {
-		out[p.Key] = p.Value
-	}
-	return out, nil
+// graphOf builds a V-valued graph over the session from an in-memory edge
+// list (the experiments' R-MAT output).
+func graphOf[V any](s *dataflow.Session, edges []datagen.Edge) *graph.Graph[V] {
+	return graph.FromEdges[V](dataflow.FromSlice(s, edges, 0))
 }
 
-// ConnectedComponentsSpark runs the GraphX-like CC until convergence.
-func ConnectedComponentsSpark(ctx *spark.Context, edges []datagen.Edge, maxIter int) (map[int64]int64, int, error) {
-	rdd := spark.Parallelize(ctx, edges, 0)
-	g := graphxlike.FromEdges(ctx, rdd, int64(0))
-	labels, iters, err := graphxlike.ConnectedComponents(g, maxIter)
-	if err != nil {
-		return nil, iters, err
-	}
-	m, err := spark.CollectAsMap(labels)
-	return m, iters, err
-}
-
-// ConnectedComponentsFlinkDelta runs the Gelly-like delta-iteration CC.
-func ConnectedComponentsFlinkDelta(env *flink.Env, edges []datagen.Edge, maxIter int) (map[int64]int64, int64, error) {
-	ds := flink.FromSlice(env, edges, 0)
-	g := gellylike.FromEdges(env, ds, int64(0))
-	labels, supersteps, err := gellylike.ConnectedComponentsDelta(g, maxIter)
+// PageRank runs the standalone PageRank for a fixed number of supersteps
+// with damping 0.85 on the session's backend: a degree job first (the
+// load phase), then rank = 0.15 + 0.85 × Σ incoming rank/outDegree per
+// superstep. It returns the ranks and the executed superstep count.
+// Pregel deactivation semantics apply (as in GraphX's standalone
+// implementation): a vertex with no in-edges never receives a message, so
+// it goes inactive after superstep 1 and keeps its initial rank 1.0 —
+// identical on all three backends.
+func PageRank(s *dataflow.Session, edges []datagen.Edge, iters int) (map[int64]float64, int, error) {
+	g := graphOf[PRVertex](s, edges)
+	degrees, err := g.OutDegrees()
 	if err != nil {
 		return nil, 0, err
 	}
-	m, err := collectInt64Map(labels)
+	verts, supersteps, err := graph.Pregel(g,
+		func(id int64) PRVertex {
+			return PRVertex{Rank: 1.0, OutDeg: degrees[id]}
+		},
+		func(id int64, v PRVertex, sum float64) (PRVertex, bool) {
+			return PRVertex{Rank: 0.15 + 0.85*sum, OutDeg: v.OutDeg}, true
+		},
+		func(src int64, v PRVertex, dst int64) (float64, bool) {
+			if v.OutDeg == 0 {
+				return 0, false
+			}
+			return v.Rank / float64(v.OutDeg), true
+		},
+		func(a, b float64) float64 { return a + b },
+		iters)
 	if err != nil {
-		return nil, 0, err
+		return nil, supersteps, err
 	}
-	return m, *supersteps, nil
+	ranks := make(map[int64]float64, len(verts))
+	for id, v := range verts {
+		ranks[id] = v.Rank
+	}
+	return ranks, supersteps, nil
 }
 
-// ConnectedComponentsFlinkBulk runs the bulk-iteration CC baseline the
-// paper compares delta iterations against.
-func ConnectedComponentsFlinkBulk(env *flink.Env, edges []datagen.Edge, iters int) (map[int64]int64, error) {
-	ds := flink.FromSlice(env, edges, 0)
-	g := gellylike.FromEdges(env, ds, int64(0))
-	labels, err := gellylike.ConnectedComponentsBulk(g, iters)
-	if err != nil {
-		return nil, err
-	}
-	return collectInt64Map(labels)
+// ConnectedComponents labels every vertex with the smallest vertex id
+// reachable from it via min-label propagation until convergence, treating
+// edges as undirected like GraphX and Gelly do. It returns the labels and
+// the supersteps used.
+func ConnectedComponents(s *dataflow.Session, edges []datagen.Edge, maxIter int) (map[int64]int64, int, error) {
+	g := graphOf[int64](s, edges).Undirected()
+	return graph.Pregel(g,
+		func(id int64) int64 { return id },
+		func(id int64, label, msg int64) (int64, bool) {
+			if msg < label {
+				return msg, true
+			}
+			return label, false
+		},
+		func(src int64, label, dst int64) (int64, bool) { return label, true },
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		maxIter)
 }
 
-func collectInt64Map(ds *flink.DataSet[core.Pair[int64, int64]]) (map[int64]int64, error) {
-	pairs, err := flink.Collect(ds)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int64]int64, len(pairs))
-	for _, p := range pairs {
-		out[p.Key] = p.Value
-	}
-	return out, nil
+// SSSP computes single-source shortest hop distances from source over the
+// directed edges (unit weights). Unreachable vertices keep +Inf. It is the
+// third scenario of the graph suite — unlike PageRank it converges, and
+// unlike Connected Components its frontier GROWS before it shrinks, so the
+// delta iteration's workset behaves differently.
+func SSSP(s *dataflow.Session, edges []datagen.Edge, source int64, maxIter int) (map[int64]float64, int, error) {
+	g := graphOf[float64](s, edges)
+	return graph.Pregel(g,
+		func(id int64) float64 {
+			if id == source {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		func(id int64, dist, msg float64) (float64, bool) {
+			if msg < dist {
+				return msg, true
+			}
+			return dist, false
+		},
+		func(src int64, dist float64, dst int64) (float64, bool) {
+			if math.IsInf(dist, 1) {
+				return 0, false
+			}
+			return dist + 1, true
+		},
+		math.Min,
+		maxIter)
 }

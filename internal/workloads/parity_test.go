@@ -3,6 +3,7 @@ package workloads
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"testing"
@@ -74,6 +75,7 @@ func TestCrossEngineParity(t *testing.T) {
 	tera := datagen.TeraGen(13, teraRecords)
 	teraPart := TeraPartitioner(tera, 4)
 	points, _ := datagen.KMeansPoints(17, 3000, 3, 2.0)
+	graphEdges := datagen.RMAT(29, datagen.GraphSpec{Name: "parity", Vertices: 96, Edges: 400})
 
 	type result struct {
 		wordCounts string // sorted "{word n}" lines
@@ -81,6 +83,12 @@ func TestCrossEngineParity(t *testing.T) {
 		multi      []int64
 		teraBytes  []byte
 		centers    string // "%.6f" formatted, key order
+		ranks      string // rank-rounded "%.6f", vertex id order
+		prSteps    int
+		labels     string // CC labels, vertex id order
+		ccSteps    int
+		dists      string // SSSP distances, vertex id order
+		ssspSteps  int
 	}
 	results := map[string]result{}
 
@@ -137,6 +145,36 @@ func TestCrossEngineParity(t *testing.T) {
 				t.Errorf("clustering failed on %s: cost %v vs single-center %v", engine, cost, single)
 			}
 
+			// The graph workloads: one Pregel definition, three lowerings.
+			// Ranks and distances are rounded to 1e-6 (mergeMsg folds floats
+			// in engine-specific orders); labels compare exactly.
+			ranks, prSteps, err := PageRank(s, graphEdges, 12)
+			if err != nil {
+				t.Fatalf("pagerank: %v", err)
+			}
+			res.ranks = formatVertexMap(ranks, func(r float64) string { return fmt.Sprintf("%.6f", r) })
+			res.prSteps = prSteps
+
+			labels, ccSteps, err := ConnectedComponents(s, graphEdges, 50)
+			if err != nil {
+				t.Fatalf("connected components: %v", err)
+			}
+			res.labels = formatVertexMap(labels, func(l int64) string { return fmt.Sprint(l) })
+			res.ccSteps = ccSteps
+			if ccSteps <= 0 || ccSteps >= 50 {
+				t.Errorf("CC did not detect convergence: %d supersteps", ccSteps)
+			}
+
+			dists, ssspSteps, err := SSSP(s, graphEdges, 0, 50)
+			if err != nil {
+				t.Fatalf("sssp: %v", err)
+			}
+			res.dists = formatVertexMap(dists, func(d float64) string { return fmt.Sprintf("%.6f", d) })
+			res.ssspSteps = ssspSteps
+			if ssspSteps <= 0 || ssspSteps >= 50 {
+				t.Errorf("SSSP did not detect convergence: %d supersteps", ssspSteps)
+			}
+
 			results[engine] = res
 		})
 	}
@@ -181,5 +219,84 @@ func TestCrossEngineParity(t *testing.T) {
 		if got.centers != want.centers {
 			t.Errorf("kmeans centers differ:\n%s: %s\n%s: %s", engine, got.centers, base, want.centers)
 		}
+		if got.ranks != want.ranks {
+			t.Errorf("pagerank ranks differ:\n%s: %s\n%s: %s", engine, got.ranks, base, want.ranks)
+		}
+		if got.labels != want.labels {
+			t.Errorf("cc labels differ:\n%s: %s\n%s: %s", engine, got.labels, base, want.labels)
+		}
+		if got.dists != want.dists {
+			t.Errorf("sssp distances differ:\n%s: %s\n%s: %s", engine, got.dists, base, want.dists)
+		}
+		if got.prSteps != want.prSteps || got.ccSteps != want.ccSteps || got.ssspSteps != want.ssspSteps {
+			t.Errorf("superstep counts differ: %s=(%d,%d,%d) %s=(%d,%d,%d)",
+				engine, got.prSteps, got.ccSteps, got.ssspSteps,
+				base, want.prSteps, want.ccSteps, want.ssspSteps)
+		}
 	}
+}
+
+// TestSSSPMatchesBFSReference pins the unified SSSP against a driver-side
+// BFS on every backend (hop distances over directed edges, +Inf for
+// unreachable vertices).
+func TestSSSPMatchesBFSReference(t *testing.T) {
+	edges := datagen.RMAT(41, datagen.GraphSpec{Name: "sssp", Vertices: 64, Edges: 200})
+	// Reference BFS from vertex 0.
+	adj := map[int64][]int64{}
+	seen := map[int64]bool{}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		seen[e.Src], seen[e.Dst] = true, true
+	}
+	want := map[int64]float64{}
+	for id := range seen {
+		want[id] = math.Inf(1)
+	}
+	want[0] = 0
+	frontier := []int64{0}
+	for d := 1.0; len(frontier) > 0; d++ {
+		var next []int64
+		for _, v := range frontier {
+			for _, w := range adj[v] {
+				if math.IsInf(want[w], 1) {
+					want[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	for _, engine := range dataflow.Names() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			dists, _, err := SSSP(paritySession(t, engine), edges, 0, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dists) != len(want) {
+				t.Fatalf("labelled %d vertices, want %d", len(dists), len(want))
+			}
+			for id, wd := range want {
+				if got := dists[id]; got != wd && !(math.IsInf(got, 1) && math.IsInf(wd, 1)) {
+					t.Errorf("dist[%d] = %v, want %v", id, got, wd)
+				}
+			}
+		})
+	}
+}
+
+// formatVertexMap renders a vertex-keyed map in ascending id order so
+// engine outputs compare byte-for-byte.
+func formatVertexMap[V any](m map[int64]V, format func(V) string) string {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d:%s ", id, format(m[id]))
+	}
+	return sb.String()
 }

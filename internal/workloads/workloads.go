@@ -8,8 +8,10 @@
 //	               F: read→map(OptimizedText)→partitionCustom→sortPartition→write
 //	K-Means        S: loop { map→reduceByKey→collectAsMap }
 //	               F: bulkIterate { map(withBroadcastSet)→groupBy→reduce→map }
-//	Page Rank      S: GraphX-like Pregel; F: Gelly-like vertex-centric (bulk)
-//	Conn. Comp.    S: GraphX-like Pregel; F: Gelly-like delta (and bulk) iterations
+//	Page Rank      unified Pregel: S loop-unrolled rounds; F delta iteration;
+//	               MR chained DFS jobs (graphs.go)
+//	Conn. Comp.    unified Pregel (same three lowerings); F bulk variant kept
+//	SSSP           unified Pregel, the third graph scenario
 //
 // Each function returns enough to verify correctness; the experiment
 // harness, the examples and the benchmarks all call through here.
@@ -58,6 +60,19 @@ func init() {
 					X: math.Float64frombits(binary.BigEndian.Uint64(src)),
 					Y: math.Float64frombits(binary.BigEndian.Uint64(src[8:])),
 					N: int64(binary.BigEndian.Uint64(src[16:])),
+				}
+			})
+	})
+	serde.Register(func(s serde.Style) serde.Codec[PRVertex] {
+		return serde.FixedCodec(s, "PRVertex", 16,
+			func(dst []byte, v PRVertex) {
+				binary.BigEndian.PutUint64(dst, math.Float64bits(v.Rank))
+				binary.BigEndian.PutUint64(dst[8:], uint64(v.OutDeg))
+			},
+			func(src []byte) PRVertex {
+				return PRVertex{
+					Rank:   math.Float64frombits(binary.BigEndian.Uint64(src)),
+					OutDeg: int64(binary.BigEndian.Uint64(src[8:])),
 				}
 			})
 	})
