@@ -1,9 +1,9 @@
 GO ?= go
 
 # Coverage floor (%) enforced by `make cover` over the unified-API and
-# graph-library packages.
+# graph-library packages plus the shared shuffle core.
 COVER_FLOOR ?= 60
-COVER_PKGS = ./internal/dataflow/... ./internal/graph/...
+COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/...
 
 .PHONY: build test lint cover bench-smoke
 
@@ -37,9 +37,10 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus two benchrunner
-# experiments — tab1 (operator plans) and ext4 (a three-way graph run) —
+# Fast benchmark subset (1 iteration, no unit tests) plus three benchrunner
+# experiments — tab1 (operator plans), ext4 (a three-way graph run) and
+# ext6 (the shuffle strategy × parallelism sweep on the real engines) —
 # whose reports land in BENCH_smoke.json, the per-push CI artifact.
 bench-smoke:
 	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6 -json BENCH_smoke.json

@@ -87,6 +87,7 @@ func BenchmarkExt2TeraSortThreeWay(b *testing.B)  { benchExperiment(b, "ext2") }
 func BenchmarkExt3KMeansThreeWay(b *testing.B)    { benchExperiment(b, "ext3") }
 func BenchmarkExt4PageRankThreeWay(b *testing.B)  { benchExperiment(b, "ext4") }
 func BenchmarkExt5CCThreeWay(b *testing.B)        { benchExperiment(b, "ext5") }
+func BenchmarkExt6ShuffleSweep(b *testing.B)      { benchExperiment(b, "ext6") }
 
 // --- Ablations (DESIGN.md §7) ----------------------------------------------
 

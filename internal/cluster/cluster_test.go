@@ -119,6 +119,144 @@ func TestRuntimeSlotLimit(t *testing.T) {
 	}
 }
 
+// TestRuntimeSlotLimitPerNode pins the slot contract across nodes: each
+// node's concurrency is capped independently — a saturated node must not
+// steal slots from (or lend slots to) another.
+func TestRuntimeSlotLimitPerNode(t *testing.T) {
+	const slots = 2
+	rt, _ := NewRuntime(Spec{Nodes: 3, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 1, NetMiBps: 1}, slots)
+	cur := make([]atomic.Int64, 3)
+	peak := make([]atomic.Int64, 3)
+	var tasks []Task
+	for i := 0; i < 36; i++ {
+		node := i % 3
+		tasks = append(tasks, Task{Node: node, Fn: func() error {
+			c := cur[node].Add(1)
+			for {
+				p := peak[node].Load()
+				if c <= p || peak[node].CompareAndSwap(p, c) {
+					break
+				}
+			}
+			for j := 0; j < 2000; j++ {
+				_ = j
+			}
+			cur[node].Add(-1)
+			return nil
+		}})
+	}
+	if err := rt.RunTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if p := peak[n].Load(); p > slots {
+			t.Errorf("node %d peak concurrency %d exceeded %d slots", n, p, slots)
+		}
+	}
+}
+
+// TestRuntimeWaveCounting pins Waves as a per-RunTasks-call counter — the
+// scheduling-overhead metric that separates Spark's loop unrolling (many
+// waves) from Flink's single pipelined wave.
+func TestRuntimeWaveCounting(t *testing.T) {
+	rt, _ := NewRuntime(Grid5000(2), 4)
+	for i := 1; i <= 5; i++ {
+		if err := rt.RunTasks([]Task{{Node: 0, Fn: func() error { return nil }}}); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Waves() != int64(i) {
+			t.Fatalf("after %d calls Waves = %d", i, rt.Waves())
+		}
+	}
+	if rt.TasksLaunched() != 5 {
+		t.Errorf("TasksLaunched = %d, want 5", rt.TasksLaunched())
+	}
+}
+
+// TestRuntimeErrorDrain pins the error-drain contract of RunTasks: a
+// failing task does not cancel the wave — every remaining task still runs
+// to completion (a failing stage drains), and the FIRST error is the one
+// reported even when several tasks fail.
+func TestRuntimeErrorDrain(t *testing.T) {
+	rt, _ := NewRuntime(Spec{Nodes: 2, CoresPerNode: 2, MemPerNode: core.GB, DiskSeqMiBps: 1, NetMiBps: 1}, 1)
+	firstBoom := errors.New("first failure")
+	var ran atomic.Int64
+	var tasks []Task
+	// Slot width 1 serializes each node's tasks, so the failing task (the
+	// first on node 0) finishes before most of the wave even starts — any
+	// cancellation behaviour would be caught by the completion count.
+	tasks = append(tasks, Task{Node: 0, Fn: func() error { ran.Add(1); return firstBoom }})
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, Task{Node: i % 2, Fn: func() error { ran.Add(1); return nil }})
+	}
+	tasks = append(tasks, Task{Node: 1, Fn: func() error { ran.Add(1); return errors.New("later failure") }})
+	err := rt.RunTasks(tasks)
+	if got := ran.Load(); got != int64(len(tasks)) {
+		t.Errorf("%d of %d tasks ran after a failure — the wave must drain", got, len(tasks))
+	}
+	if err == nil {
+		t.Fatal("failing wave reported no error")
+	}
+	if !errors.Is(err, firstBoom) && err.Error() != "later failure" {
+		t.Errorf("RunTasks returned %v, want one of the injected failures", err)
+	}
+}
+
+// TestRuntimeSubtasks covers the intra-task parallelism used by the
+// reduce-side merge: capped at the node's slot width, no slot acquisition
+// (safe to call from a task already holding a slot), error propagation.
+func TestRuntimeSubtasks(t *testing.T) {
+	const slots = 2
+	rt, _ := NewRuntime(Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 1, NetMiBps: 1}, slots)
+	var cur, peak, ran atomic.Int64
+	fns := make([]func() error, 12)
+	for i := range fns {
+		fns[i] = func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			for j := 0; j < 2000; j++ {
+				_ = j
+			}
+			cur.Add(-1)
+			ran.Add(1)
+			return nil
+		}
+	}
+	// Run from inside a task occupying the node's only free slots: with
+	// nested slot acquisition this would deadlock rather than finish.
+	outer := make([]Task, slots)
+	for i := range outer {
+		outer[i] = Task{Node: 0, Fn: func() error { return rt.Subtasks(0, fns[:6]) }}
+	}
+	if err := rt.RunTasks(outer); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Subtasks(0, fns[6:]); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != int64(2*6+6) {
+		t.Errorf("%d subtasks ran, want 18", ran.Load())
+	}
+	if p := peak.Load(); p > 2*slots+slots {
+		t.Errorf("peak merge concurrency %d exceeds %d", p, 3*slots)
+	}
+	if rt.SubtasksLaunched() != 18 {
+		t.Errorf("SubtasksLaunched = %d, want 18", rt.SubtasksLaunched())
+	}
+	boom := errors.New("merge failed")
+	if err := rt.Subtasks(0, []func() error{func() error { return boom }}); !errors.Is(err, boom) {
+		t.Errorf("Subtasks error = %v, want %v", err, boom)
+	}
+	if err := rt.Subtasks(9, fns[:1]); err == nil {
+		t.Error("subtasks on nonexistent node accepted")
+	}
+}
+
 func TestRuntimeErrorPropagation(t *testing.T) {
 	rt, _ := NewRuntime(Grid5000(2), 4)
 	boom := errors.New("task failed")

@@ -21,8 +21,9 @@ type Runtime struct {
 	slotsPerNode int
 	sems         []chan struct{}
 
-	tasksLaunched atomic.Int64
-	waves         atomic.Int64
+	tasksLaunched    atomic.Int64
+	subtasksLaunched atomic.Int64
+	waves            atomic.Int64
 }
 
 // NewRuntime builds a runtime. slotsPerNode ≤ 0 defaults to the spec's
@@ -96,8 +97,46 @@ func (r *Runtime) RunTasks(tasks []Task) error {
 	return firstErr
 }
 
+// Subtasks runs intra-task parallel work pinned to one node — the reduce
+// side's parallel k-way merge threads. Concurrency is capped at the node's
+// slot width, but slots are NOT acquired: the calling task already holds
+// one, and nesting slot acquisition would deadlock a fully loaded node
+// (Hadoop's merge threads likewise live inside the reduce task's JVM).
+// Every fn runs to completion; the first error is returned.
+func (r *Runtime) Subtasks(node int, fns []func() error) error {
+	if node < 0 || node >= r.spec.Nodes {
+		return fmt.Errorf("cluster: subtasks pinned to node %d of %d", node, r.spec.Nodes)
+	}
+	r.subtasksLaunched.Add(int64(len(fns)))
+	gate := make(chan struct{}, r.slotsPerNode)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, fn := range fns {
+		wg.Add(1)
+		fn := fn
+		go func() {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			if err := fn(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // TasksLaunched returns the cumulative number of scheduled tasks.
 func (r *Runtime) TasksLaunched() int64 { return r.tasksLaunched.Load() }
+
+// SubtasksLaunched returns the cumulative number of intra-task subtasks.
+func (r *Runtime) SubtasksLaunched() int64 { return r.subtasksLaunched.Load() }
 
 // Waves returns the number of RunTasks scheduling rounds; a direct measure
 // of scheduling overhead differences between loop unrolling and cyclic

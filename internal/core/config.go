@@ -55,6 +55,20 @@ const (
 	// FlinkTaskSlots is the number of task slots per task manager.
 	FlinkTaskSlots = "flink.taskmanager.slots"
 
+	// ShuffleStrategy selects the shared shuffle implementation for every
+	// engine: "hash" (bucketed, pipelined repartition) or "sort"
+	// (spill-and-merge with map-side combine). Empty keeps each engine's
+	// native default — sort for Spark (tungsten-sort) and MapReduce,
+	// hash for Flink's pipelined exchange. See internal/shuffle.
+	ShuffleStrategy = "shuffle.strategy"
+	// ShuffleCompress selects shuffle block compression: "none" (default)
+	// or "lz", the built-in LZ codec ("true" is an alias for "lz").
+	ShuffleCompress = "shuffle.compress"
+	// ShuffleSpillThreshold caps the serialized bytes a sort-shuffle task
+	// buffers before spilling a sorted run, on top of the engine's own
+	// memory grant (0 = memory pressure and engine defaults only).
+	ShuffleSpillThreshold = "shuffle.spill.threshold"
+
 	// BufferSize is the network/shuffle buffer size shared by both
 	// frameworks in the paper's tables (buffer.size, default 32KB).
 	BufferSize = "buffer.size"

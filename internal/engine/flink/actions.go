@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/netsim"
+	"repro/internal/shuffle"
 )
 
 // jobCtx accumulates the physical tasks and exchange channels of one job
@@ -46,8 +47,9 @@ func (ctx *jobCtx) addTask(node int, fn func() error) {
 
 // makeChannels allocates the bounded buffers of one exchange. Capacity per
 // channel derives from the configured network buffer pool spread over the
-// logical channels, at least 2 — small pools mean tight backpressure.
-func (ctx *jobCtx) makeChannels(p, q int) []chan []byte {
+// logical connections, at least 2 — small pools mean tight backpressure.
+// Packets carry the producing node for the reader-side locality accounting.
+func (ctx *jobCtx) makeChannels(p, q int) []chan shuffle.Packet {
 	ctx.channels += p * q
 	per := ctx.env.pool.Count() / max(1, p*q)
 	if per < 2 {
@@ -56,9 +58,9 @@ func (ctx *jobCtx) makeChannels(p, q int) []chan []byte {
 	if per > 256 {
 		per = 256
 	}
-	chans := make([]chan []byte, q)
+	chans := make([]chan shuffle.Packet, q)
 	for i := range chans {
-		chans[i] = make(chan []byte, per)
+		chans[i] = make(chan shuffle.Packet, per)
 	}
 	return chans
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // Env is the execution environment, playing ExecutionEnvironment's role.
@@ -51,6 +52,7 @@ type Env struct {
 	parallelism  int
 	slotsPerNode int
 	combineSort  bool
+	shuffleSet   shuffle.Settings
 
 	nextID atomic.Int64
 }
@@ -84,6 +86,12 @@ func NewEnv(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Env {
 			conf.Bytes(core.BufferSize, 32*core.KB)),
 		combineSort: conf.String(FlinkCombineStrategy, "sort") == "sort",
 	}
+	// The shared shuffle core: flink's native idiom is the pipelined hash
+	// repartition; shuffle.strategy=sort turns keyed exchanges into
+	// sort-based pipeline breakers. Buckets flush at the configured
+	// network buffer size, the pipelining grain.
+	env.shuffleSet = shuffle.FromConf(conf, shuffle.Hash)
+	env.shuffleSet.FlushBytes = int64(conf.Bytes(core.BufferSize, 32*core.KB))
 	for i := 0; i < spec.Nodes; i++ {
 		env.managed = append(env.managed, memory.NewManaged(total, fraction, offHeap))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // recordConsumer is the receive side of an exchange for one partition:
@@ -18,17 +19,22 @@ type recordConsumer[T any] struct {
 }
 
 // newExchange wires a repartitioning edge between parent (P producer
-// partitions) and Q consumer partitions.
+// partitions) and Q consumer partitions through the shared shuffle core.
 //
-// Producer side: records are routed with route(v), serialized with the
-// TypeInfo codec into buffers of the configured size, and sent over
-// bounded channels — a full channel blocks the producer, which is the
-// pipeline's backpressure. Consumer side: one task per partition decodes
-// batches as they arrive and hands them to the consumer built by
-// makeConsumer. No barrier exists anywhere: consumers run concurrently
-// with producers from the moment the job starts.
+// Producer side: each producing subtask owns a shuffle.Writer. Under the
+// engine's default hash strategy records serialize into per-partition
+// buffers of the configured size that flush over bounded channels as they
+// fill — a full channel blocks the producer, which is the pipeline's
+// backpressure. Under shuffle.strategy=sort a keyed edge (less != nil)
+// buffers instead, spilling sorted runs when the managed-memory grant is
+// refused, and ships merged segments at end-of-input — a pipeline breaker,
+// which is exactly what a sort-based exchange is. Consumer side: one task
+// per partition decodes packets as they arrive and hands them to the
+// consumer built by makeConsumer; each packet carries its producer's node,
+// so reads classify local vs remote under the shared accounting rule in
+// internal/metrics (the same classification spark's shuffle reader uses).
 func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q int,
-	route func(T) int,
+	route func(T) int, less func(a, b T) bool,
 	makeConsumer func(part int, out partSink[U]) recordConsumer[T]) *DataSet[U] {
 
 	e := parent.env
@@ -41,53 +47,78 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 		parents:     []planParent{{ds: parent, exchange: true}},
 	}
 	codec := serde.Of[T](e.style)
+	set := e.shuffleSet
+	if less == nil {
+		// A non-keyed edge has no order to sort by; it stays a pipelined
+		// hash repartition under every strategy.
+		set.Kind = shuffle.Hash
+	}
 
 	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
 		chans := ctx.makeChannels(parent.parallelism, q)
-		bufSize := int(e.conf.Bytes(core.BufferSize, 32*core.KB))
 
-		// Producer side: per-partition routing buffers, flushed by size.
+		// Producer side: one shuffle writer per producing subtask.
 		var open atomic.Int64
 		open.Store(int64(parent.parallelism))
 		producerSinks := make([]partSink[T], parent.parallelism)
 		for p := 0; p < parent.parallelism; p++ {
 			p := p
-			bufs := make([][]byte, q)
-			counts := make([]int, q)
-			flush := func(dst int) {
-				if len(bufs[dst]) == 0 {
-					return
-				}
-				e.accountTransfer(ctx.nodeOfTask(p), ctx.nodeOfTask(dst), int64(len(bufs[dst])))
-				chans[dst] <- bufs[dst]
-				bufs[dst] = nil
-				counts[dst] = 0
-			}
+			fromNode := ctx.place(p, parent.pref)
+			pool := e.managed[fromNode]
+			segs := 0
+			w := shuffle.NewWriter(shuffle.Spec[T]{
+				NumParts: q,
+				Codec:    codec,
+				Route:    route,
+				Less:     less,
+			}, shuffle.Env{
+				Settings: set,
+				Metrics:  e.metrics,
+				// Sort-exchange buffers charge managed memory one segment
+				// per quantum; a refused grant spills a sorted run.
+				Mem: func(int64) bool {
+					if pool.Acquire(1) == 1 {
+						segs++
+						return true
+					}
+					return false
+				},
+				Free: func(int64) {
+					if segs > 0 {
+						pool.Release(segs)
+						segs = 0
+					}
+				},
+				Emit: func(dst int, b shuffle.Block) error {
+					if len(b.Data) == 0 {
+						return nil
+					}
+					e.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, false)
+					chans[dst] <- shuffle.Packet{From: fromNode, Data: b.Data, Raw: b.Raw}
+					return nil
+				},
+			})
 			producerSinks[p] = partSink[T]{
 				push: func(batch []T) error {
 					for _, v := range batch {
-						dst := route(v)
-						if dst < 0 || dst >= q {
-							return fmt.Errorf("flink: %s routed a record to partition %d of %d", label, dst, q)
-						}
-						bufs[dst] = codec.Enc(bufs[dst], v)
-						counts[dst]++
-						if len(bufs[dst]) >= bufSize {
-							flush(dst)
+						if err := w.Write(v); err != nil {
+							return fmt.Errorf("flink: %s: %w", label, err)
 						}
 					}
 					return nil
 				},
 				close: func() error {
-					for dst := range bufs {
-						flush(dst)
-					}
+					err := w.Close()
+					// The last producer must close the channels even when its
+					// writer failed: consumers range over them and RunTasks
+					// drains every task, so a skipped close hangs the job
+					// instead of surfacing err.
 					if open.Add(-1) == 0 {
 						for _, ch := range chans {
 							close(ch)
 						}
 					}
-					return nil
+					return err
 				},
 			}
 		}
@@ -101,14 +132,34 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 			node := ctx.place(part, nil)
 			ctx.addTask(node, func() error {
 				cons := makeConsumer(part, sinks[part])
-				for buf := range chans[part] {
-					recs, err := serde.DecodeAll(codec, buf)
+				// On error, keep draining the channel: producers block on the
+				// bounded sends, and RunTasks only returns once every task
+				// finishes.
+				var failed error
+				for pkt := range chans[part] {
+					if failed != nil {
+						continue
+					}
+					e.metrics.AddShuffleRead(int64(len(pkt.Data)), pkt.From == node)
+					raw, err := shuffle.Unpack(set, pkt.Data)
 					if err != nil {
-						return fmt.Errorf("flink: %s decode: %w", label, err)
+						failed = fmt.Errorf("flink: %s: %w", label, err)
+						continue
+					}
+					recs, err := serde.DecodeAll(codec, raw)
+					if err != nil {
+						failed = fmt.Errorf("flink: %s decode: %w", label, err)
+						continue
+					}
+					if len(recs) == 0 {
+						continue
 					}
 					if err := cons.accept(recs); err != nil {
-						return err
+						failed = err
 					}
+				}
+				if failed != nil {
+					return failed
 				}
 				return cons.finish()
 			})
@@ -119,26 +170,15 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 }
 
 // rebalanceExchange is an exchange that just re-partitions records without
-// grouping (partitionCustom, rebalance).
+// grouping (partitionCustom, rebalance). A pure repartition has no key
+// order, so it stays pipelined under every strategy.
 func rebalanceExchange[T any](parent *DataSet[T], label string, kind core.OpKind, q int,
 	route func(T) int) *DataSet[T] {
-	return newExchange[T, T](parent, label, kind, q, route,
+	return newExchange[T, T](parent, label, kind, q, route, nil,
 		func(part int, out partSink[T]) recordConsumer[T] {
 			return recordConsumer[T]{
 				accept: out.push,
 				finish: out.close,
 			}
 		})
-}
-
-// accountTransfer records shuffle traffic, classifying local vs remote by
-// producer and consumer node.
-func (e *Env) accountTransfer(fromNode, toNode int, n int64) {
-	e.metrics.ShuffleBytesWritten.Add(n)
-	e.metrics.ShuffleBytesRead.Add(n)
-	if fromNode == toNode {
-		e.metrics.LocalBytesRead.Add(n)
-	} else {
-		e.metrics.RemoteBytesRead.Add(n)
-	}
 }

@@ -38,6 +38,7 @@ func Reduce[K comparable, T any](g *Grouped[K, T], f func(T, T) T) *DataSet[T] {
 	key := g.key
 	ex := newExchange[T, T](combined, "GroupReduce", core.OpGroupReduce, g.parallelism,
 		func(v T) int { return int(core.HashKey(key(v)) % uint64(g.parallelism)) },
+		keyHashLess(key),
 		func(part int, out partSink[T]) recordConsumer[T] {
 			node := combined.env.nodeOf(part)
 			merger := newSortMerger(combined.env, node, key, f)
@@ -74,6 +75,7 @@ func GroupReduce[K comparable, T, U any](g *Grouped[K, T], f func(K, []T) []U) *
 	key := g.key
 	return newExchange[T, U](g.ds, "GroupReduce", core.OpGroupReduce, g.parallelism,
 		func(v T) int { return int(core.HashKey(key(v)) % uint64(g.parallelism)) },
+		keyHashLess(key),
 		func(part int, out partSink[U]) recordConsumer[T] {
 			groups := make(map[K][]T)
 			var order []K
@@ -110,6 +112,14 @@ func Distinct[T any, K comparable](d *DataSet[T], keyFn func(T) K) *DataSet[T] {
 	out.chain = []string{"Distinct"}
 	out.kind = core.OpDistinct
 	return out
+}
+
+// keyHashLess is the record order keyed exchanges hand to the shuffle
+// core: sort-strategy runs order by key hash, the same order the engine's
+// own sort-based combiner emits (Flink sorts on normalized key prefixes,
+// not on user comparators).
+func keyHashLess[T any, K comparable](key func(T) K) func(a, b T) bool {
+	return func(a, b T) bool { return core.HashKey(key(a)) < core.HashKey(key(b)) }
 }
 
 // combineChain inserts the sort-based combiner into the producer task: a

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/serde"
 )
 
 // IterateBulk is Flink's bulk iteration operator: the step dataflow is
@@ -262,7 +263,12 @@ func MapWithBroadcast[T, U, B any](d *DataSet[T], bc *DataSet[B], f func(T, []B)
 			for _, p := range parts {
 				bv.data = append(bv.data, p...)
 			}
-			e.metrics.ShuffleBytesRead.Add(int64(len(bv.data)) * 16) // broadcast traffic estimate
+			// Broadcast traffic is the set's real serialized size under the
+			// engine's TypeInfo codec — measured, not the old ×16 estimate.
+			// It ships from the driver to the task nodes, so it counts as a
+			// remote read (keeps ShuffleBytesRead = Local + Remote).
+			enc := serde.EncodeAll(serde.Of[B](e.style), nil, bv.data)
+			e.metrics.AddShuffleRead(int64(len(enc)), false)
 		})
 		if bv.err != nil {
 			return bv.err

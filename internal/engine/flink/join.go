@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // Joined is the result element of an inner join.
@@ -106,31 +107,29 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 				}
 				// Drain the build side first (its channel closes when all
 				// producers finish), then the probe side.
-				for buf := range lchans[part] {
-					recs, err := serde.DecodeAll(lCodec, buf)
-					if err != nil {
+				if err := drainSide(e, node, lchans[part], lCodec, func(v L) error {
+					k := lk(v)
+					if err := note(k); err != nil {
 						return err
 					}
-					for _, v := range recs {
-						k := lk(v)
-						if err := note(k); err != nil {
-							return err
-						}
-						builds[k] = append(builds[k], v)
+					builds[k] = append(builds[k], v)
+					return nil
+				}); err != nil {
+					// Still drain the probe side so its producers can finish
+					// (the Table VII MustAcquire failure lands here).
+					for range rchans[part] {
 					}
+					return err
 				}
-				for buf := range rchans[part] {
-					recs, err := serde.DecodeAll(rCodec, buf)
-					if err != nil {
+				if err := drainSide(e, node, rchans[part], rCodec, func(v R) error {
+					k := rk(v)
+					if err := note(k); err != nil {
 						return err
 					}
-					for _, v := range recs {
-						k := rk(v)
-						if err := note(k); err != nil {
-							return err
-						}
-						probes[k] = append(probes[k], v)
-					}
+					probes[k] = append(probes[k], v)
+					return nil
+				}); err != nil {
+					return err
 				}
 				var outRecs []U
 				for _, k := range order {
@@ -152,49 +151,91 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 	return ds
 }
 
-// produceSide wires one input of a two-input operator into its channels.
+// produceSide wires one input of a two-input operator into its channels
+// through the shared shuffle core. Both inputs of a hash join/co-group are
+// pipelined hash repartitions on every strategy — the consumer builds hash
+// tables, so there is no order to sort by.
 func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
-	chans []chan []byte, route func(T) int) error {
+	chans []chan shuffle.Packet, route func(T) int) error {
 	e := parent.env
 	q := len(chans)
-	bufSize := int(e.conf.Bytes(core.BufferSize, 32*core.KB))
+	set := e.shuffleSet
+	set.Kind = shuffle.Hash
 	var open atomic.Int64
 	open.Store(int64(parent.parallelism))
 	sinks := make([]partSink[T], parent.parallelism)
 	for p := 0; p < parent.parallelism; p++ {
-		p := p
-		bufs := make([][]byte, q)
-		flush := func(dst int) {
-			if len(bufs[dst]) == 0 {
-				return
-			}
-			e.accountTransfer(ctx.nodeOfTask(p), ctx.nodeOfTask(dst), int64(len(bufs[dst])))
-			chans[dst] <- bufs[dst]
-			bufs[dst] = nil
-		}
+		fromNode := ctx.place(p, parent.pref)
+		w := shuffle.NewWriter(shuffle.Spec[T]{
+			NumParts: q,
+			Codec:    codec,
+			Route:    route,
+		}, shuffle.Env{
+			Settings: set,
+			Metrics:  e.metrics,
+			Emit: func(dst int, b shuffle.Block) error {
+				if len(b.Data) == 0 {
+					return nil
+				}
+				e.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, false)
+				chans[dst] <- shuffle.Packet{From: fromNode, Data: b.Data, Raw: b.Raw}
+				return nil
+			},
+		})
 		sinks[p] = partSink[T]{
 			push: func(batch []T) error {
 				for _, v := range batch {
-					dst := route(v)
-					bufs[dst] = codec.Enc(bufs[dst], v)
-					if len(bufs[dst]) >= bufSize {
-						flush(dst)
+					if err := w.Write(v); err != nil {
+						return err
 					}
 				}
 				return nil
 			},
 			close: func() error {
-				for dst := range bufs {
-					flush(dst)
-				}
+				err := w.Close()
+				// Close the channels even on error — see newExchange: a
+				// skipped close wedges the consumer tasks.
 				if open.Add(-1) == 0 {
 					for _, ch := range chans {
 						close(ch)
 					}
 				}
-				return nil
+				return err
 			},
 		}
 	}
 	return parent.produce(ctx, sinks)
+}
+
+// drainSide consumes one input's packets on a consumer task, accounting
+// reads local vs remote by the producing node each packet carries. On error
+// it keeps draining the channel — producers block on the bounded sends, and
+// RunTasks only returns once every task finishes — then reports the first
+// error.
+func drainSide[T any](e *Env, node int, ch <-chan shuffle.Packet, codec serde.Codec[T],
+	each func(T) error) error {
+	var failed error
+	for pkt := range ch {
+		if failed != nil {
+			continue
+		}
+		e.metrics.AddShuffleRead(int64(len(pkt.Data)), pkt.From == node)
+		raw, err := shuffle.Unpack(e.shuffleSet, pkt.Data)
+		if err != nil {
+			failed = err
+			continue
+		}
+		recs, err := serde.DecodeAll(codec, raw)
+		if err != nil {
+			failed = err
+			continue
+		}
+		for _, v := range recs {
+			if err := each(v); err != nil {
+				failed = err
+				break
+			}
+		}
+	}
+	return failed
 }

@@ -2,13 +2,13 @@ package mapreduce
 
 import (
 	"cmp"
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // Run executes one job: a wave of map tasks, a full materialization
@@ -95,9 +95,9 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 	return out, nil
 }
 
-// spillFile names map task m's s-th sorted run.
-func spillFile(job int64, m, s int) string {
-	return fmt.Sprintf("mr/%d/m%05d/spill%d", job, m, s)
+// spillFile names map task m's run-th sorted run slice for one partition.
+func spillFile(job int64, m, run, part int) string {
+	return fmt.Sprintf("mr/%d/m%05d/spill%d-p%05d", job, m, run, part)
 }
 
 // segmentFile names the sorted segment of map task m for reduce partition r.
@@ -105,8 +105,39 @@ func segmentFile(job int64, m, r int) string {
 	return fmt.Sprintf("mr/%d/m%05d/p%05d", job, m, r)
 }
 
-// runMapTask maps one split and materializes its partitioned, sorted
-// output.
+// dfsSpillStore materializes one map task's sort runs on the DFS, charging
+// the disk traffic — the io.sort spill files of Hadoop's map side.
+type dfsSpillStore struct {
+	c   *Cluster
+	job int64
+	m   int
+}
+
+func (s *dfsSpillStore) Write(run, part int, data []byte) (string, error) {
+	name := spillFile(s.job, s.m, run, part)
+	s.c.fs.WriteFile(name, data)
+	s.c.metrics.DiskBytesWritten.Add(int64(len(data)))
+	return name, nil
+}
+
+func (s *dfsSpillStore) Read(name string) ([]byte, error) {
+	f, err := s.c.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data := f.Contents()
+	s.c.metrics.DiskBytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+func (s *dfsSpillStore) Remove(name string) { s.c.fs.Delete(name) }
+
+// runMapTask maps one split through the shared shuffle core and
+// materializes its partitioned map output. Under the engine's default sort
+// strategy the writer spills sorted, combined runs to the DFS whenever the
+// io.sort buffer fills and merges them into one sorted segment per reduce
+// partition — Hadoop's map side, verbatim. Under shuffle.strategy=hash the
+// segments stay unsorted and the reduce side sorts after the fetch.
 func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, m int,
 	split []I, splitBytes int64, reduces int,
 	job Job[I, K, V], partition func(K, int) int, codec serde.Codec[core.Pair[K, V]]) error {
@@ -114,28 +145,48 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 	c.metrics.DiskBytesRead.Add(splitBytes)
 	c.metrics.RecordsRead.Add(int64(len(split)))
 
-	// Emit into the bounded sort buffer, spilling a sorted run every time
-	// it fills.
-	var buf []core.Pair[K, V]
-	spills := 0
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		if err := spillRun(c, jobID, m, spills, buf, reduces, job.Combine, partition, codec); err != nil {
-			return err
-		}
-		spills++
-		buf = buf[:0]
-		return nil
+	spec := shuffle.Spec[core.Pair[K, V]]{
+		NumParts: reduces,
+		Codec:    codec,
+		Route:    func(p core.Pair[K, V]) int { return partition(p.Key, reduces) },
+		Less:     func(a, b core.Pair[K, V]) bool { return a.Key < b.Key },
+		Same:     func(a, b core.Pair[K, V]) bool { return a.Key == b.Key },
+		Hash:     func(p core.Pair[K, V]) uint64 { return core.HashKey(p.Key) },
 	}
+	if combine := job.Combine; combine != nil {
+		spec.CombineRun = func(run []core.Pair[K, V]) []core.Pair[K, V] {
+			out := run[:0:0]
+			for i := 0; i < len(run); {
+				j := i + 1
+				for j < len(run) && run[j].Key == run[i].Key {
+					j++
+				}
+				vs := make([]V, 0, j-i)
+				for _, kv := range run[i:j] {
+					vs = append(vs, kv.Value)
+				}
+				out = append(out, core.KV(run[i].Key, combine(run[i].Key, vs)))
+				i = j
+			}
+			return out
+		}
+	}
+	w := shuffle.NewWriter(spec, shuffle.Env{
+		Settings: c.shuffleSet,
+		Metrics:  c.metrics,
+		Spill:    &dfsSpillStore{c: c, job: jobID, m: m},
+		Emit: func(r int, b shuffle.Block) error {
+			// The materialized segment the barrier guards; wire bytes hit
+			// the DFS under the shared accounting rule.
+			c.fs.WriteFile(segmentFile(jobID, m, r), b.Data)
+			c.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, true)
+			return nil
+		},
+	})
 	var emitErr error
 	emit := func(k K, v V) {
-		buf = append(buf, core.KV(k, v))
-		if len(buf) >= c.sortRecords {
-			if err := flush(); err != nil && emitErr == nil {
-				emitErr = err
-			}
+		if emitErr == nil {
+			emitErr = w.Write(core.KV(k, v))
 		}
 	}
 	for _, rec := range split {
@@ -144,96 +195,19 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 			return emitErr
 		}
 	}
-	if err := flush(); err != nil {
-		return err
-	}
-
-	// Final merge pass: read every spilled run back, k-way merge and write
-	// one sorted segment per reduce partition. Runs are deleted afterwards;
-	// the segments are the materialized map output the barrier guards.
-	segments := make([][]core.Pair[K, V], reduces)
-	for s := 0; s < spills; s++ {
-		f, err := c.fs.Open(spillFile(jobID, m, s))
-		if err != nil {
-			return err
-		}
-		data := f.Contents()
-		c.metrics.DiskBytesRead.Add(int64(len(data)))
-		run, err := serde.DecodeAll(codec, data)
-		if err != nil {
-			return err
-		}
-		for _, kv := range run {
-			p := partition(kv.Key, reduces)
-			segments[p] = append(segments[p], kv)
-		}
-		c.fs.Delete(spillFile(jobID, m, s))
-	}
-	for r, seg := range segments {
-		// Runs were individually sorted; the concatenation across runs is
-		// not. Re-establish the sort like the merge's loser tree would.
-		sort.SliceStable(seg, func(i, j int) bool { return seg[i].Key < seg[j].Key })
-		enc := serde.EncodeAll(codec, nil, seg)
-		c.fs.WriteFile(segmentFile(jobID, m, r), enc)
-		c.metrics.DiskBytesWritten.Add(int64(len(enc)))
-		c.metrics.ShuffleBytesWritten.Add(int64(len(enc)))
-	}
-	return nil
-}
-
-// spillRun sorts the buffer, applies the combiner and writes one run file.
-func spillRun[K cmp.Ordered, V any](c *Cluster, jobID int64, m, s int,
-	buf []core.Pair[K, V], reduces int, combine func(K, []V) V,
-	partition func(K, int) int, codec serde.Codec[core.Pair[K, V]]) error {
-	run := make([]core.Pair[K, V], len(buf))
-	copy(run, buf)
-	// Hadoop sorts spills by (partition, key) so the final merge can slice
-	// per-partition segments off contiguously.
-	sort.SliceStable(run, func(i, j int) bool {
-		pi, pj := partition(run[i].Key, reduces), partition(run[j].Key, reduces)
-		if pi != pj {
-			return pi < pj
-		}
-		return run[i].Key < run[j].Key
-	})
-	if combine != nil {
-		run = combineRun(c, run, combine)
-	}
-	enc := serde.EncodeAll(codec, nil, run)
-	c.fs.WriteFile(spillFile(jobID, m, s), enc)
-	c.metrics.SpillCount.Add(1)
-	c.metrics.SpillBytes.Add(int64(len(enc)))
-	c.metrics.DiskBytesWritten.Add(int64(len(enc)))
-	return nil
-}
-
-// combineRun folds equal adjacent keys of a sorted run.
-func combineRun[K cmp.Ordered, V any](c *Cluster, run []core.Pair[K, V], combine func(K, []V) V) []core.Pair[K, V] {
-	out := run[:0:0]
-	for i := 0; i < len(run); {
-		j := i + 1
-		for j < len(run) && run[j].Key == run[i].Key {
-			j++
-		}
-		vs := make([]V, 0, j-i)
-		for _, kv := range run[i:j] {
-			vs = append(vs, kv.Value)
-		}
-		out = append(out, core.KV(run[i].Key, combine(run[i].Key, vs)))
-		i = j
-	}
-	c.metrics.CombineInputRecords.Add(int64(len(run)))
-	c.metrics.CombineOutputRecs.Add(int64(len(out)))
-	return out
+	return w.Close()
 }
 
 // runReduceTask fetches partition r's segment from every map output,
-// sort-merges them and reduces each key group.
+// sort-merges them and reduces each key group. The merge of the sorted
+// segments runs as parallel subtasks on the reduce node through
+// cluster.Runtime (Hadoop's merge threads) instead of one sequential pass;
+// hash-strategy segments carry no order and are sorted after the fetch.
 func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, r, maps int,
 	job Job[I, K, V], codec serde.Codec[core.Pair[K, V]]) ([]core.Pair[K, V], error) {
 	c.metrics.TasksLaunched.Add(1)
 	node := c.rt.NodeFor(r)
-	segments := make([][]core.Pair[K, V], 0, maps)
+	blocks := make([][]byte, 0, maps)
 	for m := 0; m < maps; m++ {
 		f, err := c.fs.Open(segmentFile(jobID, m, r))
 		if err != nil {
@@ -241,22 +215,25 @@ func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name st
 		}
 		data := f.Contents()
 		n := int64(len(data))
-		c.metrics.ShuffleBytesRead.Add(n)
+		// Local iff the segment's DFS replica lives on the reduce node —
+		// the materialized shuffle really fetches from the filesystem (see
+		// the accounting rule in internal/metrics).
+		c.metrics.AddShuffleRead(n, replicaNode(f, 0) == node)
 		c.metrics.DiskBytesRead.Add(n)
-		if replicaNode(f, 0) == node {
-			c.metrics.LocalBytesRead.Add(n)
-		} else {
-			c.metrics.RemoteBytesRead.Add(n)
-		}
-		seg, err := serde.DecodeAll(codec, data)
-		if err != nil {
-			return nil, err
-		}
-		if len(seg) > 0 {
-			segments = append(segments, seg)
-		}
+		blocks = append(blocks, data)
 	}
-	merged := mergeSegments(segments)
+	segments, err := shuffle.DecodeBlocks(c.shuffleSet, codec, blocks)
+	if err != nil {
+		return nil, err
+	}
+	less := func(a, b core.Pair[K, V]) bool { return a.Key < b.Key }
+	var merged []core.Pair[K, V]
+	if c.shuffleSet.Kind == shuffle.Sort {
+		merged = shuffle.ParallelMerge(c.rt, node, segments, less)
+	} else {
+		merged = shuffle.Concat(segments)
+		sort.SliceStable(merged, func(i, j int) bool { return less(merged[i], merged[j]) })
+	}
 
 	var out []core.Pair[K, V]
 	emit := func(k K, v V) {
@@ -283,62 +260,4 @@ func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name st
 		i = j
 	}
 	return out, nil
-}
-
-// mergeSegments k-way merges sorted segments into one sorted stream with a
-// min-heap over the segment heads — the reduce side's sort-merge, at
-// O(records · log segments) like Hadoop's merge.
-func mergeSegments[K cmp.Ordered, V any](segments [][]core.Pair[K, V]) []core.Pair[K, V] {
-	total := 0
-	h := mergeHeap[K, V]{}
-	for s, seg := range segments {
-		total += len(seg)
-		if len(seg) > 0 {
-			h.entries = append(h.entries, mergeEntry[K, V]{seg: s, segs: segments})
-		}
-	}
-	heap.Init(&h)
-	out := make([]core.Pair[K, V], 0, total)
-	for h.Len() > 0 {
-		e := &h.entries[0]
-		out = append(out, segments[e.seg][e.idx])
-		e.idx++
-		if e.idx >= len(segments[e.seg]) {
-			heap.Pop(&h)
-		} else {
-			heap.Fix(&h, 0)
-		}
-	}
-	return out
-}
-
-// mergeEntry is one segment's cursor on the merge heap.
-type mergeEntry[K cmp.Ordered, V any] struct {
-	seg  int
-	idx  int
-	segs [][]core.Pair[K, V]
-}
-
-type mergeHeap[K cmp.Ordered, V any] struct {
-	entries []mergeEntry[K, V]
-}
-
-func (h *mergeHeap[K, V]) Len() int { return len(h.entries) }
-func (h *mergeHeap[K, V]) Less(i, j int) bool {
-	a, b := h.entries[i], h.entries[j]
-	ka, kb := a.segs[a.seg][a.idx].Key, b.segs[b.seg][b.idx].Key
-	if ka != kb {
-		return ka < kb
-	}
-	// Equal keys drain in segment order, keeping the merge stable.
-	return a.seg < b.seg
-}
-func (h *mergeHeap[K, V]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *mergeHeap[K, V]) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry[K, V])) }
-func (h *mergeHeap[K, V]) Pop() any {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	h.entries = old[:n-1]
-	return e
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // Engine-internal configuration keys, following the Hadoop property names.
@@ -68,6 +69,7 @@ type Cluster struct {
 
 	reduces     int
 	sortRecords int
+	shuffleSet  shuffle.Settings
 
 	nextJob atomic.Int64
 }
@@ -93,6 +95,12 @@ func NewCluster(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Cluster {
 	if c.sortRecords <= 0 {
 		c.sortRecords = defaultSortRecords
 	}
+	// The shared shuffle core: classic Hadoop IS the sort strategy (sorted
+	// spills, merged segments, sort-merge reduce); the io.sort buffer is
+	// the record-count spill trigger. shuffle.strategy=hash keeps segments
+	// unsorted and moves the sort after the reduce-side fetch.
+	c.shuffleSet = shuffle.FromConf(conf, shuffle.Sort)
+	c.shuffleSet.SpillRecs = c.sortRecords
 	return c
 }
 

@@ -30,17 +30,19 @@ import (
 	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // Context is the entry point, playing SparkContext's role: it owns the
 // configuration, the executor heaps, the shuffle service, the block
 // manager and the DAG scheduler state.
 type Context struct {
-	conf  *core.Config
-	rt    *cluster.Runtime
-	fs    *dfs.FS
-	style serde.Style
-	heaps []*memory.Heap
+	conf       *core.Config
+	rt         *cluster.Runtime
+	fs         *dfs.FS
+	style      serde.Style
+	heaps      []*memory.Heap
+	shuffleSet shuffle.Settings
 
 	metrics  *metrics.JobMetrics
 	timeline *metrics.Timeline
@@ -82,6 +84,14 @@ func NewContext(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Context {
 		// Spark's documented recommendation: 2-3 tasks per core.
 		ctx.parallelism = spec.TotalCores() * 2
 	}
+	// The shared shuffle core: spark.shuffle.manager picks the engine
+	// default ("hash" = hash-bucketed, anything else = the paper's
+	// tungsten-sort, i.e. the sort strategy); shuffle.strategy overrides.
+	def := shuffle.Sort
+	if conf.String(core.SparkShuffleManager, "tungsten-sort") == "hash" {
+		def = shuffle.Hash
+	}
+	ctx.shuffleSet = shuffle.FromConf(conf, def)
 	ctx.shuffles = newShuffleService(ctx)
 	ctx.blocks = newBlockManager(ctx)
 	return ctx

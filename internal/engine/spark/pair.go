@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // MapToPair turns records into key-value pairs (Spark's mapToPair).
@@ -108,7 +109,7 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 		if err != nil {
 			return err
 		}
-		w := newMapWriter(tc, sd, part, pairCodec, mapSideCombine, createCombiner, mergeValue, mergeCombiners)
+		w := newMapWriter(tc, sd, part, pairCodec, mapSideCombine, createCombiner, mergeValue, mergeCombiners, less)
 		for _, p := range in {
 			w.add(p.Key, p.Value)
 		}
@@ -121,41 +122,26 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 		if err != nil {
 			return nil, err
 		}
+		segs, err := shuffle.DecodeBlocks(ctx.shuffleSet, pairCodec, blocks)
+		if err != nil {
+			return nil, fmt.Errorf("spark: shuffle decode: %w", err)
+		}
 		if keepAll {
-			var all []core.Pair[K, C]
-			for _, b := range blocks {
-				recs, err := serde.DecodeAll(pairCodec, b)
-				if err != nil {
-					return nil, fmt.Errorf("spark: shuffle decode: %w", err)
-				}
-				all = append(all, recs...)
+			if less == nil {
+				return shuffle.Concat(segs), nil
 			}
-			if less != nil {
-				sort.SliceStable(all, func(i, j int) bool { return less(all[i].Key, all[j].Key) })
+			lessPair := func(a, b core.Pair[K, C]) bool { return less(a.Key, b.Key) }
+			if ctx.shuffleSet.Kind == shuffle.Sort {
+				// Sort shuffles deliver key-sorted map outputs: the read
+				// side is a parallel k-way merge over the runtime instead
+				// of a full re-sort.
+				return shuffle.ParallelMerge(ctx.rt, tc.node, segs, lessPair), nil
 			}
+			all := shuffle.Concat(segs)
+			sort.SliceStable(all, func(i, j int) bool { return lessPair(all[i], all[j]) })
 			return all, nil
 		}
-		merged := make(map[K]C)
-		var order []K
-		for _, b := range blocks {
-			recs, err := serde.DecodeAll(pairCodec, b)
-			if err != nil {
-				return nil, fmt.Errorf("spark: shuffle decode: %w", err)
-			}
-			for _, rec := range recs {
-				if acc, ok := merged[rec.Key]; ok {
-					merged[rec.Key] = mergeCombiners(acc, rec.Value)
-				} else {
-					merged[rec.Key] = rec.Value
-					order = append(order, rec.Key)
-				}
-			}
-		}
-		outRecs := make([]core.Pair[K, C], 0, len(merged))
-		for _, k := range order {
-			outRecs = append(outRecs, core.KV(k, merged[k]))
-		}
-		return outRecs, nil
+		return shuffle.FoldFirstSeen(segs, mergeCombiners), nil
 	}
 	return out
 }

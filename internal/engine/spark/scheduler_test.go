@@ -1,0 +1,99 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fetchTestRDD builds a 4-map shuffle over the test cluster so every node
+// (round-robin placement) holds at least one map output.
+func fetchTestRDD(c *Context) *RDD[core.Pair[string, int64]] {
+	words := []string{"a", "b", "c", "d", "a", "b", "a", "c", "d", "d", "b", "a"}
+	pairs := MapToPair(Parallelize(c, words, 4), func(w string) core.Pair[string, int64] {
+		return core.KV(w, int64(1))
+	})
+	return ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 4)
+}
+
+// TestFetchFailedResubmitsMapStage drives the scheduler's errFetchFailed →
+// stage-resubmission path end to end: a result-stage task loses a node
+// mid-stage (its map outputs vanish AFTER runStages saw them complete), the
+// re-fetch genuinely fails, and runJob must resubmit, recompute the missing
+// map outputs from lineage and succeed on the next attempt.
+func TestFetchFailedResubmitsMapStage(t *testing.T) {
+	c := testContext(t, nil)
+	counts := fetchTestRDD(c)
+	sd := counts.deps()[0].shuffle
+	if sd == nil {
+		t.Fatal("ReduceByKey has no shuffle dependency")
+	}
+
+	var attempts atomic.Int64
+	err := runJob(counts, "TestFetchFailure", func(p int, _ []core.Pair[string, int64], tc *taskContext) error {
+		if p == 0 && attempts.Add(1) == 1 {
+			// Lose node 1 between the map barrier and this task's read —
+			// the window the FetchFailed path exists for.
+			c.FailNode(1)
+			_, ferr := c.shuffles.fetch(sd.id, p, tc)
+			if ferr == nil {
+				t.Error("fetch after FailNode reported no error")
+			}
+			return ferr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("job did not recover from the fetch failure: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("result partition 0 ran %d times, want 2 (original + resubmission)", got)
+	}
+	if got := c.Metrics().Recomputations.Load(); got != 1 {
+		t.Errorf("Recomputations = %d, want 1", got)
+	}
+	if missing := c.shuffles.missingMaps(sd.id, sd.numMaps); len(missing) != 0 {
+		t.Errorf("map outputs %v still missing after resubmission", missing)
+	}
+
+	// The recomputed shuffle must still produce correct counts.
+	got, err := Collect(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+	want := "[{a 4} {b 3} {c 2} {d 3}]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("counts after recovery = %v, want %v", got, want)
+	}
+}
+
+// TestFetchFailedRetriesAreBounded pins maxStageRetries: a fetch failure
+// that never heals must surface after the bounded number of resubmissions
+// instead of looping forever.
+func TestFetchFailedRetriesAreBounded(t *testing.T) {
+	c := testContext(t, nil)
+	counts := fetchTestRDD(c)
+	var attempts atomic.Int64
+	err := runJob(counts, "TestPermanentFetchFailure", func(p int, _ []core.Pair[string, int64], _ *taskContext) error {
+		if p != 0 {
+			return nil
+		}
+		attempts.Add(1)
+		return fmt.Errorf("%w: injected permanent failure", errFetchFailed)
+	})
+	if !errors.Is(err, errFetchFailed) {
+		t.Fatalf("job error = %v, want errFetchFailed", err)
+	}
+	if got := attempts.Load(); got != maxStageRetries+1 {
+		t.Errorf("result partition 0 ran %d times, want %d (original + %d retries)",
+			got, maxStageRetries+1, maxStageRetries)
+	}
+	if got := c.Metrics().Recomputations.Load(); got != maxStageRetries {
+		t.Errorf("Recomputations = %d, want %d", got, maxStageRetries)
+	}
+}

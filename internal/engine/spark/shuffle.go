@@ -50,8 +50,10 @@ func (s *shuffleService) register(sd *shuffleDep) {
 	}
 }
 
-// put stores one map task's buckets.
-func (s *shuffleService) put(shuffleID, mapPart, node int, buckets [][]byte) {
+// put stores one map task's buckets. raw is the pre-compression serialized
+// volume; the wire bytes also count as disk writes (shuffle files hit local
+// disk) under the shared accounting rule in internal/metrics.
+func (s *shuffleService) put(shuffleID, mapPart, node int, buckets [][]byte, raw int64) {
 	var written int64
 	for _, b := range buckets {
 		written += int64(len(b))
@@ -59,8 +61,7 @@ func (s *shuffleService) put(shuffleID, mapPart, node int, buckets [][]byte) {
 	s.mu.Lock()
 	s.outputs[shuffleID][mapPart] = &mapOutput{node: node, buckets: buckets}
 	s.mu.Unlock()
-	s.ctx.metrics.ShuffleBytesWritten.Add(written)
-	s.ctx.metrics.DiskBytesWritten.Add(written) // shuffle files hit local disk
+	s.ctx.metrics.AddShuffleWrite(written, raw, true)
 }
 
 // complete reports whether every map output is present.
@@ -126,9 +127,8 @@ func (s *shuffleService) fetch(shuffleID, reducePart int, tc *taskContext) ([][]
 		}
 	}
 	s.mu.Unlock()
-	tc.metrics.ShuffleBytesRead.Add(local + remote)
-	tc.metrics.LocalBytesRead.Add(local)
-	tc.metrics.RemoteBytesRead.Add(remote)
+	tc.metrics.AddShuffleRead(local, true)
+	tc.metrics.AddShuffleRead(remote, false)
 	return blocks, nil
 }
 

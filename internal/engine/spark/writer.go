@@ -3,112 +3,88 @@ package spark
 import (
 	"repro/internal/core"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
-// mapWriter implements the map side of the tungsten-sort shuffle: records
-// are combined in a hash map (when map-side combine is on), serialized into
-// per-reduce-partition buckets, and flushed ("spilled") whenever the heap's
-// shuffle fraction refuses more memory. Buckets are naturally ordered by
-// partition id, the property tungsten-sort gets by sorting on the
-// partition-id prefix.
+// mapWriter is the map side of the shuffle, now a thin adapter over the
+// shared shuffle core (internal/shuffle): records are lifted to the
+// combiner type, fed through the configured strategy — tungsten-sort-style
+// spill-and-merge by default, hash-bucketed with spark.shuffle.manager=hash
+// or shuffle.strategy=hash — and the finished blocks register with the
+// shuffle service as this task's map output. Memory is granted from the
+// executor heap's shuffle fraction; a refused grant spills.
 type mapWriter[K comparable, V, C any] struct {
 	tc             *taskContext
 	sd             *shuffleDep
-	part           core.Partitioner[K]
-	codec          serde.Codec[core.Pair[K, C]]
-	mapSideCombine bool
+	w              shuffle.Writer[core.Pair[K, C]]
 	createCombiner func(V) C
-	mergeValue     func(C, V) C
-	mergeCombiners func(C, C) C
 
-	combine  map[K]C
-	buckets  [][]byte
-	acquired int64
-	inRecs   int64
-	outRecs  int64
+	buckets [][]byte
+	raw     int64
+	err     error
 }
 
-// memoryQuantum is the granularity of shuffle-memory reservations: one
-// buffer of the configured size per request.
-const memoryQuantum = 32 * 1024
-
-// combineFlushThreshold bounds the in-memory combine map between memory
-// checks.
-const combineFlushThreshold = 1024
-
+// newMapWriter wires the writer for one map task. less, when non-nil, is
+// the key order sort shuffles establish map-side (repartitionAndSort);
+// mergeValue is subsumed by createCombiner+mergeCombiners (the combineByKey
+// contract makes them equivalent) and kept for the call-site signature.
 func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 	part core.Partitioner[K], codec serde.Codec[core.Pair[K, C]], mapSideCombine bool,
-	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C) *mapWriter[K, V, C] {
-	return &mapWriter[K, V, C]{
+	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
+	less func(a, b K) bool) *mapWriter[K, V, C] {
+	_ = mergeValue
+	w := &mapWriter[K, V, C]{
 		tc:             tc,
 		sd:             sd,
-		part:           part,
-		codec:          codec,
-		mapSideCombine: mapSideCombine,
 		createCombiner: createCombiner,
-		mergeValue:     mergeValue,
-		mergeCombiners: mergeCombiners,
-		combine:        make(map[K]C),
 		buckets:        make([][]byte, sd.numParts),
 	}
+	spec := shuffle.Spec[core.Pair[K, C]]{
+		NumParts: sd.numParts,
+		Codec:    codec,
+		Route:    func(p core.Pair[K, C]) int { return part.Partition(p.Key) },
+		Same:     func(a, b core.Pair[K, C]) bool { return a.Key == b.Key },
+		Hash:     func(p core.Pair[K, C]) uint64 { return core.HashKey(p.Key) },
+	}
+	if less != nil {
+		spec.Less = func(a, b core.Pair[K, C]) bool { return less(a.Key, b.Key) }
+	}
+	if mapSideCombine {
+		spec.Merge = func(a, b core.Pair[K, C]) core.Pair[K, C] {
+			return core.KV(a.Key, mergeCombiners(a.Value, b.Value))
+		}
+	}
+	w.w = shuffle.NewWriter(spec, shuffle.Env{
+		Settings: tc.ctx.shuffleSet,
+		Metrics:  tc.metrics,
+		Mem:      tc.heap.AllocShuffle,
+		Free:     tc.heap.FreeShuffle,
+		Emit: func(p int, b shuffle.Block) error {
+			// FlushBytes is zero for spark (a materialized shuffle), so
+			// every partition gets exactly one Close-time block.
+			w.buckets[p] = b.Data
+			w.raw += b.Raw
+			return nil
+		},
+	})
+	return w
 }
 
 // add feeds one record into the writer.
 func (w *mapWriter[K, V, C]) add(k K, v V) {
-	w.inRecs++
-	if !w.mapSideCombine {
-		w.emit(k, w.createCombiner(v))
-		return
-	}
-	if acc, ok := w.combine[k]; ok {
-		w.combine[k] = w.mergeValue(acc, v)
-		return
-	}
-	w.combine[k] = w.createCombiner(v)
-	if len(w.combine)%combineFlushThreshold == 0 {
-		if !w.tc.heap.AllocShuffle(memoryQuantum) {
-			w.spill()
-		} else {
-			w.acquired += memoryQuantum
-		}
+	if w.err == nil {
+		w.err = w.w.Write(core.KV(k, w.createCombiner(v)))
 	}
 }
 
-// spill drains the combine map into the buckets and records a spill; Spark
-// would write a spill file here and merge on close.
-func (w *mapWriter[K, V, C]) spill() {
-	var bytes int64
-	for k, c := range w.combine {
-		bytes += int64(w.emit(k, c))
-	}
-	w.combine = make(map[K]C)
-	w.tc.metrics.SpillCount.Add(1)
-	w.tc.metrics.SpillBytes.Add(bytes)
-}
-
-// emit serializes one combined record into its bucket and returns the
-// encoded size.
-func (w *mapWriter[K, V, C]) emit(k K, c C) int {
-	p := w.part.Partition(k)
-	before := len(w.buckets[p])
-	w.buckets[p] = w.codec.Enc(w.buckets[p], core.KV(k, c))
-	w.outRecs++
-	return len(w.buckets[p]) - before
-}
-
-// close flushes remaining records, releases shuffle memory and registers
-// the map output.
+// close flushes the shuffle writer and registers the map output.
 func (w *mapWriter[K, V, C]) close(mapPart int) error {
-	for k, c := range w.combine {
-		w.emit(k, c)
+	if w.err != nil {
+		return w.err
 	}
-	w.combine = nil
-	if w.acquired > 0 {
-		w.tc.heap.FreeShuffle(w.acquired)
-		w.acquired = 0
+	if err := w.w.Close(); err != nil {
+		return err
 	}
-	w.tc.metrics.CombineInputRecords.Add(w.inRecs)
-	w.tc.metrics.CombineOutputRecs.Add(w.outRecs)
-	w.tc.ctx.shuffles.put(w.sd.id, mapPart, w.tc.node, w.buckets)
+	w.tc.ctx.shuffles.put(w.sd.id, mapPart, w.tc.node, w.buckets, w.raw)
 	return nil
 }

@@ -91,10 +91,17 @@ func cell(mean, std float64) string {
 		// excluded by the -engines filter.
 		return "-"
 	}
-	if std > 0 {
-		return fmt.Sprintf("%.0f ± %.0f", mean, std)
+	// Paper-scale times are hundreds of seconds and render as integers;
+	// the real-engine sweeps (ext6) measure milliseconds and need the
+	// extra digits.
+	prec := 0
+	if mean < 10 {
+		prec = 3
 	}
-	return fmt.Sprintf("%.0f", mean)
+	if std > 0 {
+		return fmt.Sprintf("%.*f ± %.*f", prec, mean, prec, std)
+	}
+	return fmt.Sprintf("%.*f", prec, mean)
 }
 
 // Runner produces one experiment's report.

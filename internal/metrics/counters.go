@@ -10,25 +10,73 @@ import "sync/atomic"
 
 // JobMetrics aggregates engine counters for one job. All fields are safe
 // for concurrent update by tasks.
+//
+// Shuffle byte accounting follows ONE rule on every engine, so the
+// counters compare across frameworks (the ext6 strategy sweeps rely on
+// this):
+//
+//   - ShuffleBytesWritten and ShuffleBytesRead count WIRE bytes — the
+//     blocks as stored or sent, after any shuffle.compress codec.
+//     ShuffleRawBytesWritten counts the serialized bytes before
+//     compression; the ratio of the two is the compression ratio.
+//   - A read is LOCAL iff the consuming task runs on the node that holds
+//     the block it reads: for Spark, the node of the map task that
+//     produced the output; for Flink, the node of the producing exchange
+//     subtask (carried on every in-flight packet); for MapReduce, the node
+//     of the DFS replica the segment is fetched from — its materialized
+//     shuffle really does fetch from the filesystem, so replica placement
+//     is the honest source. Everything else is REMOTE, and
+//     ShuffleBytesRead = LocalBytesRead + RemoteBytesRead always holds.
+//   - Spill accounting (SpillCount/SpillBytes) counts sorted runs flushed
+//     under memory pressure, in serialized bytes; only engines that
+//     materialize spills (MapReduce) also charge them to DiskBytes.
+//
+// Engines route shuffle traffic through AddShuffleWrite/AddShuffleRead so
+// the rule cannot drift per call site.
 type JobMetrics struct {
 	ShuffleBytesWritten atomic.Int64
-	ShuffleBytesRead    atomic.Int64
-	RemoteBytesRead     atomic.Int64
-	LocalBytesRead      atomic.Int64
-	SpillCount          atomic.Int64
-	SpillBytes          atomic.Int64
-	DiskBytesWritten    atomic.Int64
-	DiskBytesRead       atomic.Int64
-	TasksLaunched       atomic.Int64
-	Stages              atomic.Int64
-	RecordsRead         atomic.Int64
-	RecordsWritten      atomic.Int64
-	CacheHits           atomic.Int64
-	CacheMisses         atomic.Int64
-	Recomputations      atomic.Int64
-	CombineInputRecords atomic.Int64
-	CombineOutputRecs   atomic.Int64
-	SchedulingRounds    atomic.Int64
+	// ShuffleRawBytesWritten is the pre-compression serialized volume.
+	ShuffleRawBytesWritten atomic.Int64
+	ShuffleBytesRead       atomic.Int64
+	RemoteBytesRead        atomic.Int64
+	LocalBytesRead         atomic.Int64
+	SpillCount             atomic.Int64
+	SpillBytes             atomic.Int64
+	DiskBytesWritten       atomic.Int64
+	DiskBytesRead          atomic.Int64
+	TasksLaunched          atomic.Int64
+	Stages                 atomic.Int64
+	RecordsRead            atomic.Int64
+	RecordsWritten         atomic.Int64
+	CacheHits              atomic.Int64
+	CacheMisses            atomic.Int64
+	Recomputations         atomic.Int64
+	CombineInputRecords    atomic.Int64
+	CombineOutputRecs      atomic.Int64
+	SchedulingRounds       atomic.Int64
+}
+
+// AddShuffleWrite records one produced shuffle block under the shared
+// accounting rule: wire bytes on ShuffleBytesWritten, pre-compression bytes
+// on ShuffleRawBytesWritten, and — when the engine materializes shuffle
+// files (Spark, MapReduce) — the wire bytes on DiskBytesWritten too.
+func (m *JobMetrics) AddShuffleWrite(wire, raw int64, toDisk bool) {
+	m.ShuffleBytesWritten.Add(wire)
+	m.ShuffleRawBytesWritten.Add(raw)
+	if toDisk {
+		m.DiskBytesWritten.Add(wire)
+	}
+}
+
+// AddShuffleRead records one consumed shuffle block: wire bytes on
+// ShuffleBytesRead plus the local/remote split (see the rule above).
+func (m *JobMetrics) AddShuffleRead(wire int64, local bool) {
+	m.ShuffleBytesRead.Add(wire)
+	if local {
+		m.LocalBytesRead.Add(wire)
+	} else {
+		m.RemoteBytesRead.Add(wire)
+	}
 }
 
 // CombineRatio reports the map-side combiner's reduction factor
@@ -44,44 +92,46 @@ func (m *JobMetrics) CombineRatio() float64 {
 
 // Snapshot is a plain-value copy for reports.
 type Snapshot struct {
-	ShuffleBytesWritten int64
-	ShuffleBytesRead    int64
-	RemoteBytesRead     int64
-	LocalBytesRead      int64
-	SpillCount          int64
-	SpillBytes          int64
-	DiskBytesWritten    int64
-	DiskBytesRead       int64
-	TasksLaunched       int64
-	Stages              int64
-	RecordsRead         int64
-	RecordsWritten      int64
-	CacheHits           int64
-	CacheMisses         int64
-	Recomputations      int64
-	CombineRatio        float64
-	SchedulingRounds    int64
+	ShuffleBytesWritten    int64
+	ShuffleRawBytesWritten int64
+	ShuffleBytesRead       int64
+	RemoteBytesRead        int64
+	LocalBytesRead         int64
+	SpillCount             int64
+	SpillBytes             int64
+	DiskBytesWritten       int64
+	DiskBytesRead          int64
+	TasksLaunched          int64
+	Stages                 int64
+	RecordsRead            int64
+	RecordsWritten         int64
+	CacheHits              int64
+	CacheMisses            int64
+	Recomputations         int64
+	CombineRatio           float64
+	SchedulingRounds       int64
 }
 
 // Snapshot captures the current counter values.
 func (m *JobMetrics) Snapshot() Snapshot {
 	return Snapshot{
-		ShuffleBytesWritten: m.ShuffleBytesWritten.Load(),
-		ShuffleBytesRead:    m.ShuffleBytesRead.Load(),
-		RemoteBytesRead:     m.RemoteBytesRead.Load(),
-		LocalBytesRead:      m.LocalBytesRead.Load(),
-		SpillCount:          m.SpillCount.Load(),
-		SpillBytes:          m.SpillBytes.Load(),
-		DiskBytesWritten:    m.DiskBytesWritten.Load(),
-		DiskBytesRead:       m.DiskBytesRead.Load(),
-		TasksLaunched:       m.TasksLaunched.Load(),
-		Stages:              m.Stages.Load(),
-		RecordsRead:         m.RecordsRead.Load(),
-		RecordsWritten:      m.RecordsWritten.Load(),
-		CacheHits:           m.CacheHits.Load(),
-		CacheMisses:         m.CacheMisses.Load(),
-		Recomputations:      m.Recomputations.Load(),
-		CombineRatio:        m.CombineRatio(),
-		SchedulingRounds:    m.SchedulingRounds.Load(),
+		ShuffleBytesWritten:    m.ShuffleBytesWritten.Load(),
+		ShuffleRawBytesWritten: m.ShuffleRawBytesWritten.Load(),
+		ShuffleBytesRead:       m.ShuffleBytesRead.Load(),
+		RemoteBytesRead:        m.RemoteBytesRead.Load(),
+		LocalBytesRead:         m.LocalBytesRead.Load(),
+		SpillCount:             m.SpillCount.Load(),
+		SpillBytes:             m.SpillBytes.Load(),
+		DiskBytesWritten:       m.DiskBytesWritten.Load(),
+		DiskBytesRead:          m.DiskBytesRead.Load(),
+		TasksLaunched:          m.TasksLaunched.Load(),
+		Stages:                 m.Stages.Load(),
+		RecordsRead:            m.RecordsRead.Load(),
+		RecordsWritten:         m.RecordsWritten.Load(),
+		CacheHits:              m.CacheHits.Load(),
+		CacheMisses:            m.CacheMisses.Load(),
+		Recomputations:         m.Recomputations.Load(),
+		CombineRatio:           m.CombineRatio(),
+		SchedulingRounds:       m.SchedulingRounds.Load(),
 	}
 }

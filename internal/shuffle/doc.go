@@ -1,0 +1,56 @@
+// Package shuffle is the shared shuffle core under all three mini-engines:
+// one Writer abstraction over the map/producer side of a repartitioning
+// edge, two real strategies behind it, pluggable block compression, and the
+// reduce-side merge helpers — so the paper's central lever (shuffle
+// implementation) becomes a configuration axis instead of three divergent
+// private code paths.
+//
+// # Strategies
+//
+//   - Hash: hash-bucketed repartition. Records are routed to their reduce
+//     partition and serialized immediately into per-partition buffers;
+//     buffers can flush downstream as they fill (pipelined exchange).
+//     Map-side combining, when requested, runs in a hash table that drains
+//     under memory pressure. This is Flink's pipelined repartition and
+//     Spark's legacy hash shuffle manager.
+//   - Sort: sort-based shuffle. Records are buffered and spilled as sorted,
+//     combined runs whenever the host engine's memory grant is refused or
+//     the spill threshold is reached; Close merges the runs into one final
+//     segment per partition. With a record order (Spec.Less) this is
+//     Hadoop's spill-and-merge pipeline; without one it degrades to
+//     partition-id grouping only — exactly what Spark's tungsten-sort does
+//     (it sorts on the partition-id prefix, never on the key).
+//
+// # Strategy matrix (engine × strategy)
+//
+//	engine     default  hash models                 sort models
+//	spark      sort     spark.shuffle.manager=hash  tungsten-sort (partition-
+//	                    (pre-1.2 hash shuffle)      prefix sort, heap-pressure
+//	                                                spills; key-sorted for
+//	                                                repartitionAndSort)
+//	flink      hash     pipelined repartition with  sort-based exchange: keyed
+//	                    bounded buffers and         edges buffer, spill sorted
+//	                    backpressure (Flink 0.10)   runs and emit merged at
+//	                                                end-of-input
+//	mapreduce  sort     segments written unsorted,  classic Hadoop: sorted
+//	                    reduce sorts after fetch    spills, merged segments,
+//	                                                sort-merge reduce
+//
+// Every engine keeps its physical idiom as the default (core.ShuffleStrategy
+// unset); setting shuffle.strategy=hash|sort forces the other implementation
+// so strategies can be compared apples to apples on one engine — the ext6
+// experiment sweeps exactly this axis against parallelism.
+//
+// # Compression and spilling
+//
+// core.ShuffleCompress selects block compression ("none" or the built-in
+// "lz" codec); blocks carry a self-describing frame so readers reject
+// corrupt input instead of mis-decoding it. core.ShuffleSpillThreshold caps
+// the bytes a sort writer buffers before it spills a run, on top of the
+// engine's own memory grant (Spark's shuffle heap fraction, Flink's managed
+// segments, MapReduce's io.sort buffer).
+//
+// All byte accounting flows through metrics.JobMetrics with one shared rule
+// (documented in internal/metrics): wire bytes written/read, raw bytes
+// before compression, local vs remote classified by producer/consumer node.
+package shuffle

@@ -1,0 +1,137 @@
+package shuffle
+
+import "container/heap"
+
+// mergeFanIn is how many sorted segments one merge pass consumes — Hadoop's
+// io.sort.factor scaled to laptop segments. Above it, ParallelMerge splits
+// the work into subtasks.
+const mergeFanIn = 8
+
+// Subtasker schedules intra-task parallel work pinned to a node.
+// *cluster.Runtime implements it; the reduce-side merge uses it so wide
+// merges run as parallel subtasks instead of one sequential pass.
+type Subtasker interface {
+	Subtasks(node int, fns []func() error) error
+}
+
+// Merge k-way merges sorted segments into one sorted stream with a min-heap
+// over the segment heads, stable across segments (equal records drain in
+// segment order) — O(records · log segments).
+func Merge[R any](segs [][]R, less func(a, b R) bool) []R {
+	segs = nonEmpty(segs)
+	switch len(segs) {
+	case 0:
+		return nil
+	case 1:
+		return segs[0]
+	}
+	total := 0
+	h := &mergeHeap[R]{segs: segs, less: less}
+	for s, seg := range segs {
+		total += len(seg)
+		h.entries = append(h.entries, mergeEntry{seg: s})
+	}
+	heap.Init(h)
+	out := make([]R, 0, total)
+	for len(h.entries) > 0 {
+		e := &h.entries[0]
+		out = append(out, segs[e.seg][e.idx])
+		e.idx++
+		if e.idx >= len(segs[e.seg]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// ParallelMerge merges many sorted segments through the runtime: segments
+// are split into fan-in-sized groups merged by concurrent subtasks on the
+// consuming task's node, then a final pass merges the group results. With a
+// nil runtime or few segments it degrades to the sequential Merge.
+func ParallelMerge[R any](rt Subtasker, node int, segs [][]R, less func(a, b R) bool) []R {
+	segs = nonEmpty(segs)
+	if rt == nil || len(segs) <= mergeFanIn {
+		return Merge(segs, less)
+	}
+	groups := (len(segs) + mergeFanIn - 1) / mergeFanIn
+	results := make([][]R, groups)
+	fns := make([]func() error, groups)
+	for g := 0; g < groups; g++ {
+		g := g
+		lo := g * mergeFanIn
+		hi := lo + mergeFanIn
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		fns[g] = func() error {
+			results[g] = Merge(segs[lo:hi], less)
+			return nil
+		}
+	}
+	if err := rt.Subtasks(node, fns); err != nil {
+		// A rejected placement cannot happen for a node the task already
+		// runs on; degrade to the sequential pass if it somehow does.
+		return Merge(segs, less)
+	}
+	return Merge(results, less)
+}
+
+// Concat flattens segments in segment order (the merge of unordered runs).
+func Concat[R any](segs [][]R) []R {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	out := make([]R, 0, total)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func nonEmpty[R any](segs [][]R) [][]R {
+	out := segs[:0:0]
+	for _, s := range segs {
+		if len(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// mergeEntry is one segment's cursor on the merge heap.
+type mergeEntry struct {
+	seg int
+	idx int
+}
+
+type mergeHeap[R any] struct {
+	entries []mergeEntry
+	segs    [][]R
+	less    func(a, b R) bool
+}
+
+func (h *mergeHeap[R]) Len() int { return len(h.entries) }
+func (h *mergeHeap[R]) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	ra, rb := h.segs[a.seg][a.idx], h.segs[b.seg][b.idx]
+	if h.less(ra, rb) {
+		return true
+	}
+	if h.less(rb, ra) {
+		return false
+	}
+	// Equal records drain in segment order, keeping the merge stable.
+	return a.seg < b.seg
+}
+func (h *mergeHeap[R]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap[R]) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry)) }
+func (h *mergeHeap[R]) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}

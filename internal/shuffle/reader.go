@@ -1,0 +1,50 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// DecodeBlocks unpacks and decodes fetched blocks into one record slice per
+// block, in block (map-output) order. It must run with the Settings that
+// wrote the blocks — both sides of an edge resolve the same conf.
+func DecodeBlocks[R any](set Settings, codec serde.Codec[R], blocks [][]byte) ([][]R, error) {
+	out := make([][]R, len(blocks))
+	for i, b := range blocks {
+		raw, err := Unpack(set, b)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: block %d: %w", i, err)
+		}
+		recs, err := serde.DecodeAll(codec, raw)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: block %d: %w", i, err)
+		}
+		out[i] = recs
+	}
+	return out, nil
+}
+
+// FoldFirstSeen is the hash reduce-side merge: pairs fold per key with
+// merge, keys keep the order they were first seen across segments — the
+// reduce path Spark's aggregation uses for combined shuffles.
+func FoldFirstSeen[K comparable, C any](segs [][]core.Pair[K, C], merge func(C, C) C) []core.Pair[K, C] {
+	merged := make(map[K]C)
+	var order []K
+	for _, seg := range segs {
+		for _, rec := range seg {
+			if acc, ok := merged[rec.Key]; ok {
+				merged[rec.Key] = merge(acc, rec.Value)
+			} else {
+				merged[rec.Key] = rec.Value
+				order = append(order, rec.Key)
+			}
+		}
+	}
+	out := make([]core.Pair[K, C], 0, len(order))
+	for _, k := range order {
+		out = append(out, core.KV(k, merged[k]))
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package shuffle
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+)
+
+// Kind selects the shuffle implementation.
+type Kind int
+
+// Shuffle strategies.
+const (
+	// Hash is the bucketed, optionally pipelined repartition (Flink's
+	// exchange, Spark's legacy hash shuffle manager).
+	Hash Kind = iota
+	// Sort is the spill-and-merge shuffle (Hadoop's map output pipeline,
+	// Spark's tungsten-sort).
+	Sort
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Sort {
+		return "sort"
+	}
+	return "hash"
+}
+
+// ParseKind maps a configuration string to a Kind; anything but "hash" and
+// "sort" (including "") keeps the engine's default.
+func ParseKind(s string, def Kind) Kind {
+	switch s {
+	case "hash":
+		return Hash
+	case "sort":
+		return Sort
+	default:
+		return def
+	}
+}
+
+// Settings is the per-job shuffle configuration an engine resolves once
+// from core conf keys and hands to every Writer and reader.
+type Settings struct {
+	// Kind is the effective strategy after applying core.ShuffleStrategy
+	// over the engine default.
+	Kind Kind
+	// Compress is the block codec; nil stores blocks raw and unframed.
+	Compress Compressor
+	// SpillBytes caps the encoded bytes a sort writer buffers before it
+	// spills a run (core.ShuffleSpillThreshold; 0 = no byte cap).
+	SpillBytes int64
+	// SpillRecs caps buffered records before a sort-writer spill (engine
+	// defaults, e.g. MapReduce's io.sort.records; 0 = no record cap).
+	SpillRecs int
+	// FlushBytes is the hash writer's per-bucket pipelined flush threshold
+	// (0 = buckets only flush at Close — a materialized shuffle).
+	FlushBytes int64
+}
+
+// FromConf resolves the shared shuffle conf keys over an engine's default
+// strategy. SpillRecs and FlushBytes stay zero; engines fill them from
+// their own knobs.
+func FromConf(conf *core.Config, def Kind) Settings {
+	return Settings{
+		Kind:       ParseKind(conf.String(core.ShuffleStrategy, ""), def),
+		Compress:   CompressorFor(conf.String(core.ShuffleCompress, "none")),
+		SpillBytes: int64(conf.Bytes(core.ShuffleSpillThreshold, 0)),
+	}
+}
+
+// Block is one finished shuffle segment for one reduce partition: the wire
+// bytes (possibly compressed/framed) plus the accounting the engines route
+// into metrics.
+type Block struct {
+	Data []byte // wire form: what is stored or sent
+	Raw  int64  // serialized bytes before compression
+	Recs int64  // record count
+}
+
+// Packet is one in-flight block of a pipelined exchange, tagged with the
+// node of the producing task so the consumer can classify the read as local
+// or remote under the shared accounting rule (see internal/metrics).
+type Packet struct {
+	From int
+	Data []byte
+	Raw  int64
+}
+
+// Spec describes one shuffle edge, independent of the task executing it.
+type Spec[R any] struct {
+	// NumParts is the number of reduce partitions.
+	NumParts int
+	// Codec serializes records on the edge.
+	Codec serde.Codec[R]
+	// Route maps a record to its reduce partition.
+	Route func(R) int
+	// Less is the within-partition record order. The sort strategy spills
+	// key-sorted runs and merges them when Less is set; with Less nil it
+	// groups by partition only (tungsten-style). Must be consistent with
+	// Same: equal records compare unordered.
+	Less func(a, b R) bool
+	// Same reports key equality, required by Merge and CombineRun.
+	Same func(a, b R) bool
+	// Hash is the key hash for the hash strategy's combine table, required
+	// when Merge or CombineRun is set (core.HashKey over the record's key).
+	Hash func(R) uint64
+	// Merge is the pairwise map-side combiner (nil disables pairwise
+	// combining).
+	Merge func(a, b R) R
+	// CombineRun is the run-level combiner (Hadoop's Combine over a sorted
+	// run): it receives records grouped so equal keys are adjacent and
+	// returns the folded run. Used when Merge is nil.
+	CombineRun func(run []R) []R
+}
+
+// combining reports whether any map-side combine is configured.
+func (s *Spec[R]) combining() bool { return s.Merge != nil || s.CombineRun != nil }
+
+// SpillStore materializes sort-writer runs outside the task's memory — the
+// MapReduce engine backs it with the simulated DFS so spill bytes hit disk.
+// A nil store keeps runs in memory.
+type SpillStore interface {
+	// Write stores one run segment and returns its handle.
+	Write(run, part int, data []byte) (string, error)
+	// Read loads a segment back for the final merge.
+	Read(handle string) ([]byte, error)
+	// Remove deletes a merged segment.
+	Remove(handle string)
+}
+
+// Env is the per-task environment a Writer runs in: the resolved settings,
+// the engine's counters, its memory grant, and where finished blocks go.
+type Env struct {
+	Settings Settings
+	// Metrics receives spill and combine accounting; shuffle write/read
+	// bytes stay with the engine's Emit/fetch paths, which know locality.
+	Metrics *metrics.JobMetrics
+	// Mem asks the host engine for n more bytes of shuffle memory; false
+	// forces a spill (sort) or combine drain (hash). nil always grants.
+	Mem func(n int64) bool
+	// Free returns every granted byte once at Close. nil ignores.
+	Free func(n int64)
+	// Emit receives finished blocks: pipelined flushes during writing
+	// (hash strategy with FlushBytes > 0) and one final block per
+	// partition at Close — empty partitions included, so materialized
+	// shuffles can register a complete output.
+	Emit func(part int, b Block) error
+	// Spill materializes sort runs; nil buffers them in memory.
+	Spill SpillStore
+}
+
+// memQuantum is the granularity of shuffle-memory reservations, shared by
+// both strategies (Spark's 32 KB file-buffer quantum).
+const memQuantum = 32 * 1024
+
+// memCheckEvery bounds how many records are admitted between memory checks.
+const memCheckEvery = 1024
+
+// Writer is the map/producer side of one shuffle edge for one task. Write
+// feeds records; Close flushes every partition downstream. Writers are not
+// safe for concurrent use — one writer per producing task, like one sort
+// buffer per Hadoop map task.
+type Writer[R any] interface {
+	Write(rec R) error
+	Close() error
+}
+
+// NewWriter builds the Writer for the configured strategy. A Sort request
+// without a record order still spills and merges, grouped by partition only
+// — the honest model of tungsten-sort's partition-prefix sorting.
+func NewWriter[R any](spec Spec[R], env Env) Writer[R] {
+	if spec.NumParts <= 0 {
+		panic("shuffle: writer needs at least one partition")
+	}
+	if spec.combining() && (spec.Same == nil || spec.Hash == nil) {
+		panic("shuffle: combining writers need Same and Hash")
+	}
+	if env.Settings.Kind == Sort {
+		return newSortWriter(spec, env)
+	}
+	return newHashWriter(spec, env)
+}

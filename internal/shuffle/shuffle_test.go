@@ -1,0 +1,444 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+)
+
+// pairSpec is the canonical word-count-shaped edge used by most tests.
+func pairSpec(parts int, combine bool) Spec[core.Pair[string, int64]] {
+	s := Spec[core.Pair[string, int64]]{
+		NumParts: parts,
+		Codec:    serde.OfPair[string, int64](serde.TypeInfo),
+		Route: func(p core.Pair[string, int64]) int {
+			return int(core.HashKey(p.Key) % uint64(parts))
+		},
+		Less: func(a, b core.Pair[string, int64]) bool { return a.Key < b.Key },
+		Same: func(a, b core.Pair[string, int64]) bool { return a.Key == b.Key },
+		Hash: func(p core.Pair[string, int64]) uint64 { return core.HashKey(p.Key) },
+	}
+	if combine {
+		s.Merge = func(a, b core.Pair[string, int64]) core.Pair[string, int64] {
+			return core.KV(a.Key, a.Value+b.Value)
+		}
+	}
+	return s
+}
+
+// collectBlocks runs records through a writer and returns the final block
+// per partition plus any pipelined flushes, decoded.
+func runWriter(t *testing.T, spec Spec[core.Pair[string, int64]], env Env,
+	recs []core.Pair[string, int64]) map[string]int64 {
+	t.Helper()
+	blocks := make(map[int][][]byte)
+	if env.Emit == nil {
+		env.Emit = func(part int, b Block) error {
+			blocks[part] = append(blocks[part], b.Data)
+			return nil
+		}
+	}
+	w := NewWriter(spec, env)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]int64{}
+	for part, bs := range blocks {
+		decoded, err := DecodeBlocks(env.Settings, spec.Codec, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range decoded {
+			for _, kv := range seg {
+				totals[kv.Key] += kv.Value
+				if got := spec.Route(kv); got != part {
+					t.Errorf("record %q landed in partition %d, routed to %d", kv.Key, part, got)
+				}
+			}
+		}
+	}
+	return totals
+}
+
+func wordRecords(n int) ([]core.Pair[string, int64], map[string]int64) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]core.Pair[string, int64], n)
+	want := map[string]int64{}
+	for i := range recs {
+		w := fmt.Sprintf("word%03d", rng.Intn(200))
+		recs[i] = core.KV(w, int64(1))
+		want[w]++
+	}
+	return recs, want
+}
+
+func TestWriterStrategiesAgree(t *testing.T) {
+	recs, want := wordRecords(5000)
+	for _, kind := range []Kind{Hash, Sort} {
+		for _, combine := range []bool{true, false} {
+			name := fmt.Sprintf("%v/combine=%v", kind, combine)
+			m := &metrics.JobMetrics{}
+			got := runWriter(t, pairSpec(4, combine),
+				Env{Settings: Settings{Kind: kind}, Metrics: m}, recs)
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d distinct keys, want %d", name, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Errorf("%s: count[%s] = %d, want %d", name, k, got[k], v)
+				}
+			}
+			if combine && m.CombineRatio() <= 1 {
+				t.Errorf("%s: combine ratio %.2f, want > 1", name, m.CombineRatio())
+			}
+		}
+	}
+}
+
+func TestSortWriterBlocksAreKeySorted(t *testing.T) {
+	recs, _ := wordRecords(3000)
+	spec := pairSpec(3, true)
+	set := Settings{Kind: Sort, SpillRecs: 500}
+	m := &metrics.JobMetrics{}
+	blocks := map[int][]byte{}
+	w := NewWriter(spec, Env{Settings: set, Metrics: m, Emit: func(part int, b Block) error {
+		blocks[part] = b.Data
+		return nil
+	}})
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SpillCount.Load() == 0 {
+		t.Error("no spills despite a 500-record threshold over 3000 records")
+	}
+	for part, data := range blocks {
+		seg, err := DecodeBlocks(set, spec.Codec, [][]byte{data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(seg[0], func(i, j int) bool { return seg[0][i].Key < seg[0][j].Key }) {
+			t.Errorf("partition %d block not key-sorted", part)
+		}
+		// Runs were merged and recombined: each key appears once.
+		seen := map[string]bool{}
+		for _, kv := range seg[0] {
+			if seen[kv.Key] {
+				t.Errorf("partition %d: key %q appears twice after merge-combine", part, kv.Key)
+			}
+			seen[kv.Key] = true
+		}
+	}
+}
+
+func TestSortWriterSpillsOnMemoryPressure(t *testing.T) {
+	recs, want := wordRecords(8000)
+	m := &metrics.JobMetrics{}
+	granted, freed := int64(0), int64(0)
+	var denies int
+	env := Env{
+		Settings: Settings{Kind: Sort},
+		Metrics:  m,
+		Mem: func(n int64) bool {
+			if granted >= 2*memQuantum {
+				denies++
+				return false
+			}
+			granted += n
+			return true
+		},
+		Free: func(n int64) { freed += n },
+	}
+	got := runWriter(t, pairSpec(2, false), env, recs)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	if denies == 0 || m.SpillCount.Load() == 0 {
+		t.Errorf("denies=%d spills=%d, want both > 0", denies, m.SpillCount.Load())
+	}
+	if freed != granted {
+		t.Errorf("freed %d of %d granted bytes", freed, granted)
+	}
+}
+
+func TestHashWriterPipelinedFlush(t *testing.T) {
+	recs, want := wordRecords(4000)
+	flushes := 0
+	blocks := make(map[int][][]byte)
+	set := Settings{Kind: Hash, FlushBytes: 512}
+	env := Env{Settings: set, Emit: func(part int, b Block) error {
+		flushes++
+		blocks[part] = append(blocks[part], b.Data)
+		return nil
+	}}
+	spec := pairSpec(2, false)
+	w := NewWriter(spec, env)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, bs := range blocks {
+		decoded, err := DecodeBlocks(set, spec.Codec, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range decoded {
+			for _, kv := range seg {
+				got[kv.Key] += kv.Value
+			}
+		}
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	if flushes <= spec.NumParts {
+		t.Errorf("%d emits for 4000 records with a 512B flush threshold — not pipelined", flushes)
+	}
+}
+
+func TestWriterEmitsEmptyPartitionsAtClose(t *testing.T) {
+	for _, kind := range []Kind{Hash, Sort} {
+		emitted := map[int]int{}
+		env := Env{Settings: Settings{Kind: kind}, Emit: func(part int, b Block) error {
+			emitted[part]++
+			return nil
+		}}
+		w := NewWriter(pairSpec(4, false), env)
+		if err := w.Write(core.KV("only", int64(1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 4; p++ {
+			if emitted[p] == 0 {
+				t.Errorf("%v: partition %d got no Close block", kind, p)
+			}
+		}
+	}
+}
+
+func TestWriterRejectsBadRoute(t *testing.T) {
+	for _, kind := range []Kind{Hash, Sort} {
+		spec := pairSpec(2, false)
+		spec.Route = func(core.Pair[string, int64]) int { return 7 }
+		w := NewWriter(spec, Env{Settings: Settings{Kind: kind}, Emit: func(int, Block) error { return nil }})
+		if err := w.Write(core.KV("x", int64(1))); err == nil {
+			t.Errorf("%v: out-of-range route accepted", kind)
+		}
+	}
+}
+
+// memStore is a SpillStore double that tracks lifecycle.
+type memStore struct {
+	m       map[string][]byte
+	writes  int
+	removes int
+}
+
+func (s *memStore) Write(run, part int, data []byte) (string, error) {
+	if s.m == nil {
+		s.m = map[string][]byte{}
+	}
+	h := fmt.Sprintf("run%d-p%d", run, part)
+	s.m[h] = data
+	s.writes++
+	return h, nil
+}
+func (s *memStore) Read(h string) ([]byte, error) {
+	d, ok := s.m[h]
+	if !ok {
+		return nil, fmt.Errorf("missing %s", h)
+	}
+	return d, nil
+}
+func (s *memStore) Remove(h string) { delete(s.m, h); s.removes++ }
+
+func TestSortWriterSpillStoreLifecycle(t *testing.T) {
+	recs, want := wordRecords(4000)
+	store := &memStore{}
+	env := Env{Settings: Settings{Kind: Sort, SpillRecs: 700}, Metrics: &metrics.JobMetrics{}, Spill: store}
+	got := runWriter(t, pairSpec(2, true), env, recs)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	if store.writes == 0 {
+		t.Fatal("spill store never used")
+	}
+	if store.removes != store.writes {
+		t.Errorf("%d of %d spill segments removed after Close", store.removes, store.writes)
+	}
+	if len(store.m) != 0 {
+		t.Errorf("%d spill segments leaked after Close", len(store.m))
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	set := Settings{Compress: CompressorFor("lz")}
+	samples := [][]byte{
+		nil,
+		[]byte("a"),
+		bytes.Repeat([]byte("the quick brown fox "), 500),
+		[]byte{0, 1, 2, 3, 255, 254, 0, 0, 0, 7},
+	}
+	rng := rand.New(rand.NewSource(3))
+	random := make([]byte, 4096)
+	rng.Read(random)
+	samples = append(samples, random)
+	for i, raw := range samples {
+		packed := Pack(set, raw)
+		back, err := Unpack(set, packed)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !bytes.Equal(back, raw) {
+			t.Errorf("sample %d: round trip mismatch", i)
+		}
+	}
+	// Repetitive data must actually shrink.
+	rep := bytes.Repeat([]byte("wordcount "), 1000)
+	if packed := Pack(set, rep); len(packed) >= len(rep) {
+		t.Errorf("repetitive 10KB block packed to %d bytes", len(packed))
+	}
+	// No codec: bytes pass through untouched.
+	if got := Pack(Settings{}, rep); &got[0] != &rep[0] {
+		t.Error("Pack without codec copied the block")
+	}
+}
+
+func TestUnpackRejectsCorruptFrames(t *testing.T) {
+	set := Settings{Compress: CompressorFor("lz")}
+	packed := Pack(set, bytes.Repeat([]byte("abc"), 100))
+	for _, corrupt := range [][]byte{
+		{99, 1, 2}, // unknown tag
+		packed[:1], // truncated varint
+		packed[:len(packed)/2],
+	} {
+		if _, err := Unpack(set, corrupt); err == nil {
+			t.Errorf("corrupt frame %v... accepted", corrupt[:min(3, len(corrupt))])
+		}
+	}
+}
+
+func TestMergeStableAndSorted(t *testing.T) {
+	segs := [][]core.Pair[string, int64]{
+		{core.KV("a", int64(1)), core.KV("c", int64(1)), core.KV("e", int64(1))},
+		{core.KV("a", int64(2)), core.KV("b", int64(2))},
+		nil,
+		{core.KV("b", int64(3)), core.KV("e", int64(3))},
+	}
+	less := func(a, b core.Pair[string, int64]) bool { return a.Key < b.Key }
+	got := Merge(segs, less)
+	want := []core.Pair[string, int64]{
+		core.KV("a", int64(1)), core.KV("a", int64(2)),
+		core.KV("b", int64(2)), core.KV("b", int64(3)),
+		core.KV("c", int64(1)),
+		core.KV("e", int64(1)), core.KV("e", int64(3)),
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Merge = %v, want %v", got, want)
+	}
+}
+
+// seqSubtasker runs subtasks inline, recording the calls.
+type seqSubtasker struct{ calls, fns int }
+
+func (s *seqSubtasker) Subtasks(node int, fns []func() error) error {
+	s.calls++
+	s.fns += len(fns)
+	for _, fn := range fns {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestParallelMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var segs [][]int
+	total := 0
+	for s := 0; s < 30; s++ {
+		n := rng.Intn(50)
+		seg := make([]int, n)
+		for i := range seg {
+			seg[i] = rng.Intn(1000)
+		}
+		sort.Ints(seg)
+		segs = append(segs, seg)
+		total += n
+	}
+	less := func(a, b int) bool { return a < b }
+	ex := &seqSubtasker{}
+	got := ParallelMerge(ex, 0, segs, less)
+	if len(got) != total {
+		t.Fatalf("merged %d records, want %d", len(got), total)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Error("parallel merge output not sorted")
+	}
+	if ex.calls == 0 || ex.fns == 0 {
+		t.Error("30 segments merged without subtasks")
+	}
+	if seq := Merge(segs, less); fmt.Sprint(seq) != fmt.Sprint(got) {
+		t.Error("parallel and sequential merges disagree")
+	}
+}
+
+func TestFoldFirstSeen(t *testing.T) {
+	segs := [][]core.Pair[string, int64]{
+		{core.KV("b", int64(1)), core.KV("a", int64(1))},
+		{core.KV("a", int64(2)), core.KV("c", int64(5))},
+	}
+	got := FoldFirstSeen(segs, func(a, b int64) int64 { return a + b })
+	want := []core.Pair[string, int64]{
+		core.KV("b", int64(1)), core.KV("a", int64(3)), core.KV("c", int64(5)),
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("FoldFirstSeen = %v, want %v", got, want)
+	}
+}
+
+func TestFromConf(t *testing.T) {
+	conf := core.NewConfig()
+	set := FromConf(conf, Hash)
+	if set.Kind != Hash || set.Compress != nil || set.SpillBytes != 0 {
+		t.Errorf("defaults not preserved: %+v", set)
+	}
+	conf.Set(core.ShuffleStrategy, "sort").
+		Set(core.ShuffleCompress, "lz").
+		SetBytes(core.ShuffleSpillThreshold, 64*core.KB)
+	set = FromConf(conf, Hash)
+	if set.Kind != Sort || set.Compress == nil || set.SpillBytes != 64*1024 {
+		t.Errorf("conf not applied: %+v", set)
+	}
+	if ParseKind("bogus", Sort) != Sort {
+		t.Error("unknown strategy should keep the default")
+	}
+}

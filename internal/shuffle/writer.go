@@ -1,0 +1,431 @@
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/serde"
+)
+
+// --- hash strategy ----------------------------------------------------------
+
+// hashWriter is the bucketed repartition: records are serialized into
+// per-partition buffers as they arrive and can flush downstream before
+// end-of-input (the pipelined exchange). Map-side combining runs in a hash
+// table that drains into the buckets when the memory grant is refused.
+type hashWriter[R any] struct {
+	spec Spec[R]
+	env  Env
+
+	bufs [][]byte
+	recs []int64
+
+	groups  map[uint64][]R // combine table, bucketed by key hash
+	keys    int            // distinct keys since the last memory check
+	granted int64
+	inRecs  int64
+	outRecs int64
+}
+
+func newHashWriter[R any](spec Spec[R], env Env) *hashWriter[R] {
+	w := &hashWriter[R]{
+		spec: spec,
+		env:  env,
+		bufs: make([][]byte, spec.NumParts),
+		recs: make([]int64, spec.NumParts),
+	}
+	if spec.combining() {
+		w.groups = make(map[uint64][]R)
+	}
+	return w
+}
+
+// Write implements Writer.
+func (w *hashWriter[R]) Write(rec R) error {
+	if w.groups == nil {
+		_, err := w.emit(rec)
+		return err
+	}
+	w.inRecs++
+	h := w.spec.Hash(rec)
+	g := w.groups[h]
+	if w.spec.Merge != nil {
+		for i := range g {
+			if w.spec.Same(g[i], rec) {
+				g[i] = w.spec.Merge(g[i], rec)
+				return nil
+			}
+		}
+	}
+	w.groups[h] = append(g, rec)
+	w.keys++
+	if w.keys%memCheckEvery == 0 && w.env.Mem != nil {
+		if w.env.Mem(memQuantum) {
+			w.granted += memQuantum
+		} else if err := w.drain(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain empties the combine table into the buckets; spilled marks a
+// memory-pressure drain (counted as a spill, like the tungsten aggregation
+// map falling back to its buckets).
+func (w *hashWriter[R]) drain(spilled bool) error {
+	if len(w.groups) == 0 {
+		return nil
+	}
+	var bytes int64
+	var out int64
+	for _, g := range w.groups {
+		run := g
+		if w.spec.Merge == nil {
+			// g is one hash bucket already; only colliding keys compare.
+			run = combineAdjacent(groupSameAdjacent(g, w.spec.Same), w.spec)
+		}
+		for _, rec := range run {
+			n, err := w.emit(rec)
+			if err != nil {
+				return err
+			}
+			bytes += int64(n)
+			out++
+		}
+	}
+	w.groups = make(map[uint64][]R)
+	w.keys = 0
+	w.outRecs += out
+	if spilled && w.env.Metrics != nil {
+		w.env.Metrics.SpillCount.Add(1)
+		w.env.Metrics.SpillBytes.Add(bytes)
+	}
+	return nil
+}
+
+// emit serializes one outgoing record into its bucket, flushing downstream
+// when the pipelined threshold is reached. It returns the encoded size.
+func (w *hashWriter[R]) emit(rec R) (int, error) {
+	p := w.spec.Route(rec)
+	if p < 0 || p >= w.spec.NumParts {
+		return 0, fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
+	}
+	before := len(w.bufs[p])
+	w.bufs[p] = w.spec.Codec.Enc(w.bufs[p], rec)
+	w.recs[p]++
+	added := len(w.bufs[p]) - before
+	if w.env.Settings.FlushBytes > 0 && int64(len(w.bufs[p])) >= w.env.Settings.FlushBytes {
+		return added, w.flush(p)
+	}
+	return added, nil
+}
+
+// flush sends one bucket downstream and resets it.
+func (w *hashWriter[R]) flush(p int) error {
+	raw := w.bufs[p]
+	if len(raw) == 0 {
+		return nil
+	}
+	b := Block{Data: Pack(w.env.Settings, raw), Raw: int64(len(raw)), Recs: w.recs[p]}
+	w.bufs[p] = nil
+	w.recs[p] = 0
+	return w.env.Emit(p, b)
+}
+
+// Close implements Writer: drain the combine table, emit one final block
+// per partition (empty ones included) and release granted memory.
+func (w *hashWriter[R]) Close() error {
+	if w.groups != nil {
+		if err := w.drain(false); err != nil {
+			return err
+		}
+		if w.env.Metrics != nil {
+			w.env.Metrics.CombineInputRecords.Add(w.inRecs)
+			w.env.Metrics.CombineOutputRecs.Add(w.outRecs)
+		}
+	}
+	for p := range w.bufs {
+		raw := w.bufs[p]
+		b := Block{Data: Pack(w.env.Settings, raw), Raw: int64(len(raw)), Recs: w.recs[p]}
+		w.bufs[p] = nil
+		w.recs[p] = 0
+		if err := w.env.Emit(p, b); err != nil {
+			return err
+		}
+	}
+	w.release()
+	return nil
+}
+
+func (w *hashWriter[R]) release() {
+	if w.granted > 0 && w.env.Free != nil {
+		w.env.Free(w.granted)
+		w.granted = 0
+	}
+}
+
+// --- sort strategy ----------------------------------------------------------
+
+// runSeg is one partition's slice of one spilled run: either resident bytes
+// or a SpillStore handle.
+type runSeg struct {
+	data   []byte
+	handle string
+	recs   int64
+}
+
+// sortWriter is the spill-and-merge shuffle: records buffer until the
+// memory grant is refused or a threshold trips, then spill as a partitioned
+// (and, with Less, sorted and combined) run; Close merges every run into
+// one final segment per partition.
+type sortWriter[R any] struct {
+	spec Spec[R]
+	env  Env
+
+	buf         []R
+	runs        [][]runSeg // runs[i][part]
+	granted     int64
+	bytesPerRec float64 // running encoded-size estimate for SpillBytes
+	spilledRecs int64
+	spilledByte int64
+}
+
+func newSortWriter[R any](spec Spec[R], env Env) *sortWriter[R] {
+	return &sortWriter[R]{spec: spec, env: env, bytesPerRec: 64}
+}
+
+// Write implements Writer.
+func (w *sortWriter[R]) Write(rec R) error {
+	if p := w.spec.Route(rec); p < 0 || p >= w.spec.NumParts {
+		return fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
+	}
+	w.buf = append(w.buf, rec)
+	n := len(w.buf)
+	set := w.env.Settings
+	if set.SpillRecs > 0 && n >= set.SpillRecs {
+		return w.spill()
+	}
+	if set.SpillBytes > 0 && int64(float64(n)*w.bytesPerRec) >= set.SpillBytes {
+		return w.spill()
+	}
+	if n%memCheckEvery == 0 && w.env.Mem != nil {
+		if w.env.Mem(memQuantum) {
+			w.granted += memQuantum
+		} else {
+			return w.spill()
+		}
+	}
+	return nil
+}
+
+// cut partitions, orders and combines the buffered records, returning one
+// record slice per partition (the in-memory form of a run).
+func (w *sortWriter[R]) cut() [][]R {
+	parts := make([][]R, w.spec.NumParts)
+	for _, rec := range w.buf {
+		p := w.spec.Route(rec)
+		parts[p] = append(parts[p], rec)
+	}
+	for p, part := range parts {
+		if w.spec.Less != nil {
+			sort.SliceStable(part, func(i, j int) bool { return w.spec.Less(part[i], part[j]) })
+		} else if w.spec.combining() {
+			part = groupFirstSeen(part, w.spec)
+		}
+		parts[p] = w.combine(part)
+	}
+	w.buf = w.buf[:0]
+	return parts
+}
+
+// combine folds a partition slice whose equal keys are adjacent, counting
+// the reduction like the engines' combiners do.
+func (w *sortWriter[R]) combine(part []R) []R {
+	if !w.spec.combining() || len(part) == 0 {
+		return part
+	}
+	in := len(part)
+	part = combineAdjacent(part, w.spec)
+	if w.env.Metrics != nil {
+		w.env.Metrics.CombineInputRecords.Add(int64(in))
+		w.env.Metrics.CombineOutputRecs.Add(int64(len(part)))
+	}
+	return part
+}
+
+// spill materializes the current buffer as one run.
+func (w *sortWriter[R]) spill() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	parts := w.cut()
+	run := make([]runSeg, w.spec.NumParts)
+	var runBytes, runRecs int64
+	for p, part := range parts {
+		enc := serde.EncodeAll(w.spec.Codec, nil, part)
+		seg := runSeg{recs: int64(len(part))}
+		if w.env.Spill != nil && len(enc) > 0 {
+			h, err := w.env.Spill.Write(len(w.runs), p, enc)
+			if err != nil {
+				return err
+			}
+			seg.handle = h
+		} else {
+			seg.data = enc
+		}
+		run[p] = seg
+		runBytes += int64(len(enc))
+		runRecs += int64(len(part))
+	}
+	w.runs = append(w.runs, run)
+	w.spilledByte += runBytes
+	w.spilledRecs += runRecs
+	if w.spilledRecs > 0 {
+		w.bytesPerRec = float64(w.spilledByte) / float64(w.spilledRecs)
+	}
+	if w.env.Metrics != nil {
+		w.env.Metrics.SpillCount.Add(1)
+		w.env.Metrics.SpillBytes.Add(runBytes)
+	}
+	return nil
+}
+
+// Close implements Writer: merge the spilled runs with the in-memory tail
+// and emit one final block per partition.
+func (w *sortWriter[R]) Close() error {
+	tail := w.cut()
+	for p := 0; p < w.spec.NumParts; p++ {
+		var segs [][]R
+		for _, run := range w.runs {
+			seg := run[p]
+			data := seg.data
+			if seg.handle != "" {
+				var err error
+				data, err = w.env.Spill.Read(seg.handle)
+				if err != nil {
+					return err
+				}
+			}
+			if len(data) == 0 {
+				continue
+			}
+			recs, err := serde.DecodeAll(w.spec.Codec, data)
+			if err != nil {
+				return err
+			}
+			segs = append(segs, recs)
+		}
+		if len(tail[p]) > 0 {
+			segs = append(segs, tail[p])
+		}
+		var final []R
+		switch {
+		case len(segs) == 1:
+			final = segs[0]
+		case w.spec.Less != nil:
+			// Sorted runs merge like Hadoop's loser tree, with the
+			// combiner re-applied across runs.
+			final = w.combine(Merge(segs, w.spec.Less))
+		default:
+			// No record order: runs concatenate in spill order
+			// (tungsten's partition-prefix sort never orders keys).
+			final = Concat(segs)
+		}
+		enc := serde.EncodeAll(w.spec.Codec, nil, final)
+		b := Block{Data: Pack(w.env.Settings, enc), Raw: int64(len(enc)), Recs: int64(len(final))}
+		if err := w.env.Emit(p, b); err != nil {
+			return err
+		}
+	}
+	if w.env.Spill != nil {
+		for _, run := range w.runs {
+			for _, seg := range run {
+				if seg.handle != "" {
+					w.env.Spill.Remove(seg.handle)
+				}
+			}
+		}
+	}
+	w.runs = nil
+	if w.granted > 0 && w.env.Free != nil {
+		w.env.Free(w.granted)
+		w.granted = 0
+	}
+	return nil
+}
+
+// --- shared combine helpers -------------------------------------------------
+
+// groupFirstSeen reorders records so equal keys (per Same) are adjacent,
+// keeping hash buckets in first-seen order and records in arrival order —
+// the adjacency CombineRun and combineAdjacent need when no order exists.
+// Records bucket by Hash first, so the pairwise Same scan only runs inside
+// a bucket: expected O(n) over the partition, not O(n²).
+func groupFirstSeen[R any](recs []R, spec Spec[R]) []R {
+	if len(recs) < 2 {
+		return recs
+	}
+	order := make([]uint64, 0, len(recs))
+	buckets := make(map[uint64][]R, len(recs))
+	for _, rec := range recs {
+		h := spec.Hash(rec)
+		g, ok := buckets[h]
+		if !ok {
+			order = append(order, h)
+		}
+		buckets[h] = append(g, rec)
+	}
+	out := make([]R, 0, len(recs))
+	for _, h := range order {
+		out = append(out, groupSameAdjacent(buckets[h], spec.Same)...)
+	}
+	return out
+}
+
+// groupSameAdjacent is the pairwise grouping behind groupFirstSeen, run on
+// one hash bucket, where only colliding keys ever compare.
+func groupSameAdjacent[R any](recs []R, same func(a, b R) bool) []R {
+	if len(recs) < 2 {
+		return recs
+	}
+	out := make([]R, 0, len(recs))
+	used := make([]bool, len(recs))
+	for i := range recs {
+		if used[i] {
+			continue
+		}
+		out = append(out, recs[i])
+		for j := i + 1; j < len(recs); j++ {
+			if !used[j] && same(recs[i], recs[j]) {
+				out = append(out, recs[j])
+				used[j] = true
+			}
+		}
+	}
+	return out
+}
+
+// combineAdjacent folds runs of equal keys (which must already be
+// adjacent): pairwise with Merge, or through CombineRun.
+func combineAdjacent[R any](part []R, spec Spec[R]) []R {
+	if len(part) == 0 {
+		return part
+	}
+	if spec.Merge != nil {
+		out := part[:0:0]
+		acc := part[0]
+		for _, rec := range part[1:] {
+			if spec.Same(acc, rec) {
+				acc = spec.Merge(acc, rec)
+				continue
+			}
+			out = append(out, acc)
+			acc = rec
+		}
+		return append(out, acc)
+	}
+	if spec.CombineRun != nil {
+		return spec.CombineRun(part)
+	}
+	return part
+}

@@ -22,6 +22,12 @@ import (
 // filesystem, with the same laptop-scale tuning the other workload tests
 // use.
 func paritySession(t *testing.T, engine string) *dataflow.Session {
+	return paritySessionConf(t, engine, nil)
+}
+
+// paritySessionConf is paritySession with a configuration hook (the
+// non-default shuffle strategy runs use it).
+func paritySessionConf(t *testing.T, engine string, edit func(*core.Config)) *dataflow.Session {
 	t.Helper()
 	spec := cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
 	rt, err := cluster.NewRuntime(spec, 8)
@@ -37,11 +43,23 @@ func paritySession(t *testing.T, engine string) *dataflow.Session {
 			SetBytes(core.FlinkTaskManagerMemory, 256*core.MB).
 			SetInt(core.FlinkNetworkBuffers, 8192)
 	}
+	if edit != nil {
+		edit(conf)
+	}
 	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// nonDefaultStrategy returns the shuffle strategy an engine does NOT
+// default to (see the matrix in internal/shuffle).
+func nonDefaultStrategy(engine string) string {
+	if engine == "flink" {
+		return "sort"
+	}
+	return "hash"
 }
 
 // sortedLines canonicalizes a text output file (the engines write records
@@ -233,6 +251,48 @@ func TestCrossEngineParity(t *testing.T) {
 				engine, got.prSteps, got.ccSteps, got.ssspSteps,
 				base, want.prSteps, want.ccSteps, want.ssspSteps)
 		}
+	}
+
+	// The shuffle subsystem's contract: forcing each engine onto its
+	// NON-default strategy (plus the lz block codec) must not change one
+	// byte of workload output — same logical plan, same answer, different
+	// shuffle physics.
+	for _, engine := range engines {
+		engine := engine
+		strat := nonDefaultStrategy(engine)
+		t.Run(engine+"/shuffle="+strat, func(t *testing.T) {
+			s := paritySessionConf(t, engine, func(conf *core.Config) {
+				conf.Set(core.ShuffleStrategy, strat).Set(core.ShuffleCompress, "lz")
+			})
+			s.FS().WriteFile("wiki", text)
+			s.FS().WriteFile("tera-in", tera)
+			if err := WordCount(s, "wiki", "wc-out"); err != nil {
+				t.Fatalf("wordcount under %s shuffle: %v", strat, err)
+			}
+			if got := sortedLines(t, s, "wc-out"); got != want.wordCounts {
+				t.Errorf("%s word counts under %s shuffle differ from the default strategy", engine, strat)
+			}
+			if err := TeraSort(s, "tera-in", "tera-out", teraPart); err != nil {
+				t.Fatalf("terasort under %s shuffle: %v", strat, err)
+			}
+			if err := VerifyTeraSorted(s.FS(), "tera-out", teraRecords); err != nil {
+				t.Fatalf("terasort validate under %s shuffle: %v", strat, err)
+			}
+			tf, err := s.FS().Open("tera-out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tf.Contents(), want.teraBytes) {
+				t.Errorf("%s terasort output under %s shuffle is not byte-identical", engine, strat)
+			}
+			// The lz codec was really on: wire bytes beat raw bytes on
+			// this compressible text/key data.
+			m := s.Metrics()
+			if m.ShuffleBytesWritten.Load() >= m.ShuffleRawBytesWritten.Load() {
+				t.Errorf("%s: compressed shuffle wrote %d wire bytes for %d raw bytes",
+					engine, m.ShuffleBytesWritten.Load(), m.ShuffleRawBytesWritten.Load())
+			}
+		})
 	}
 }
 
