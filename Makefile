@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor (%) enforced by `make cover` over the unified-API and
 # graph-library packages plus the shared shuffle core.
 COVER_FLOOR ?= 60
-COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/...
+COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/...
 
 .PHONY: build test lint cover bench-smoke
 
@@ -37,10 +37,11 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus three benchrunner
-# experiments — tab1 (operator plans), ext4 (a three-way graph run) and
-# ext6 (the shuffle strategy × parallelism sweep on the real engines) —
-# whose reports land in BENCH_smoke.json, the per-push CI artifact.
+# Fast benchmark subset (1 iteration, no unit tests) plus four benchrunner
+# experiments — tab1 (operator plans), ext4 (a three-way graph run), ext6
+# (the shuffle strategy × parallelism sweep on the real engines) and ext7
+# (streaming latency percentiles, micro-batch vs per-event) — whose
+# reports land in BENCH_smoke.json, the per-push CI artifact.
 bench-smoke:
 	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7 -json BENCH_smoke.json

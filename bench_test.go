@@ -22,7 +22,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dfs"
 	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -46,6 +45,18 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	if len(rep.Rows) > 0 {
 		last := rep.Rows[len(rep.Rows)-1]
+		if rep.Latency {
+			// Streaming reports measure latency percentiles, not runtimes.
+			if !math.IsNaN(last.Spark) {
+				b.ReportMetric(last.Spark, "spark_p50_ms")
+				b.ReportMetric(last.SparkP99, "spark_p99_ms")
+			}
+			if !math.IsNaN(last.Flink) {
+				b.ReportMetric(last.Flink, "flink_p50_ms")
+				b.ReportMetric(last.FlinkP99, "flink_p99_ms")
+			}
+			return
+		}
 		if !math.IsNaN(last.Spark) {
 			b.ReportMetric(last.Spark, "spark_s")
 		}
@@ -88,6 +99,7 @@ func BenchmarkExt3KMeansThreeWay(b *testing.B)    { benchExperiment(b, "ext3") }
 func BenchmarkExt4PageRankThreeWay(b *testing.B)  { benchExperiment(b, "ext4") }
 func BenchmarkExt5CCThreeWay(b *testing.B)        { benchExperiment(b, "ext5") }
 func BenchmarkExt6ShuffleSweep(b *testing.B)      { benchExperiment(b, "ext6") }
+func BenchmarkExt7StreamingLatency(b *testing.B)  { benchExperiment(b, "ext7") }
 
 // --- Ablations (DESIGN.md §7) ----------------------------------------------
 
@@ -401,24 +413,15 @@ func BenchmarkEngineKMeans(b *testing.B) {
 
 func BenchmarkEngineConnectedComponents(b *testing.B) {
 	edges := datagen.RMAT(12, datagen.GraphSpec{Name: "bench", Vertices: 256, Edges: 1024})
-	b.Run("spark", func(b *testing.B) {
-		s, _ := engineFixture(b)
-		ctx := s.Backend().Handle().(*spark.Context)
+	run := func(b *testing.B, s *dataflow.Session) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := workloads.ConnectedComponentsSpark(ctx, edges, 30); err != nil {
+			if _, _, err := workloads.ConnectedComponents(s, edges, 30); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
-	b.Run("flink-delta", func(b *testing.B) {
-		_, s := engineFixture(b)
-		env := s.Backend().Handle().(*flink.Env)
-		for i := 0; i < b.N; i++ {
-			if _, _, err := workloads.ConnectedComponentsFlinkDelta(env, edges, 30); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	}
+	b.Run("spark", func(b *testing.B) { s, _ := engineFixture(b); run(b, s) })
+	b.Run("flink-delta", func(b *testing.B) { _, s := engineFixture(b); run(b, s) })
 }
 
 // BenchmarkEnginePageRankUnified measures the real engines end to end on

@@ -9,18 +9,25 @@ import (
 )
 
 // The -json output: the perf trajectory artifact CI uploads per push
-// (BENCH_*.json). NaN cells (failed runs, filtered engines) become null,
-// which encoding/json would otherwise reject.
+// (BENCH_*.json). NaN cells (failed runs, filtered engines) are omitted,
+// which encoding/json would otherwise reject. Latency reports (ext7)
+// carry *_p50_ms/*_p99_ms fields instead of the *_s runtime columns.
 
 type jsonRow struct {
 	Label        string   `json:"label"`
-	Spark        *float64 `json:"spark_s"`
+	Spark        *float64 `json:"spark_s,omitempty"`
 	SparkStd     *float64 `json:"spark_std,omitempty"`
-	Flink        *float64 `json:"flink_s"`
+	Flink        *float64 `json:"flink_s,omitempty"`
 	FlinkStd     *float64 `json:"flink_std,omitempty"`
 	MapReduce    *float64 `json:"mapreduce_s,omitempty"`
 	MapReduceStd *float64 `json:"mapreduce_std,omitempty"`
-	Note         string   `json:"note,omitempty"`
+	// Latency reports (ext7): percentiles in milliseconds instead of the
+	// mean-seconds columns above. spark = micro-batch, flink = per-event.
+	SparkP50 *float64 `json:"spark_p50_ms,omitempty"`
+	SparkP99 *float64 `json:"spark_p99_ms,omitempty"`
+	FlinkP50 *float64 `json:"flink_p50_ms,omitempty"`
+	FlinkP99 *float64 `json:"flink_p99_ms,omitempty"`
+	Note     string   `json:"note,omitempty"`
 }
 
 type jsonReport struct {
@@ -41,17 +48,21 @@ func finite(v float64) *float64 {
 func toJSONReport(rep *experiments.Report) jsonReport {
 	out := jsonReport{ID: rep.ID, Title: rep.Title, Table: rep.Table, Notes: rep.Notes}
 	for _, row := range rep.Rows {
-		jr := jsonRow{
-			Label:    row.Label,
-			Spark:    finite(row.Spark),
-			SparkStd: finite(row.SparkStd),
-			Flink:    finite(row.Flink),
-			FlinkStd: finite(row.FlinkStd),
-			Note:     row.PaperNote,
-		}
-		if rep.ThreeWay {
-			jr.MapReduce = finite(row.MapRed)
-			jr.MapReduceStd = finite(row.MapRedStd)
+		jr := jsonRow{Label: row.Label, Note: row.PaperNote}
+		if rep.Latency {
+			jr.SparkP50 = finite(row.Spark)
+			jr.SparkP99 = finite(row.SparkP99)
+			jr.FlinkP50 = finite(row.Flink)
+			jr.FlinkP99 = finite(row.FlinkP99)
+		} else {
+			jr.Spark = finite(row.Spark)
+			jr.SparkStd = finite(row.SparkStd)
+			jr.Flink = finite(row.Flink)
+			jr.FlinkStd = finite(row.FlinkStd)
+			if rep.ThreeWay {
+				jr.MapReduce = finite(row.MapRed)
+				jr.MapReduceStd = finite(row.MapRedStd)
+			}
 		}
 		out.Rows = append(out.Rows, jr)
 	}

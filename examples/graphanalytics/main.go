@@ -1,7 +1,8 @@
 // Graphanalytics: PageRank and Connected Components on a scaled-down
-// Twitter-shaped R-MAT graph with both graph libraries, verifying that the
-// engines agree and showing the iteration-model contrast (Spark schedules
-// stages per superstep; Flink's delta iteration drains its workset).
+// Twitter-shaped R-MAT graph through the unified dataflow API on both
+// in-memory engines, verifying that they agree and showing the
+// iteration-model contrast (Spark schedules stages per superstep; Flink's
+// delta iteration drains its workset).
 package main
 
 import (
@@ -11,10 +12,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataflow"
+	_ "repro/internal/dataflow/backend/flinkexec"
+	_ "repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 	"repro/internal/workloads"
 )
 
@@ -28,20 +30,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx := spark.NewContext(core.NewConfig().SetInt(core.SparkDefaultParallelism, 8).
-		SetInt(core.SparkEdgePartitions, 8), srt, dfs.New(spec.Nodes, 64*core.KB, 1))
-	env := flink.NewEnv(core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
-		SetInt(core.FlinkNetworkBuffers, 8192), frt, dfs.New(spec.Nodes, 64*core.KB, 1))
+	sparkS, err := dataflow.Open("spark",
+		dataflow.WithConfig(core.NewConfig().SetInt(core.SparkDefaultParallelism, 8).
+			SetInt(core.SparkEdgePartitions, 8)),
+		dataflow.WithRuntime(srt),
+		dataflow.WithFS(dfs.New(spec.Nodes, 64*core.KB, 1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	flinkS, err := dataflow.Open("flink",
+		dataflow.WithConfig(core.NewConfig().SetInt(core.FlinkDefaultParallelism, 4).
+			SetInt(core.FlinkNetworkBuffers, 8192)),
+		dataflow.WithRuntime(frt),
+		dataflow.WithFS(dfs.New(spec.Nodes, 64*core.KB, 1)))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Twitter-shaped graph, scaled 100000x down (Table IV shape preserved).
 	edges := datagen.RMAT(4, datagen.SmallGraph.Scale(100000))
 	fmt.Printf("graph: %s scaled to %d edges\n\n", datagen.SmallGraph.Name, len(edges))
 
-	sRanks, err := workloads.PageRankSpark(ctx, edges, 15)
+	sRanks, _, err := workloads.PageRank(sparkS, edges, 15)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fRanks, err := workloads.PageRankFlink(env, edges, 15)
+	fRanks, _, err := workloads.PageRank(flinkS, edges, 15)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,11 +73,11 @@ func main() {
 		fmt.Printf("  vertex %-6d spark=%.4f flink=%.4f\n", v.id, v.rank, fRanks[v.id])
 	}
 
-	sLabels, sIters, err := workloads.ConnectedComponentsSpark(ctx, edges, 50)
+	sLabels, sIters, err := workloads.ConnectedComponents(sparkS, edges, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fLabels, fSupersteps, err := workloads.ConnectedComponentsFlinkDelta(env, edges, 50)
+	fLabels, fSupersteps, err := workloads.ConnectedComponents(flinkS, edges, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +92,7 @@ func main() {
 	fmt.Printf("\nconnected components: %d components over %d vertices; engines agree on %d/%d labels\n",
 		len(components), len(sLabels), agree, len(sLabels))
 	fmt.Printf("spark converged in %d supersteps (%d scheduling rounds — loop unrolling)\n",
-		sIters, ctx.Metrics().SchedulingRounds.Load())
+		sIters, sparkS.Metrics().SchedulingRounds.Load())
 	fmt.Printf("flink converged in %d supersteps (%d scheduling rounds — native delta iteration)\n",
-		fSupersteps, env.Metrics().SchedulingRounds.Load())
+		fSupersteps, flinkS.Metrics().SchedulingRounds.Load())
 }

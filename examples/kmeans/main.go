@@ -42,7 +42,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := dataflow.Open(engine, confs[engine], rt, dfs.New(spec.Nodes, 64*core.KB, 1))
+		s, err := dataflow.Open(engine, dataflow.WithConfig(confs[engine]), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 64*core.KB, 1)))
 		if err != nil {
 			log.Fatal(err)
 		}

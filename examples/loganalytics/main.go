@@ -39,7 +39,7 @@ func main() {
 		}
 		fs := dfs.New(spec.Nodes, 32*core.KB, 2)
 		fs.WriteFile("logs", logsData)
-		s, err := dataflow.Open(engine, confs[engine], rt, fs)
+		s, err := dataflow.Open(engine, dataflow.WithConfig(confs[engine]), dataflow.WithRuntime(rt), dataflow.WithFS(fs))
 		if err != nil {
 			log.Fatal(err)
 		}

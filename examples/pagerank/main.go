@@ -37,7 +37,7 @@ func session(engine string) *dataflow.Session {
 	case "flink":
 		conf.SetInt(core.FlinkDefaultParallelism, 2).SetInt(core.FlinkNetworkBuffers, 8192)
 	}
-	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 64*core.KB, 1))
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 64*core.KB, 1)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func main() {
 		}
 		fs := dfs.New(spec.Nodes, 64*core.KB, 1)
 		fs.WriteFile("tera-in", data)
-		s, err := dataflow.Open(engine, confs[engine], rt, fs)
+		s, err := dataflow.Open(engine, dataflow.WithConfig(confs[engine]), dataflow.WithRuntime(rt), dataflow.WithFS(fs))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,7 +28,7 @@ func session(t *testing.T, engine string) *dataflow.Session {
 		// parallelism within the per-node slot budget.
 		conf.SetInt(core.FlinkDefaultParallelism, 4).SetInt(core.FlinkNetworkBuffers, 8192)
 	}
-	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +42,36 @@ func TestRegistryHasAllEngines(t *testing.T) {
 	if fmt.Sprint(sorted) != "[flink mapreduce spark]" {
 		t.Fatalf("registry = %v, want flink/mapreduce/spark", names)
 	}
-	if _, err := dataflow.Open("no-such-engine", core.NewConfig(), nil, nil); err == nil {
+	if _, err := dataflow.Open("no-such-engine"); err == nil {
 		t.Error("Open should reject unknown engines")
+	}
+}
+
+// TestOpenDefaults opens a session with no options at all: Open must
+// construct the default config, runtime and filesystem, and the session
+// must actually run a pipeline.
+func TestOpenDefaults(t *testing.T) {
+	s, err := dataflow.Open("spark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FS().WriteFile("t", []byte("a b\nc\n"))
+	n, err := dataflow.Count(dataflow.TextFile(s, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("Count = %d, want 2", n)
+	}
+
+	// Options can pin individual pieces while the rest defaults.
+	fs := dfs.New(2, 16*core.KB, 1)
+	s2, err := dataflow.Open("flink", dataflow.WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.FS() != fs {
+		t.Error("WithFS was not honored")
 	}
 }
 

@@ -8,7 +8,7 @@
 // adapters under backend/). Sources, transformations and actions mirror
 // the common core of Table I:
 //
-//	s, _ := dataflow.Open("flink", conf, rt, fs)     // or NewSession(backend)
+//	s, _ := dataflow.Open("flink", WithConfig(conf), WithRuntime(rt), WithFS(fs))
 //	lines := dataflow.TextFile(s, "wiki")
 //	words := dataflow.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
 //	pairs := dataflow.MapToPair(words, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })

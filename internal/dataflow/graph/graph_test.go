@@ -31,7 +31,7 @@ func session(t *testing.T, engine string) *dataflow.Session {
 		// keeps the widest plan within the 8 slots per node.
 		conf.SetInt(core.FlinkDefaultParallelism, 2).SetInt(core.FlinkNetworkBuffers, 8192)
 	}
-	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}

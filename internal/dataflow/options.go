@@ -1,0 +1,91 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+)
+
+// Option configures Open. The zero set of options is valid: Open builds
+// paper-default substrate pieces (config, a small two-node runtime, a DFS
+// over its nodes) for whatever the caller leaves out.
+type Option func(*openSettings)
+
+type openSettings struct {
+	conf *core.Config
+	rt   *cluster.Runtime
+	fs   *dfs.FS
+}
+
+// WithConfig supplies the engine configuration. Omitted: core.NewConfig()
+// paper defaults.
+func WithConfig(conf *core.Config) Option {
+	return func(o *openSettings) { o.conf = conf }
+}
+
+// WithRuntime supplies the cluster runtime the engine schedules onto.
+// Omitted: a 2-node × 4-core local runtime with one slot per core.
+func WithRuntime(rt *cluster.Runtime) Option {
+	return func(o *openSettings) { o.rt = rt }
+}
+
+// WithFS supplies the distributed filesystem. Omitted: a fresh DFS with
+// one block replica per runtime node.
+func WithFS(fs *dfs.FS) Option {
+	return func(o *openSettings) { o.fs = fs }
+}
+
+// defaultSpec is the substrate Open builds when no runtime is supplied: a
+// laptop-scale stand-in for one Grid'5000 rack slice, matching the fixture
+// most tests construct by hand.
+var defaultSpec = cluster.Spec{
+	Nodes:        2,
+	CoresPerNode: 4,
+	MemPerNode:   core.GB,
+	DiskSeqMiBps: 500,
+	NetMiBps:     500,
+}
+
+// Open builds a Session on the named backend, erroring with the available
+// names when the engine is unknown (or its adapter was not imported).
+// Substrate pieces not supplied via options are constructed with defaults:
+//
+//	s, err := dataflow.Open("spark")                       // all defaults
+//	s, err := dataflow.Open("flink", dataflow.WithConfig(conf),
+//	        dataflow.WithRuntime(rt), dataflow.WithFS(fs)) // fully pinned
+func Open(name string, opts ...Option) (*Session, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("dataflow: unknown engine %q (registered: %v)", name, known)
+	}
+	var o openSettings
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.conf == nil {
+		o.conf = core.NewConfig()
+	}
+	if o.rt == nil {
+		rt, err := cluster.NewRuntime(defaultSpec, defaultSpec.CoresPerNode)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: default runtime: %w", err)
+		}
+		o.rt = rt
+	}
+	if o.fs == nil {
+		o.fs = dfs.New(o.rt.Spec().Nodes, 64*core.KB, 1)
+	}
+	return NewSession(f(o.conf, o.rt, o.fs)), nil
+}
+
+// OpenLegacy is the pre-options positional signature.
+//
+// Deprecated: use Open with WithConfig, WithRuntime and WithFS.
+func OpenLegacy(name string, conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) (*Session, error) {
+	return Open(name, WithConfig(conf), WithRuntime(rt), WithFS(fs))
+}

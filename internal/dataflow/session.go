@@ -1,7 +1,6 @@
 package dataflow
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -111,18 +110,6 @@ func Lookup(name string) (Factory, bool) {
 	defer regMu.Unlock()
 	f, ok := registry[name]
 	return f, ok
-}
-
-// Open builds a Session on the named backend, erroring with the available
-// names when the engine is unknown (or its adapter was not imported).
-func Open(name string, conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) (*Session, error) {
-	f, ok := Lookup(name)
-	if !ok {
-		known := Names()
-		sort.Strings(known)
-		return nil, fmt.Errorf("dataflow: unknown engine %q (registered: %v)", name, known)
-	}
-	return NewSession(f(conf, rt, fs)), nil
 }
 
 // Session owns one engine-bound execution: the backend, the logical node

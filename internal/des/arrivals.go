@@ -1,0 +1,91 @@
+package des
+
+import "math/rand"
+
+// Arrival processes for open-loop load generation. The streaming
+// experiments drive their clickstream producers from these: an open-loop
+// source emits at the process's instants regardless of how fast the
+// consumer drains, which is what makes end-to-end latency percentiles
+// meaningful (a closed loop would self-throttle and hide queueing delay).
+//
+// Both processes are seeded and draw from their own math/rand stream, so a
+// given (seed, rate) sequence of inter-arrival gaps is reproducible.
+
+// ArrivalProcess yields successive inter-arrival gaps in seconds.
+type ArrivalProcess interface {
+	// Next returns the gap to the next arrival, in seconds (> 0).
+	Next() float64
+	// Rate returns the long-run average arrival rate in events/second.
+	Rate() float64
+}
+
+// Poisson is a homogeneous Poisson process: exponential inter-arrival
+// times with mean 1/rate, the classic memoryless open-loop workload.
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given arrival rate
+// (events/second).
+func NewPoisson(seed int64, rate float64) *Poisson {
+	return &Poisson{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next exponential gap.
+func (p *Poisson) Next() float64 { return p.rng.ExpFloat64() / p.rate }
+
+// Rate returns the configured arrival rate.
+func (p *Poisson) Rate() float64 { return p.rate }
+
+// MMPP is a two-state Markov-modulated Poisson process: arrivals follow a
+// Poisson process whose rate switches between a calm and a burst level, the
+// sojourn time in each state itself exponential. The result is a bursty
+// stream with index of dispersion > 1 — the load shape that separates
+// micro-batch and per-event latency behaviour under pressure.
+type MMPP struct {
+	rates   [2]float64 // arrival rate per state
+	sojourn [2]float64 // mean time spent in each state, seconds
+	state   int
+	left    float64 // time remaining in the current state
+	rng     *rand.Rand
+}
+
+// NewMMPP returns a two-state MMPP alternating between calmRate and
+// burstRate arrivals/second, with mean sojourn times meanCalm and meanBurst
+// seconds.
+func NewMMPP(seed int64, calmRate, burstRate, meanCalm, meanBurst float64) *MMPP {
+	m := &MMPP{
+		rates:   [2]float64{calmRate, burstRate},
+		sojourn: [2]float64{meanCalm, meanBurst},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	m.left = m.rng.ExpFloat64() * m.sojourn[0]
+	return m
+}
+
+// Next advances the modulating chain and returns the gap to the next
+// arrival. Within a state the gap is exponential at that state's rate; a
+// candidate gap that overshoots the state's remaining sojourn is discarded
+// past the switch point and redrawn at the new rate (the memorylessness of
+// the exponential makes the restart exact rather than an approximation).
+func (m *MMPP) Next() float64 {
+	var elapsed float64
+	for {
+		gap := m.rng.ExpFloat64() / m.rates[m.state]
+		if gap <= m.left {
+			m.left -= gap
+			return elapsed + gap
+		}
+		elapsed += m.left
+		m.state = 1 - m.state
+		m.left = m.rng.ExpFloat64() * m.sojourn[m.state]
+	}
+}
+
+// Rate returns the stationary average arrival rate: each state is occupied
+// in proportion to its mean sojourn time.
+func (m *MMPP) Rate() float64 {
+	total := m.sojourn[0] + m.sojourn[1]
+	return (m.rates[0]*m.sojourn[0] + m.rates[1]*m.sojourn[1]) / total
+}

@@ -1,0 +1,112 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+// dispersionIndex computes the index of dispersion of counts: the variance
+// of per-bin arrival counts over their mean. A Poisson process has index 1;
+// a bursty process has index > 1.
+func dispersionIndex(gaps []float64, binSeconds float64) float64 {
+	var t float64
+	counts := map[int]int{}
+	bins := 0
+	for _, g := range gaps {
+		t += g
+		b := int(t / binSeconds)
+		counts[b]++
+		if b > bins {
+			bins = b
+		}
+	}
+	var sum, sumSq float64
+	for b := 0; b < bins; b++ { // drop the final partial bin
+		c := float64(counts[b])
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(bins)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	return variance / mean
+}
+
+func TestPoissonInterArrivalStatistics(t *testing.T) {
+	const rate = 200.0
+	p := NewPoisson(42, rate)
+	if got := p.Rate(); got != rate {
+		t.Fatalf("Rate() = %v, want %v", got, rate)
+	}
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g <= 0 {
+			t.Fatalf("gap %d = %v, want > 0", i, g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	if want := 1 / rate; math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean gap = %v, want %v ±5%%", mean, want)
+	}
+	// Exponential gaps have coefficient of variation 1.
+	variance := sumSq/n - mean*mean
+	if cv := math.Sqrt(variance) / mean; math.Abs(cv-1) > 0.1 {
+		t.Errorf("gap CoV = %v, want ≈1", cv)
+	}
+}
+
+func TestPoissonDeterministicBySeed(t *testing.T) {
+	a, b := NewPoisson(7, 100), NewPoisson(7, 100)
+	for i := 0; i < 100; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("gap %d diverged: %v vs %v", i, ga, gb)
+		}
+	}
+	c := NewPoisson(8, 100)
+	if a.Next() == c.Next() {
+		t.Error("different seeds produced the same first gap")
+	}
+}
+
+func TestMMPPIsBurstier(t *testing.T) {
+	// Calm 100/s for ~200ms, bursts of 2000/s for ~50ms.
+	m := NewMMPP(11, 100, 2000, 0.2, 0.05)
+	wantRate := (100*0.2 + 2000*0.05) / 0.25
+	if got := m.Rate(); math.Abs(got-wantRate) > 1e-9 {
+		t.Fatalf("Rate() = %v, want %v", got, wantRate)
+	}
+
+	const n = 60000
+	gaps := make([]float64, n)
+	var sum float64
+	for i := range gaps {
+		gaps[i] = m.Next()
+		if gaps[i] <= 0 {
+			t.Fatalf("gap %d = %v, want > 0", i, gaps[i])
+		}
+		sum += gaps[i]
+	}
+	// Long-run mean rate approaches the stationary average.
+	if got := n / sum; math.Abs(got-wantRate) > 0.1*wantRate {
+		t.Errorf("empirical rate = %v, want %v ±10%%", got, wantRate)
+	}
+
+	// Burstiness: counts in 100ms bins must be overdispersed relative to a
+	// rate-matched Poisson (index ≈ 1).
+	pois := NewPoisson(11, wantRate)
+	poisGaps := make([]float64, n)
+	for i := range poisGaps {
+		poisGaps[i] = pois.Next()
+	}
+	mi, pi := dispersionIndex(gaps, 0.1), dispersionIndex(poisGaps, 0.1)
+	if mi < 2*pi {
+		t.Errorf("MMPP dispersion index %v not clearly above Poisson's %v", mi, pi)
+	}
+	if pi > 2 {
+		t.Errorf("Poisson dispersion index %v, want ≈1", pi)
+	}
+}

@@ -100,7 +100,7 @@ func ext6Run(engine, wl, strat string, par int, text, tera []byte) (float64, err
 		SetInt(core.FlinkNetworkBuffers, 8192).
 		SetBytes(core.SparkExecutorMemory, 512*core.MB).
 		SetBytes(core.FlinkTaskManagerMemory, 256*core.MB)
-	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/des"
+	"repro/internal/dfs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/streaming"
+	"repro/internal/workloads"
+)
+
+// ext7 is the streaming experiment family: the same clickstream CTR plan
+// run LIVE against an open-loop arrival process, once through the
+// Spark-style micro-batch lowering and once through the Flink-style
+// per-event lowering. Cells are end-to-end (ingest → window emission)
+// latency percentiles in milliseconds; the contrast the row sweep shows is
+// the micro-batch latency floor — records wait for the next batch
+// boundary before they can even start processing — holding across offered
+// throughputs and burstiness.
+
+func init() {
+	register("ext7", "Streaming CTR — p50/p99 latency vs offered load, micro-batch vs per-event", runExt7)
+}
+
+// ext7RunFor is the wall-clock length of one measured run. Long enough for
+// several batch intervals and dozens of closed windows, short enough that
+// the whole family stays test-suite friendly.
+const ext7RunFor = 350 * time.Millisecond
+
+func runExt7() (*Report, error) {
+	rep := &Report{
+		ID:      "ext7",
+		Title:   "Streaming CTR: latency vs offered throughput (micro-batch vs per-event)",
+		Latency: true,
+		Notes: []string{
+			"cells: end-to-end ingest→emit latency, p50 / p99 ms over one open-loop run of " + fmt.Sprint(ext7RunFor),
+			"spark column = micro-batch lowering (driver loop over the batch dataflow, streaming.batch.interval=100ms)",
+			"flink column = per-event lowering (records pushed one at a time through the pipelined exchange)",
+			"window 50ms, watermark bound 10ms; arrivals from internal/des (Poisson and 2-state MMPP)",
+			"lit: micro-batch latency floors at the batch interval; per-event pays only window-close wait",
+		},
+	}
+	rows := []struct {
+		label string
+		note  string
+		mk    func() des.ArrivalProcess
+	}{
+		{"poisson 500/s", "light load", func() des.ArrivalProcess { return des.NewPoisson(11, 500) }},
+		{"poisson 2000/s", "4x offered load", func() des.ArrivalProcess { return des.NewPoisson(13, 2000) }},
+		{"mmpp 2000/s", "same mean rate, bursty (MMPP)", func() des.ArrivalProcess { return des.NewMMPP(17, 500, 8000, 0.08, 0.02) }},
+	}
+	for _, r := range rows {
+		row := skippedRow(r.label, r.note)
+		for _, engine := range enabled(sim.Engines()) {
+			switch engine {
+			case sim.Spark:
+				snap, err := ext7Run("spark", r.mk())
+				if err != nil {
+					return nil, fmt.Errorf("ext7 %s micro-batch: %w", r.label, err)
+				}
+				row.Spark, row.SparkP99 = snap.P50, snap.P99
+			case sim.Flink:
+				snap, err := ext7Run("flink", r.mk())
+				if err != nil {
+					return nil, fmt.Errorf("ext7 %s per-event: %w", r.label, err)
+				}
+				row.Flink, row.FlinkP99 = snap.P50, snap.P99
+			case sim.MapReduce:
+				// No streaming lowering targets the MapReduce engine; the
+				// cell stays "-" (and the report is two-way anyway).
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// ext7Run measures one (engine, arrival process) cell: tail a live
+// 2-partition log while an open-loop producer paced by the arrival process
+// appends clicks, then return the session's latency percentiles. The
+// producer is open-loop in the queueing sense — arrival times come from
+// the process alone, never from how fast the consumer drains.
+func ext7Run(engine string, proc des.ArrivalProcess) (metrics.LatencySnapshot, error) {
+	const parts = 2
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		return metrics.LatencySnapshot{}, err
+	}
+	conf := core.NewConfig().
+		SetInt(core.FlinkDefaultParallelism, 4).
+		SetBytes(core.BufferSize, 64) // per-event exchange: flush every record
+	conf.SetDuration(core.StreamingWindowSize, 50*time.Millisecond)
+	conf.SetDuration(core.StreamingWatermarkBound, 10*time.Millisecond)
+	conf.SetDuration(core.StreamingIdleTimeout, 100*time.Millisecond)
+	conf.SetDuration(core.StreamingBatchInterval, 100*time.Millisecond)
+	fs := dfs.New(spec.Nodes, 16*core.KB, 1)
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(fs))
+	if err != nil {
+		return metrics.LatencySnapshot{}, err
+	}
+	l := streaming.NewLog[workloads.Click](fs, "ext7-clicks", parts)
+	agg := workloads.CTRWindows(s, l, conf)
+
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		if engine == "flink" {
+			_, err = streaming.RunPerEvent(agg, conf)
+		} else {
+			_, err = streaming.RunMicroBatch(agg, conf)
+		}
+		done <- err
+	}()
+
+	base := time.Now()
+	deadline := base.Add(ext7RunFor)
+	next := base
+	for i := 0; ; i++ {
+		next = next.Add(time.Duration(proc.Next() * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		// Sleep to the scheduled arrival; if the producer fell behind the
+		// schedule it catches up without sleeping (open loop, no backoff).
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		tm := time.Since(base).Milliseconds()
+		click := workloads.Click{Ad: int64(i % 5), Click: i%10 == 0}
+		if _, err := l.Append(i%parts, tm, click); err != nil {
+			return metrics.LatencySnapshot{}, err
+		}
+	}
+	l.Seal()
+	if err := <-done; err != nil {
+		return metrics.LatencySnapshot{}, err
+	}
+	snap := s.Metrics().Latency.Snapshot()
+	if snap.Count == 0 {
+		return snap, fmt.Errorf("run emitted no windows")
+	}
+	return snap, nil
+}

@@ -54,6 +54,9 @@ type JobMetrics struct {
 	CombineInputRecords    atomic.Int64
 	CombineOutputRecs      atomic.Int64
 	SchedulingRounds       atomic.Int64
+	// Latency holds per-record ingest→emit latencies for streaming jobs;
+	// batch jobs leave it empty. See LatencySketch.
+	Latency LatencySketch
 }
 
 // AddShuffleWrite records one produced shuffle block under the shared

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencySketch accumulates per-record end-to-end latencies (ingest→emit)
+// and answers quantile queries. The streaming runners observe one sample
+// per emitted record, so the sketch holds the exact distribution — at the
+// repo's laptop scale a sorted copy at query time is cheaper than a
+// mergeable digest and keeps p50/p99 exact.
+type LatencySketch struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// Observe records one latency sample.
+func (l *LatencySketch) Observe(d time.Duration) {
+	l.ObserveMillis(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveMillis records one latency sample in milliseconds.
+func (l *LatencySketch) ObserveMillis(ms float64) {
+	l.mu.Lock()
+	l.samples = append(l.samples, ms)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Count reports the number of samples observed.
+func (l *LatencySketch) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) in milliseconds using the
+// nearest-rank method, or 0 when no samples have been observed.
+func (l *LatencySketch) Quantile(q float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.samples)
+	if n == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	if q <= 0 {
+		return l.samples[0]
+	}
+	idx := int(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return l.samples[idx]
+}
+
+// Mean returns the average sample in milliseconds, or 0 with no samples.
+func (l *LatencySketch) Mean() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / float64(len(l.samples))
+}
+
+// Merge folds other's samples into l.
+func (l *LatencySketch) Merge(other *LatencySketch) {
+	other.mu.Lock()
+	in := append([]float64(nil), other.samples...)
+	other.mu.Unlock()
+	l.mu.Lock()
+	l.samples = append(l.samples, in...)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Reset discards all samples.
+func (l *LatencySketch) Reset() {
+	l.mu.Lock()
+	l.samples = l.samples[:0]
+	l.sorted = true
+	l.mu.Unlock()
+}
+
+// LatencySnapshot is a plain-value percentile summary for reports.
+type LatencySnapshot struct {
+	Count int
+	P50   float64 // milliseconds
+	P99   float64
+	Max   float64
+	Mean  float64
+}
+
+// LatencySnapshot summarizes the distribution observed so far.
+func (l *LatencySketch) Snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Count: l.Count(),
+		P50:   l.Quantile(0.50),
+		P99:   l.Quantile(0.99),
+		Max:   l.Quantile(1.0),
+		Mean:  l.Mean(),
+	}
+}

@@ -1,0 +1,50 @@
+// Package streaming is the runtime behind dataflow's streaming surface:
+// the ingest log, the watermark machinery, and the two lowerings of one
+// logical windowed-aggregation plan — the deepest Spark/Flink contrast the
+// paper draws (micro-batch driver loops vs pipelined per-event execution),
+// made measurable as end-to-end latency.
+//
+// # The pieces
+//
+// Log is a Kafka-shaped source: partitioned, offset-addressed, replayable,
+// stored as immutable segment files on the DFS. Producers append records
+// carrying an event time; the log stamps each with its ingest wall-clock
+// time. dataflow.ReadStream opens a Log (or any StreamSource) as a typed
+// Stream; StreamMap/StreamFilter compose into the poll path; WindowBy +
+// AggregateWindow describe a keyed event-time tumbling-window aggregation
+// under a bounded-out-of-orderness watermark with per-partition idle
+// detection (see watermarks for the exact strategy).
+//
+// # The two lowerings
+//
+// RunMicroBatch is the Spark shape: a driver loop wakes every
+// streaming.batch.interval, drains the log, pushes the slice through the
+// session's ordinary BATCH path (FromSlice → MapToPair → ReduceByKey →
+// Collect — a real job on the engine), folds partial aggregates into
+// driver state and emits windows the watermark has passed. RunPerEvent is
+// the Flink shape: source tasks tail the log into the flink engine's
+// pipelined hash exchange, watermarks piggybacked on data messages and
+// broadcast as heartbeats, and stateful window operators fold each record
+// on arrival and emit the moment the global watermark passes a window.
+//
+// Both execute the same WindowedAggregation descriptor and the same
+// lateness rule — a record is late iff its window had already closed under
+// its OWN partition's watermark at the moment the record was read, a
+// property of the partition's record sequence alone. The global watermark
+// only schedules emission. Hence the cross-lowering parity guarantee
+// (identical replayed input ⇒ identical window contents), which the tests
+// assert, while latency is free to differ — which is the point.
+//
+// # Latency methodology
+//
+// Every record carries the wall-clock nanosecond it entered the log. When
+// a window is emitted, each aggregated record contributes one
+// (emit − ingest) sample to the session's metrics.Latency sketch; p50/p99
+// over those samples are the ext7 percentiles. The clock is one machine's,
+// so there is no skew term; an open-loop producer (internal/des arrival
+// processes) keeps the arrival rate independent of drain rate so queueing
+// delay is measured rather than hidden. Micro-batch latency floors at
+// roughly 1.5× the batch interval (wait for the slice boundary, then for
+// the next emission pass); per-event latency is queueing plus exchange
+// flight time, milliseconds at moderate load.
+package streaming

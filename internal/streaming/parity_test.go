@@ -1,0 +1,249 @@
+package streaming
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/workloads"
+)
+
+// fillClickLog appends deterministic clickstream events round-robin over
+// the log's partitions and seals it — the replayed input both lowerings
+// must agree on.
+func fillClickLog(t *testing.T, l *Log[workloads.Click], n int) ([]int64, []workloads.Click) {
+	t.Helper()
+	times, evs := workloads.GenClicks(99, n, 5, 0.1, 0.05, 2.0, 15.0)
+	for i := range evs {
+		if _, err := l.Append(i%l.Partitions(), times[i], evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Seal()
+	return times, evs
+}
+
+// referenceCTR computes the expected window contents straight from the
+// record sequence: per-partition bounded-out-of-orderness lateness, then
+// plain map aggregation. Both lowerings must reproduce exactly this.
+func referenceCTR(times []int64, evs []workloads.Click, parts int, sizeMs, boundMs int64) (map[string]workloads.CTRAgg, int64) {
+	maxT := make([]int64, parts)
+	for i := range maxT {
+		maxT[i] = noWatermark
+	}
+	var late int64
+	out := map[string]workloads.CTRAgg{}
+	for i, ev := range evs {
+		p := i % parts
+		if ev.Ad < 0 {
+			continue // bot traffic is filtered before it reaches the watermarks
+		}
+		if times[i] > maxT[p] {
+			maxT[p] = times[i]
+		}
+		w := dataflow.WindowOf(times[i], sizeMs)
+		if w.End <= maxT[p]-boundMs {
+			late++
+			continue
+		}
+		k := fmt.Sprintf("%d@%d", ev.Ad, w.Start)
+		a := out[k]
+		if ev.Click {
+			a.Clicks++
+		} else {
+			a.Impressions++
+		}
+		out[k] = a
+	}
+	return out, late
+}
+
+// TestCrossLoweringParity is the acceptance test: the same logical CTR
+// plan over the same replayed log must produce identical window aggregates
+// (and identical late-drop verdicts) under the micro-batch lowering on
+// spark and the per-event lowering on flink.
+func TestCrossLoweringParity(t *testing.T) {
+	const n, parts = 2000, 2
+	conf := streamConf()
+	conf.SetDuration(core.StreamingWindowSize, 50*time.Millisecond)
+	conf.SetDuration(core.StreamingWatermarkBound, 10*time.Millisecond)
+	conf.SetDuration(core.StreamingIdleTimeout, time.Second)
+
+	run := func(engine string) (*Result[int64, workloads.CTRAgg], []int64, []workloads.Click) {
+		fs := testFS()
+		l := NewLog[workloads.Click](fs, "clicks", parts)
+		l.SetClock(func() int64 { return 0 })
+		times, evs := fillClickLog(t, l, n)
+		s := testSession(t, engine, conf, fs)
+		agg := workloads.CTRWindows(s, l, conf)
+		var res *Result[int64, workloads.CTRAgg]
+		var err error
+		if engine == "flink" {
+			res, err = RunPerEvent(agg, conf)
+		} else {
+			res, err = RunMicroBatch(agg, conf)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		return res, times, evs
+	}
+
+	mb, times, evs := run("spark")
+	pe, _, _ := run("flink")
+
+	want, wantLate := referenceCTR(times, evs, parts, 50, 10)
+
+	for name, res := range map[string]*Result[int64, workloads.CTRAgg]{"micro-batch": mb, "per-event": pe} {
+		if res.Stats.Late != wantLate {
+			t.Errorf("%s late = %d, want %d", name, res.Stats.Late, wantLate)
+		}
+		if len(res.Windows) != len(want) {
+			t.Errorf("%s emitted %d windows, want %d", name, len(res.Windows), len(want))
+		}
+		for _, w := range res.Windows {
+			k := fmt.Sprintf("%d@%d", w.Key, w.Window.Start)
+			if want[k] != w.Agg {
+				t.Errorf("%s window %s = %+v, want %+v", name, k, w.Agg, want[k])
+			}
+		}
+	}
+
+	// Window-for-window identity between the two lowerings.
+	if len(mb.Windows) != len(pe.Windows) {
+		t.Fatalf("micro-batch %d windows vs per-event %d", len(mb.Windows), len(pe.Windows))
+	}
+	for i := range mb.Windows {
+		if mb.Windows[i] != pe.Windows[i] {
+			t.Errorf("window %d: micro-batch %+v vs per-event %+v", i, mb.Windows[i], pe.Windows[i])
+		}
+	}
+}
+
+// TestIdlePartitionDoesNotStallEmission is the end-to-end regression test
+// for the idle-partition bug, on both lowerings: partition 1 delivers one
+// early record and then goes silent while partition 0 keeps flowing. The
+// runner must emit partition-0 windows while the stream is still LIVE —
+// without the idle timeout the global watermark would pin at partition 1's
+// ancient watermark and nothing would emit until seal.
+func TestIdlePartitionDoesNotStallEmission(t *testing.T) {
+	for _, engine := range []string{"spark", "flink"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			conf := streamConf()
+			conf.SetDuration(core.StreamingWindowSize, 20*time.Millisecond)
+			conf.SetDuration(core.StreamingWatermarkBound, 5*time.Millisecond)
+			conf.SetDuration(core.StreamingIdleTimeout, 60*time.Millisecond)
+			conf.SetDuration(core.StreamingBatchInterval, 25*time.Millisecond)
+
+			fs := testFS()
+			l := NewLog[workloads.Click](fs, "idle", 2)
+			if _, err := l.Append(1, 0, workloads.Click{Ad: 1}); err != nil {
+				t.Fatal(err)
+			}
+
+			s := testSession(t, engine, conf, fs)
+			agg := workloads.CTRWindows(s, l, conf)
+
+			// Track live emissions: every sample observed before seal is a
+			// window emitted while the idle partition was still silent.
+			var mu sync.Mutex
+			liveEmits := 0
+			sealed := false
+
+			done := make(chan error, 1)
+			go func() {
+				var err error
+				if engine == "flink" {
+					_, err = RunPerEvent(agg, conf)
+				} else {
+					_, err = RunMicroBatch(agg, conf)
+				}
+				done <- err
+			}()
+
+			// Open-loop producer into partition 0 only, event time = wall ms.
+			base := time.Now()
+			deadline := base.Add(500 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				tm := time.Since(base).Milliseconds()
+				if _, err := l.Append(0, tm, workloads.Click{Ad: 2}); err != nil {
+					t.Fatal(err)
+				}
+				mu.Lock()
+				if !sealed && s.Metrics().Latency.Count() > 0 {
+					liveEmits++
+				}
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+			}
+			mu.Lock()
+			sealed = true
+			mu.Unlock()
+			l.Seal()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if liveEmits == 0 {
+				t.Error("no windows emitted while the stream was live: idle partition stalled the watermark")
+			}
+		})
+	}
+}
+
+// TestMicroBatchLatencyExceedsPerEvent runs the same open-loop clickstream
+// through both lowerings and checks the defining contrast: at equal
+// offered throughput, micro-batch end-to-end latency sits above
+// per-event's (records wait for batch boundaries).
+func TestMicroBatchLatencyExceedsPerEvent(t *testing.T) {
+	conf := streamConf()
+	conf.SetDuration(core.StreamingWindowSize, 40*time.Millisecond)
+	conf.SetDuration(core.StreamingWatermarkBound, 10*time.Millisecond)
+	conf.SetDuration(core.StreamingIdleTimeout, 100*time.Millisecond)
+	conf.SetDuration(core.StreamingBatchInterval, 120*time.Millisecond)
+
+	p50 := map[string]float64{}
+	for _, engine := range []string{"spark", "flink"} {
+		fs := testFS()
+		l := NewLog[workloads.Click](fs, "live", 2)
+		s := testSession(t, engine, conf, fs)
+		agg := workloads.CTRWindows(s, l, conf)
+
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			if engine == "flink" {
+				_, err = RunPerEvent(agg, conf)
+			} else {
+				_, err = RunMicroBatch(agg, conf)
+			}
+			done <- err
+		}()
+
+		base := time.Now()
+		deadline := base.Add(400 * time.Millisecond)
+		i := 0
+		for time.Now().Before(deadline) {
+			tm := time.Since(base).Milliseconds()
+			if _, err := l.Append(i%2, tm, workloads.Click{Ad: int64(i % 3)}); err != nil {
+				t.Fatal(err)
+			}
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+		l.Seal()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if s.Metrics().Latency.Count() == 0 {
+			t.Fatalf("%s: no latency samples", engine)
+		}
+		p50[engine] = s.Metrics().Latency.Quantile(0.5)
+	}
+	if p50["spark"] <= p50["flink"] {
+		t.Errorf("micro-batch p50 %.1fms not above per-event p50 %.1fms", p50["spark"], p50["flink"])
+	}
+}

@@ -1,0 +1,96 @@
+package streaming
+
+import (
+	"math"
+	"time"
+)
+
+// noWatermark is the watermark of a partition that has produced no events.
+const noWatermark = math.MinInt64
+
+// watermarks tracks event-time progress per source partition and derives
+// the global watermark both lowerings emit on. The strategy is bounded
+// out-of-orderness with per-partition idle detection:
+//
+//   - A partition's watermark trails its max observed event time by the
+//     configured bound; it only ever advances.
+//   - The global watermark is the minimum over the watermarks of ACTIVE
+//     partitions — partitions that have delivered a record within the idle
+//     timeout. A silent partition goes idle and stops holding the minimum
+//     back (the bug class this guards against: one empty partition pinning
+//     the global watermark at -inf and stalling every window forever).
+//   - If every data-bearing partition is idle the global watermark is
+//     their maximum, so a fully quiesced stream still drains its windows.
+//
+// Lateness is judged per record against its OWN partition's watermark at
+// the moment the record was read — a function of the partition's record
+// sequence alone, so both lowerings drop exactly the same records no
+// matter how their execution interleaves. The global watermark only
+// schedules emission, which affects latency but never content.
+type watermarks struct {
+	boundMs int64
+	idle    time.Duration
+	wm      []int64 // per-partition watermark; noWatermark until first event
+	lastRec []time.Time
+}
+
+func newWatermarks(parts int, bound, idle time.Duration) *watermarks {
+	w := &watermarks{
+		boundMs: bound.Milliseconds(),
+		idle:    idle,
+		wm:      make([]int64, parts),
+		lastRec: make([]time.Time, parts),
+	}
+	for i := range w.wm {
+		w.wm[i] = noWatermark
+	}
+	return w
+}
+
+// observe folds one record's event time into its partition's watermark and
+// returns the updated partition watermark (the record's lateness referee).
+func (w *watermarks) observe(part int, eventMs int64, wall time.Time) int64 {
+	if cand := eventMs - w.boundMs; cand > w.wm[part] {
+		w.wm[part] = cand
+	}
+	w.lastRec[part] = wall
+	return w.wm[part]
+}
+
+// carry folds an externally computed partition watermark (shipped on an
+// exchange message) into the view. hadRecord distinguishes a data message —
+// which refreshes the partition's activity clock — from a heartbeat, which
+// advances the watermark without marking the partition active.
+func (w *watermarks) carry(part int, wm int64, wall time.Time, hadRecord bool) {
+	if wm > w.wm[part] {
+		w.wm[part] = wm
+	}
+	if hadRecord {
+		w.lastRec[part] = wall
+	}
+}
+
+// global derives the emission watermark at wall-clock instant now.
+func (w *watermarks) global(now time.Time) int64 {
+	min, max := int64(math.MaxInt64), int64(noWatermark)
+	active := false
+	for p, wm := range w.wm {
+		if wm == noWatermark {
+			continue
+		}
+		if wm > max {
+			max = wm
+		}
+		if w.idle > 0 && now.Sub(w.lastRec[p]) > w.idle {
+			continue // idle partition: does not hold the minimum back
+		}
+		active = true
+		if wm < min {
+			min = wm
+		}
+	}
+	if active {
+		return min
+	}
+	return max // every data-bearing partition idle (or none yet)
+}

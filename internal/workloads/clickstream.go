@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/serde"
+)
+
+// The streaming workload: clickstream CTR aggregation, the pipeline shape
+// of the Yahoo streaming benchmark era — ad impressions and clicks keyed
+// by ad id, aggregated over event-time tumbling windows into a
+// click-through rate. One logical plan, lowered two ways by
+// internal/streaming (micro-batch and per-event); ext7 measures the
+// latency gap between them.
+
+// Click is one clickstream event: the ad it belongs to and whether it is a
+// click (true) or an impression (false). Bot traffic carries Ad < 0 and is
+// filtered out before windowing.
+type Click struct {
+	Ad    int64
+	Click bool
+}
+
+// CTRAgg is the per-(ad, window) accumulator: impressions, clicks, and
+// their ratio.
+type CTRAgg struct {
+	Impressions int64
+	Clicks      int64
+}
+
+// CTR returns clicks per impression (0 when no impressions were seen).
+func (a CTRAgg) CTR() float64 {
+	if a.Impressions == 0 {
+		return 0
+	}
+	return float64(a.Clicks) / float64(a.Impressions)
+}
+
+func init() {
+	serde.Register(func(s serde.Style) serde.Codec[Click] {
+		return serde.FixedCodec(s, "Click", 9,
+			func(dst []byte, c Click) {
+				binary.BigEndian.PutUint64(dst, uint64(c.Ad))
+				if c.Click {
+					dst[8] = 1
+				} else {
+					dst[8] = 0
+				}
+			},
+			func(src []byte) Click {
+				return Click{Ad: int64(binary.BigEndian.Uint64(src)), Click: src[8] != 0}
+			})
+	})
+}
+
+// CTRWindows builds the logical streaming CTR plan on s over any
+// clickstream source: filter bot traffic, key by ad id, tumbling
+// event-time windows under a bounded-out-of-orderness watermark, aggregate
+// impressions and clicks. Window size, watermark bound and idle timeout
+// come from the streaming.* conf keys.
+func CTRWindows(s *dataflow.Session, src dataflow.StreamSource[Click], conf *core.Config) *dataflow.WindowedAggregation[Click, int64, CTRAgg] {
+	st := dataflow.StreamFilter(dataflow.ReadStream(s, src),
+		func(c Click) bool { return c.Ad >= 0 })
+	ws := dataflow.WindowBy(st,
+		func(c Click) int64 { return c.Ad },
+		dataflow.WindowSpec{Size: conf.Duration(core.StreamingWindowSize, 100*time.Millisecond)},
+		dataflow.WatermarkSpec{
+			MaxOutOfOrderness: conf.Duration(core.StreamingWatermarkBound, 20*time.Millisecond),
+			IdleTimeout:       conf.Duration(core.StreamingIdleTimeout, 200*time.Millisecond),
+		})
+	return dataflow.AggregateWindow(ws,
+		func() CTRAgg { return CTRAgg{} },
+		func(a CTRAgg, c Click) CTRAgg {
+			if c.Click {
+				a.Clicks++
+			} else {
+				a.Impressions++
+			}
+			return a
+		},
+		func(a, b CTRAgg) CTRAgg {
+			a.Impressions += b.Impressions
+			a.Clicks += b.Clicks
+			return a
+		})
+}
+
+// GenClicks produces n deterministic clickstream events: event times (ms)
+// advancing by exponential gaps of the given mean, jittered backwards up
+// to maxJitterMs to create bounded out-of-orderness, ad ids uniform over
+// ads, a botFraction of bot events (Ad = -1), and ctr of the rest clicks.
+func GenClicks(seed int64, n, ads int, ctr, botFraction, meanGapMs, maxJitterMs float64) ([]int64, []Click) {
+	rng := rand.New(rand.NewSource(seed))
+	times := make([]int64, n)
+	evs := make([]Click, n)
+	t := maxJitterMs
+	for i := range evs {
+		t += rng.ExpFloat64() * meanGapMs
+		times[i] = int64(t - rng.Float64()*maxJitterMs)
+		ad := int64(rng.Intn(ads))
+		if rng.Float64() < botFraction {
+			ad = -1
+		}
+		evs[i] = Click{Ad: ad, Click: rng.Float64() < ctr}
+	}
+	return times, evs
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine/flink"
+	"repro/internal/graph/gellylike"
+)
+
+// The unified graph workloads live in graphs.go. This file keeps the one
+// deliberate engine-specific variant: the Flink bulk-iteration Connected
+// Components baseline the paper compares delta iterations against. It
+// routes to gellylike directly because the contrast IS the iteration
+// mechanism, not the workload.
+
+// ConnectedComponentsFlinkBulk runs the bulk-iteration CC baseline.
+func ConnectedComponentsFlinkBulk(env *flink.Env, edges []datagen.Edge, iters int) (map[int64]int64, error) {
+	ds := flink.FromSlice(env, edges, 0)
+	g := gellylike.FromEdges(env, ds, int64(0))
+	labels, err := gellylike.ConnectedComponentsBulk(g, iters)
+	if err != nil {
+		return nil, err
+	}
+	return collectInt64Map(labels)
+}
+
+func collectInt64Map(ds *flink.DataSet[core.Pair[int64, int64]]) (map[int64]int64, error) {
+	pairs, err := flink.Collect(ds)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]int64, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}

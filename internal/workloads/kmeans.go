@@ -2,30 +2,12 @@ package workloads
 
 import (
 	"repro/internal/datagen"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 )
 
-// K-Means is defined once in unified.go as a dataflow broadcast iteration;
-// these wrappers pin the original per-engine signatures. The helpers below
-// (nearest, dist2, addKSum, updateCenters, KMeansCost) are shared by the
-// unified definition and the deprecated MapReduce chain in mapreduce.go.
-
-// KMeansSpark runs the unified K-Means on a wrapped spark context: the
-// loop-unrolled map→reduceByKey→collectAsMap pattern of Figure 10.
-//
-// Deprecated: build a dataflow.Session and call KMeans.
-func KMeansSpark(ctx *spark.Context, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
-	return KMeans(sparkSession(ctx), points, k, iters)
-}
-
-// KMeansFlink runs the unified K-Means on a wrapped flink env: the native
-// bulk iteration, scheduled once.
-//
-// Deprecated: build a dataflow.Session and call KMeans.
-func KMeansFlink(env *flink.Env, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
-	return KMeans(flinkSession(env), points, k, iters)
-}
+// K-Means is defined once in unified.go as a dataflow broadcast iteration.
+// The helpers below (nearest, dist2, addKSum, updateCenters, KMeansCost)
+// are shared by the unified definition and the native MapReduce chain in
+// mapreduce.go.
 
 func nearest(p datagen.Point, centers []datagen.Point) int {
 	best, bestD := 0, -1.0

@@ -18,9 +18,11 @@ import (
 //	Tera Sort   map(key,rest)→rangePartition→identityReduce (sort-merge sorts)
 //	K-Means     one full job per iteration, centers round-tripped via DFS
 //
-// Contrast batch.go / kmeans.go: same logical workloads, but no caching, no
+// Contrast unified.go: same logical workloads, but no caching, no
 // pipelining and no native iterations — the baseline the in-memory engines
-// improve on.
+// improve on. These native-API variants are kept (non-deprecated) as the
+// reference implementations the unified definitions are tested against;
+// they also pin the classic Hadoop output formats.
 
 // sumInt64 is the shared Word Count / Grep combiner and reducer body.
 func sumInt64(vs []int64) int64 {
@@ -33,9 +35,9 @@ func sumInt64(vs []int64) int64 {
 
 // WordCountMapReduce runs the classic Hadoop Word Count: tokenize in map,
 // sum in combiner and reducer, text output on the DFS ("word\tcount"
-// lines, unlike the unified sink's fmt lines — tests pin this format).
-//
-// Deprecated: build a dataflow.Session over mrexec and call WordCount.
+// lines, unlike the unified sink's fmt lines — tests pin this format). It
+// is the native-API reference implementation the unified WordCount is
+// checked against.
 func WordCountMapReduce(c *mapreduce.Cluster, input, output string) error {
 	in, err := mapreduce.TextInput(c, input)
 	if err != nil {
@@ -63,9 +65,7 @@ func WordCountMapReduce(c *mapreduce.Cluster, input, output string) error {
 
 // GrepMapReduce counts matching lines: map emits ("match", 1) per hit and a
 // single-reduce job sums them (the distributed-grep example from the
-// original MapReduce paper).
-//
-// Deprecated: build a dataflow.Session over mrexec and call Grep.
+// original MapReduce paper). Native-API reference for the unified Grep.
 func GrepMapReduce(c *mapreduce.Cluster, input, pattern string) (int64, error) {
 	in, err := mapreduce.TextInput(c, input)
 	if err != nil {
@@ -99,9 +99,8 @@ func GrepMapReduce(c *mapreduce.Cluster, input, pattern string) (int64, error) {
 // TeraSortMapReduce sorts TeraGen records the way the original Hadoop
 // TeraSort does: map splits each record into (key, rest), the shared range
 // partitioner routes key ranges to reduces, and the engine's sort-merge
-// with an identity reducer yields the global order.
-//
-// Deprecated: build a dataflow.Session over mrexec and call TeraSort.
+// with an identity reducer yields the global order. Native-API reference
+// for the unified TeraSort.
 func TeraSortMapReduce(c *mapreduce.Cluster, input, output string, part *core.RangePartitioner[string]) error {
 	in, err := mapreduce.FixedRecordInput(c, input, datagen.TeraRecordSize)
 	if err != nil {
@@ -169,9 +168,8 @@ func parsePointLine(line string) (datagen.Point, bool) {
 // point set from the DFS, reloads the centers file (the distributed-cache
 // step), and writes the new centers back — the repeated I/O that Spark's
 // caching and Flink's native iterations eliminate. Tests pin the text
-// round-trip files ("kmeans-points"/"kmeans-centers").
-//
-// Deprecated: build a dataflow.Session over mrexec and call KMeans.
+// round-trip files ("kmeans-points"/"kmeans-centers"). Native-API
+// reference for the unified KMeans on the mrexec backend.
 func KMeansMapReduce(c *mapreduce.Cluster, points []datagen.Point, k, iters int) ([]datagen.Point, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("workloads: kmeans needs k > 0")

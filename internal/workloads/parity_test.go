@@ -46,7 +46,7 @@ func paritySessionConf(t *testing.T, engine string, edit func(*core.Config)) *da
 	if edit != nil {
 		edit(conf)
 	}
-	s, err := dataflow.Open(engine, conf, rt, dfs.New(spec.Nodes, 16*core.KB, 1))
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}

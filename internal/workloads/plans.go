@@ -3,12 +3,25 @@ package workloads
 import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/dataflow/backend/flinkexec"
+	"repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/engine/flink"
 	"repro/internal/engine/spark"
 	"repro/internal/graph/gellylike"
 	"repro/internal/graph/graphxlike"
 )
+
+// sparkSession wraps an existing spark context in a dataflow session, for
+// callers that hold engine-native handles (plan rendering, engine tests).
+func sparkSession(ctx *spark.Context) *dataflow.Session {
+	return dataflow.NewSession(sparkexec.Wrap(ctx))
+}
+
+// flinkSession wraps an existing flink environment in a dataflow session.
+func flinkSession(env *flink.Env) *dataflow.Session {
+	return dataflow.NewSession(flinkexec.Wrap(env))
+}
 
 // Plans builds (without executing) the logical plans of every workload on
 // both in-memory frameworks — the data behind the paper's Table I. The

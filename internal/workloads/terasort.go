@@ -7,14 +7,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
-	"repro/internal/engine/flink"
-	"repro/internal/engine/spark"
 )
 
-// Tera Sort is defined once in unified.go; these wrappers pin the original
-// per-engine signatures. TeraPartitioner and VerifyTeraSorted stay here:
-// they are engine-neutral benchmark plumbing (TeraGen sampling and
-// TeraValidate), not workload logic.
+// Tera Sort is defined once in unified.go. This file holds the
+// engine-neutral benchmark plumbing around it: TeraGen key sampling for
+// the shared range partitioner and the TeraValidate output check.
 
 // TeraPartitioner builds the shared range partitioner every engine uses,
 // seeded from a key sample of the input — the paper stresses that the same
@@ -22,20 +19,6 @@ import (
 func TeraPartitioner(data []byte, partitions int) *core.RangePartitioner[string] {
 	sample := datagen.TeraKeySample(data, 50)
 	return core.NewRangePartitioner(partitions, sample, func(a, b string) bool { return a < b })
-}
-
-// TeraSortSpark runs the unified Tera Sort on a wrapped spark context.
-//
-// Deprecated: build a dataflow.Session and call TeraSort.
-func TeraSortSpark(ctx *spark.Context, input, output string, part *core.RangePartitioner[string]) error {
-	return TeraSort(sparkSession(ctx), input, output, part)
-}
-
-// TeraSortFlink runs the unified Tera Sort on a wrapped flink env.
-//
-// Deprecated: build a dataflow.Session and call TeraSort.
-func TeraSortFlink(env *flink.Env, input, output string, part *core.RangePartitioner[string]) error {
-	return TeraSort(flinkSession(env), input, output, part)
 }
 
 // VerifyTeraSorted checks a TeraSort output file: correct length and

@@ -75,10 +75,10 @@ func TestWordCountBothEnginesAgree(t *testing.T) {
 	text := datagen.Text(1, 64*1024, 10)
 	writeBoth(ctx, env, "wiki", text)
 
-	if err := WordCountSpark(ctx, "wiki", "out-s"); err != nil {
+	if err := WordCount(sparkSession(ctx), "wiki", "out-s"); err != nil {
 		t.Fatal(err)
 	}
-	if err := WordCountFlink(env, "wiki", "out-f"); err != nil {
+	if err := WordCount(flinkSession(env), "wiki", "out-f"); err != nil {
 		t.Fatal(err)
 	}
 	sc := parseCounts(t, ctx.FS(), "out-s")
@@ -113,11 +113,11 @@ func TestGrepBothEnginesAgree(t *testing.T) {
 	writeBoth(ctx, env, "logs", text)
 	want := int64(strings.Count(string(text), "NEEDLE"))
 
-	sn, err := GrepSpark(ctx, "logs", "NEEDLE")
+	sn, err := Grep(sparkSession(ctx), "logs", "NEEDLE")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fn, err := GrepFlink(env, "logs", "NEEDLE")
+	fn, err := Grep(flinkSession(env), "logs", "NEEDLE")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,13 +166,13 @@ func TestTeraSortBothEnginesProduceSortedOutput(t *testing.T) {
 	writeBoth(ctx, env, "tera-in", data)
 	part := TeraPartitioner(data, 4)
 
-	if err := TeraSortSpark(ctx, "tera-in", "tera-out", part); err != nil {
+	if err := TeraSort(sparkSession(ctx), "tera-in", "tera-out", part); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyTeraSorted(ctx.FS(), "tera-out", records); err != nil {
 		t.Errorf("spark terasort: %v", err)
 	}
-	if err := TeraSortFlink(env, "tera-in", "tera-out", part); err != nil {
+	if err := TeraSort(flinkSession(env), "tera-in", "tera-out", part); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyTeraSorted(env.FS(), "tera-out", records); err != nil {
@@ -200,11 +200,11 @@ func TestKMeansBothEnginesConverge(t *testing.T) {
 	ctx, env := pairCtx(t)
 	points, _ := datagen.KMeansPoints(11, 3000, 3, 2.0)
 
-	sc, err := KMeansSpark(ctx, points, 3, 10)
+	sc, err := KMeans(sparkSession(ctx), points, 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fc, err := KMeansFlink(env, points, 3, 10)
+	fc, err := KMeans(flinkSession(env), points, 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,11 +238,11 @@ func TestPageRankBothEnginesAgree(t *testing.T) {
 		edges = append(edges, e, datagen.Edge{Src: e.Dst, Dst: e.Src})
 	}
 	const iters = 25
-	sr, err := PageRankSpark(ctx, edges, iters)
+	sr, _, err := PageRank(sparkSession(ctx), edges, iters)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := PageRankFlink(env, edges, iters)
+	fr, _, err := PageRank(flinkSession(env), edges, iters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +260,11 @@ func TestConnectedComponentsAllVariantsAgree(t *testing.T) {
 	ctx, env := pairCtx(t)
 	edges := datagen.RMAT(19, datagen.GraphSpec{Name: "cc", Vertices: 128, Edges: 400})
 
-	sm, _, err := ConnectedComponentsSpark(ctx, edges, 50)
+	sm, _, err := ConnectedComponents(sparkSession(ctx), edges, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fd, supersteps, err := ConnectedComponentsFlinkDelta(env, edges, 50)
+	fd, supersteps, err := ConnectedComponents(flinkSession(env), edges, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
