@@ -1,9 +1,10 @@
 GO ?= go
 
 # Coverage floor (%) enforced by `make cover` over the unified-API and
-# graph-library packages plus the shared shuffle core.
+# graph-library packages plus the shared shuffle core and the multi-tenant
+# scheduler.
 COVER_FLOOR ?= 60
-COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/...
+COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/... ./internal/sched/...
 
 .PHONY: build test lint cover bench-smoke
 
@@ -37,11 +38,12 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus four benchrunner
+# Fast benchmark subset (1 iteration, no unit tests) plus five benchrunner
 # experiments — tab1 (operator plans), ext4 (a three-way graph run), ext6
-# (the shuffle strategy × parallelism sweep on the real engines) and ext7
-# (streaming latency percentiles, micro-batch vs per-event) — whose
+# (the shuffle strategy × parallelism sweep on the real engines), ext7
+# (streaming latency percentiles, micro-batch vs per-event) and ext8 (the
+# multi-tenant contention matrix, sharing policy × offered load) — whose
 # reports land in BENCH_smoke.json, the per-push CI artifact.
 bench-smoke:
 	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8 -json BENCH_smoke.json

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/sched"
 )
 
 // Option configures Open. The zero set of options is valid: Open builds
@@ -36,6 +37,22 @@ func WithRuntime(rt *cluster.Runtime) Option {
 // one block replica per runtime node.
 func WithFS(fs *dfs.FS) Option {
 	return func(o *openSettings) { o.fs = fs }
+}
+
+// WithScheduler runs the session inside a multi-tenant slot grant: the
+// engine schedules onto the grant's carved runtime — per-node pools of
+// exactly the granted gang width — instead of a private default runtime.
+// Use inside a sched.Job body:
+//
+//	s.Submit(sched.Job{Tenant: "etl", Slots: 4, Run: func(g *sched.Grant) error {
+//	        sess, err := dataflow.Open("flink", dataflow.WithScheduler(g), ...)
+//	        ...
+//	}})
+//
+// Sessions opened without it are untouched — the default single-job path
+// has no scheduler in the loop at all.
+func WithScheduler(g *sched.Grant) Option {
+	return func(o *openSettings) { o.rt = g.Runtime() }
 }
 
 // defaultSpec is the substrate Open builds when no runtime is supplied: a

@@ -1,0 +1,69 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 0..N-1 with P(rank k) ∝ (k+1)^-s — the discrete
+// power law behind realistic workload skew: a few heavy tenants submit
+// most jobs, a few hot keys draw most traffic. s = 0 degenerates to
+// uniform; s around 1 is the classic web/cache regime. The sampler is
+// seeded like the arrival processes, so a given (seed, s, N) rank
+// sequence is reproducible, and draws by inverse-CDF over a precomputed
+// cumulative table (O(log N) per draw).
+type Zipf struct {
+	cum []float64 // cumulative probability up to and including rank i
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s. n < 1 is
+// clamped to 1 and s < 0 to 0 (a negative exponent would invert the law).
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws a rank in [0, N): 0 is the most popular.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// P returns the theoretical probability of rank k (0-based), 0 outside
+// the support — the reference the rank-frequency tests compare against.
+func (z *Zipf) P(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}

@@ -1,0 +1,72 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfRankFrequency pins the sampler against the law itself: with
+// s = 1 over 100 ranks, empirical rank frequencies must match the
+// theoretical harmonic weights (top rank ≈ 1/H_100 ≈ 0.193, the second
+// half of it, and so on down the tail).
+func TestZipfRankFrequency(t *testing.T) {
+	const n, draws = 100, 200000
+	z := NewZipf(42, 1.0, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for _, k := range []int{0, 1, 2, 9, 49} {
+		got := float64(counts[k]) / draws
+		want := z.P(k)
+		if math.Abs(got-want) > 0.01+want*0.15 {
+			t.Errorf("rank %d frequency = %.4f, want ≈ %.4f", k, got, want)
+		}
+	}
+	// Rank-frequency ratio: rank 0 should be drawn ≈ 2× rank 1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank0/rank1 ratio = %.2f, want ≈ 2 under s=1", ratio)
+	}
+}
+
+// TestZipfDispersion contrasts skew levels: a higher exponent must
+// concentrate more mass on the top rank, and s = 0 must be uniform.
+func TestZipfDispersion(t *testing.T) {
+	const n, draws = 20, 100000
+	topShare := func(s float64) float64 {
+		z := NewZipf(7, s, n)
+		top := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				top++
+			}
+		}
+		return float64(top) / draws
+	}
+	uniform, mild, heavy := topShare(0), topShare(0.8), topShare(1.5)
+	if math.Abs(uniform-1.0/n) > 0.01 {
+		t.Errorf("s=0 top-rank share = %.4f, want ≈ %.4f (uniform)", uniform, 1.0/n)
+	}
+	if !(uniform < mild && mild < heavy) {
+		t.Errorf("top-rank share should grow with s: %.3f (s=0) %.3f (s=0.8) %.3f (s=1.5)",
+			uniform, mild, heavy)
+	}
+}
+
+// TestZipfDeterminismAndClamps pins seeding and degenerate parameters.
+func TestZipfDeterminism(t *testing.T) {
+	a, b := NewZipf(5, 1.1, 50), NewZipf(5, 1.1, 50)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	one := NewZipf(1, 1, 0) // n clamps to 1
+	if one.N() != 1 || one.Next() != 0 {
+		t.Errorf("degenerate sampler should always draw rank 0 of 1")
+	}
+	if p := one.P(0); p != 1 {
+		t.Errorf("P(0) of single-rank sampler = %v, want 1", p)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/des"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ext8 is the multi-tenant contention family: the same small analytic job
+// (revenue per region over an in-memory transaction log) submitted by a
+// Zipf-skewed tenant mix through the internal/sched scheduler, measured as
+// a policy × offered-load matrix on all three real engines. The heavy
+// tenant's jobs gang-reserve the whole cluster while the light tenants'
+// jobs are narrow, so the sharing policy — not the engine — decides the
+// tail: FIFO's head-of-line blocking parks light jobs behind every heavy
+// burst, fair share interleaves them, and per-tenant slot caps wall the
+// heavy tenant off entirely. Cells are JCT p50/p99 milliseconds with
+// cluster utilization and p99 queue delay beneath.
+
+func init() {
+	register("ext8", "Multi-tenant contention — JCT p50/p99 + utilization, sharing policy × offered load", runExt8)
+}
+
+// ext8LoadFor is the open-loop submission window of one cell. Long enough
+// for dozens of jobs and several heavy-tenant gangs, short enough that the
+// 18-cell matrix stays test-suite friendly.
+const ext8LoadFor = 250 * time.Millisecond
+
+// ext8Stats is one cell's outcome: JCT and queue-delay percentiles in
+// milliseconds plus cluster utilization over the run's makespan.
+type ext8Stats struct {
+	p50, p99, qd99, util float64
+}
+
+func runExt8() (*Report, error) {
+	rep := &Report{
+		ID:       "ext8",
+		Title:    "Multi-tenant contention: JCT and utilization under sharing policies (RegionRevenue)",
+		Latency:  true,
+		ThreeWay: true,
+		Notes: []string{
+			"cells: per-job JCT (submit→complete), p50 / p99 ms over one open-loop run of " + fmt.Sprint(ext8LoadFor),
+			"sub-row: cluster utilization (granted slot-time / capacity over the makespan) and p99 queue delay ms",
+			"load: Poisson job arrivals, 4 tenants Zipf(1.1) — tenant-0 submits full-cluster gangs, the rest half-cluster jobs",
+			"fifo = strict order with head-of-line blocking; fair = weighted deficit round-robin; caps = heavy tenant capped at half the cluster",
+			"every job runs dataflow RegionRevenue on a carved slot grant (dataflow.WithScheduler)",
+		},
+	}
+	policies := []struct {
+		key string
+		mk  func() sched.SharingPolicy
+	}{
+		{"fifo", func() sched.SharingPolicy { return sched.FIFO{} }},
+		{"fair", func() sched.SharingPolicy { return sched.NewFairShare(nil) }},
+		{"caps", func() sched.SharingPolicy { return sched.SlotCaps{Caps: map[string]int{"tenant-0": 4}} }},
+	}
+	loads := []struct {
+		label string
+		rate  float64 // jobs/s offered
+	}{
+		{"0.2k jobs/s", 200},
+		{"0.8k jobs/s", 800},
+	}
+	for _, p := range policies {
+		for _, l := range loads {
+			row := skippedRow(p.key+" @ "+l.label, "")
+			for _, engine := range enabled(sim.Engines()) {
+				st, err := ext8Run(engine.String(), p.mk(), l.rate)
+				if err != nil {
+					return nil, fmt.Errorf("ext8 %s %s %s: %w", p.key, l.label, engine, err)
+				}
+				switch engine {
+				case sim.Spark:
+					row.Spark, row.SparkP99, row.SparkUtil, row.SparkQD99 = st.p50, st.p99, st.util, st.qd99
+				case sim.Flink:
+					row.Flink, row.FlinkP99, row.FlinkUtil, row.FlinkQD99 = st.p50, st.p99, st.util, st.qd99
+				case sim.MapReduce:
+					row.MapRed, row.MapRedP99, row.MapRedUtil, row.MapRedQD99 = st.p50, st.p99, st.util, st.qd99
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// ext8Run measures one (engine, policy, offered load) cell: an open-loop
+// Poisson submitter drives tenant-mixed RegionRevenue jobs through the
+// scheduler for ext8LoadFor, then the queue drains and the scheduler's
+// sketches are read out. Submission is open-loop in the queueing sense —
+// arrival times come from the process alone, never from how fast the
+// cluster drains, which is exactly what lets overload build real queues.
+func ext8Run(engine string, policy sched.SharingPolicy, rate float64) (ext8Stats, error) {
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		return ext8Stats{}, err
+	}
+	s := sched.New(rt, policy, sched.Config{MaxQueuedPerTenant: 512})
+	txns := workloads.GenTxns(23, 2000, 64, 1.0)
+	mix := workloads.NewTenantMix(31, 4, 1.1)
+	proc := des.NewPoisson(37, rate)
+
+	errs := make(chan error, 1)
+	runJob := func(g *sched.Grant) error {
+		conf := core.NewConfig().
+			SetInt(core.SparkDefaultParallelism, 2).
+			SetInt(core.FlinkDefaultParallelism, 2)
+		sess, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithScheduler(g))
+		if err != nil {
+			return err
+		}
+		got, err := workloads.RegionRevenue(sess, txns, 2)
+		if err == nil && len(got) == 0 {
+			err = fmt.Errorf("empty revenue result")
+		}
+		if err != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+		return err
+	}
+
+	base := time.Now()
+	deadline := base.Add(ext8LoadFor)
+	next := base
+	for next = next.Add(time.Duration(proc.Next() * float64(time.Second))); !next.After(deadline); next = next.Add(time.Duration(proc.Next() * float64(time.Second))) {
+		// Sleep to the scheduled arrival; a submitter that fell behind
+		// catches up without sleeping (open loop, no backoff).
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		tenant := mix.Next()
+		// Light tenants take half the cluster (2 slots/node — the floor a
+		// parallelism-2 pipelined flink gang needs), the heavy tenant all
+		// of it.
+		slots := rt.Spec().Nodes * rt.SlotsPerNode() / 2
+		if tenant == "tenant-0" {
+			slots = rt.Spec().Nodes * rt.SlotsPerNode()
+		}
+		if _, err := s.Submit(sched.Job{Tenant: tenant, Slots: slots, Run: runJob}); err != nil {
+			return ext8Stats{}, fmt.Errorf("submit: %w", err)
+		}
+	}
+	s.Close()
+	s.Drain()
+	select {
+	case err := <-errs:
+		return ext8Stats{}, err
+	default:
+	}
+	st := s.Stats()
+	if st.Launched == 0 {
+		return ext8Stats{}, fmt.Errorf("no jobs launched")
+	}
+	return ext8Stats{p50: st.JCT.P50, p99: st.JCT.P99, qd99: st.QueueDelay.P99, util: st.Utilization}, nil
+}

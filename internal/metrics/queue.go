@@ -1,0 +1,12 @@
+package metrics
+
+// QueueDelay accumulates per-job queueing delays — submission to first
+// slot grant — for the multi-tenant scheduler, on the same exact-quantile
+// machinery as the streaming LatencySketch. Keeping it a distinct type
+// separates the two distributions a contention report must not conflate:
+// JCT (submission→completion, what a tenant experiences) and queue delay
+// (how long admission and the sharing policy made the job wait before it
+// held any slot at all). The ext8 experiment reports both.
+type QueueDelay struct {
+	LatencySketch
+}

@@ -1,0 +1,34 @@
+// Package sched is the multi-tenant job scheduler between job submission
+// and cluster.Runtime — the layer the paper's single-job benchmarks skip
+// and real deployments cannot: several tenants share one cluster, and the
+// sharing discipline, not the engine, decides who waits.
+//
+// The pipeline is
+//
+//	Submit(Job) → admission control → per-tenant queues → SharingPolicy → Carve → run
+//
+// Jobs arrive tagged with a tenant, a priority, an optional deadline and a
+// gang demand in slots. Admission control bounds each tenant's queue
+// (Reject or Shed on overflow) and optionally its in-flight job count;
+// queued jobs past their deadline are shed at dispatch. The pluggable
+// SharingPolicy arbitrates which queued job gets the next grant: FIFO
+// (strict order, head-of-line blocking — the starvation baseline),
+// FairShare (weighted deficit round-robin with slots as the currency) and
+// SlotCaps (static per-tenant concurrency walls).
+//
+// Grants are gang-complete and enforced by construction: a demand of W
+// slots over N nodes rounds up to ceil(W/N) slots on every node, and the
+// granted job receives a private runtime carved from the cluster
+// (cluster.Runtime.Carve) whose per-node semaphores are exactly that
+// wide. Pipelined engines (flink) run all tasks of a job concurrently
+// with producers blocking on exchange backpressure, so a shared slot pool
+// across jobs could deadlock on partial acquisition; private carved pools
+// make cross-job deadlock impossible while the scheduler's accounting
+// keeps the sum of live grants within cluster capacity.
+//
+// The scheduler measures what the ext8 contention experiments report:
+// per-job JCT (submission→completion) and queue delay (submission→first
+// grant) distributions plus cluster utilization over the run's makespan.
+// Single-job callers are untouched — dataflow.Open uses the default
+// runtime unless handed a grant via dataflow.WithScheduler.
+package sched

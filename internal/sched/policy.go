@@ -1,0 +1,239 @@
+package sched
+
+// Candidate is one queued job as the sharing policy sees it: enough
+// identity to arbitrate (tenant, priority, submission order) plus its
+// gang cost in slots — the currency every policy deals in.
+type Candidate struct {
+	Tenant   string
+	Priority int
+	// Cost is the job's gang reservation in slots (per-node width × nodes),
+	// committed whole when the job is granted.
+	Cost int
+	// Seq is the global submission sequence number; lower = earlier.
+	Seq int64
+}
+
+// SharingPolicy arbitrates slot grants: each call picks the next queued
+// job to launch. The scheduler calls Next under its lock whenever slots
+// may be grantable (on submission, completion and policy swap), so
+// implementations may keep unsynchronized internal state (the fair-share
+// deficits). free is the number of uncommitted slots; inflight maps
+// tenant → slots currently granted and is a read-only view valid only for
+// the duration of the call. Return the index of the candidate to grant,
+// or -1 to grant nothing; a policy must never pick a candidate whose Cost
+// exceeds free.
+type SharingPolicy interface {
+	Name() string
+	Next(queued []Candidate, free int, inflight map[string]int) int
+}
+
+// pickOrdered returns the index of the first candidate in strict
+// (priority desc, seq asc) order that ok admits, or -1. FIFO and the cap
+// policy share it.
+func pickOrdered(queued []Candidate, ok func(Candidate) bool) int {
+	best := -1
+	for i, c := range queued {
+		if !ok(c) {
+			continue
+		}
+		if best < 0 || c.Priority > queued[best].Priority ||
+			(c.Priority == queued[best].Priority && c.Seq < queued[best].Seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// FIFO grants strictly in (priority, submission) order with head-of-line
+// blocking: if the front job's gang does not fit the free slots, nothing
+// runs until it does. That strictness is the point — it is exactly the
+// behaviour that lets one tenant's burst of wide jobs starve everyone
+// behind it, the baseline the fair-share contrast in ext8 measures.
+type FIFO struct{}
+
+// Name returns "fifo".
+func (FIFO) Name() string { return "fifo" }
+
+// Next picks the front of the queue, or -1 while its gang does not fit.
+func (FIFO) Next(queued []Candidate, free int, _ map[string]int) int {
+	head := pickOrdered(queued, func(Candidate) bool { return true })
+	if head >= 0 && queued[head].Cost <= free {
+		return head
+	}
+	return -1
+}
+
+// FairShare is a weighted deficit-based fair scheduler with slots as the
+// currency (deficit round-robin over per-tenant FIFO queues). Each tenant
+// accrues credit proportional to its weight every rotation visit; a
+// tenant's front job launches once its credit covers the job's gang cost
+// and the slots are free. Deficits are capped (no long-idle tenant can
+// hoard unbounded credit and then monopolize the cluster) and reset when
+// a tenant's queue empties, as in classic DRR.
+type FairShare struct {
+	// Weights maps tenant → relative share; absent or non-positive
+	// entries weigh 1.
+	Weights map[string]float64
+	// Quantum is the credit (in slots) a weight-1 tenant accrues per
+	// rotation visit; ≤ 0 defaults to 1.
+	Quantum float64
+
+	deficit  map[string]float64
+	rotation []string
+	cursor   int
+}
+
+// NewFairShare returns a deficit fair-share policy with the given tenant
+// weights (nil = everyone weighs 1).
+func NewFairShare(weights map[string]float64) *FairShare {
+	return &FairShare{Weights: weights}
+}
+
+// Name returns "fair".
+func (f *FairShare) Name() string { return "fair" }
+
+func (f *FairShare) weight(tenant string) float64 {
+	if w := f.Weights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Next runs the deficit round-robin: visit tenants in rotation, credit
+// each by quantum×weight, and grant the first whose front job is both
+// affordable (deficit ≥ cost) and feasible (cost ≤ free).
+func (f *FairShare) Next(queued []Candidate, free int, _ map[string]int) int {
+	if len(queued) == 0 {
+		return -1
+	}
+	if f.deficit == nil {
+		f.deficit = map[string]float64{}
+	}
+	quantum := f.Quantum
+	if quantum <= 0 {
+		quantum = 1
+	}
+
+	// Per-tenant FIFO front (lowest seq), and the cheapest feasible cost —
+	// if no front fits the free slots there is nothing to arbitrate.
+	front := map[string]int{}
+	for i, c := range queued {
+		if j, ok := front[c.Tenant]; !ok || c.Seq < queued[j].Seq {
+			front[c.Tenant] = i
+		}
+	}
+	feasible := false
+	maxCost := 0
+	for _, i := range front {
+		if c := queued[i].Cost; c <= free {
+			feasible = true
+			if c > maxCost {
+				maxCost = c
+			}
+		}
+	}
+	if !feasible {
+		return -1
+	}
+
+	// Refresh the rotation: keep surviving tenants in place (the cursor
+	// stays meaningful), append newcomers in submission order of their
+	// front job, and reset the deficit of departed tenants.
+	active := make(map[string]bool, len(front))
+	for t := range front {
+		active[t] = true
+	}
+	kept := f.rotation[:0]
+	for _, t := range f.rotation {
+		if active[t] {
+			kept = append(kept, t)
+			delete(active, t)
+		} else {
+			delete(f.deficit, t)
+		}
+	}
+	f.rotation = kept
+	newcomers := make([]string, 0, len(active))
+	for t := range active {
+		newcomers = append(newcomers, t)
+	}
+	for len(newcomers) > 0 {
+		min := 0
+		for i := 1; i < len(newcomers); i++ {
+			if queued[front[newcomers[i]]].Seq < queued[front[newcomers[min]]].Seq {
+				min = i
+			}
+		}
+		f.rotation = append(f.rotation, newcomers[min])
+		newcomers = append(newcomers[:min], newcomers[min+1:]...)
+	}
+	if f.cursor >= len(f.rotation) {
+		f.cursor = 0
+	}
+
+	// Deficit rounds: the feasible tenant with the cheapest accrual rate
+	// reaches maxCost within maxCost/quantum rotations, so the loop is
+	// bounded and, by the feasibility check above, must grant.
+	deficitCap := float64(maxCost)
+	rounds := int(deficitCap/quantum) + 2
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < len(f.rotation); k++ {
+			pos := (f.cursor + k) % len(f.rotation)
+			t := f.rotation[pos]
+			f.deficit[t] += quantum * f.weight(t)
+			c := queued[front[t]]
+			if c.Cost <= free && f.deficit[t] >= float64(c.Cost) {
+				f.deficit[t] -= float64(c.Cost)
+				f.cursor = (pos + 1) % len(f.rotation)
+				return front[t]
+			}
+			if f.deficit[t] > deficitCap {
+				f.deficit[t] = deficitCap
+			}
+		}
+	}
+	return -1
+}
+
+// SlotCaps bounds each tenant to a fixed number of concurrently granted
+// slots — static isolation walls rather than work-conserving fairness.
+// Within the caps it grants in (priority, submission) order, skipping
+// capped tenants instead of blocking on them, so a capped tenant's
+// backlog never holds up anyone else. A job whose gang is wider than its
+// tenant's cap would otherwise never be feasible; it is allowed to run
+// when the tenant holds nothing (the cap degenerates to "one such job at
+// a time").
+type SlotCaps struct {
+	// Caps maps tenant → max concurrently granted slots.
+	Caps map[string]int
+	// Default caps tenants absent from Caps; 0 leaves them uncapped.
+	Default int
+}
+
+// Name returns "caps".
+func (p SlotCaps) Name() string { return "caps" }
+
+func (p SlotCaps) capFor(tenant string) int {
+	if c, ok := p.Caps[tenant]; ok {
+		return c
+	}
+	return p.Default
+}
+
+// Next grants the earliest feasible job whose tenant stays within its cap.
+func (p SlotCaps) Next(queued []Candidate, free int, inflight map[string]int) int {
+	return pickOrdered(queued, func(c Candidate) bool {
+		if c.Cost > free {
+			return false
+		}
+		limit := p.capFor(c.Tenant)
+		if limit <= 0 {
+			return true
+		}
+		used := inflight[c.Tenant]
+		if c.Cost > limit {
+			return used == 0
+		}
+		return used+c.Cost <= limit
+	})
+}

@@ -1,0 +1,117 @@
+package sched
+
+import "testing"
+
+func cand(tenant string, prio, cost int, seq int64) Candidate {
+	return Candidate{Tenant: tenant, Priority: prio, Cost: cost, Seq: seq}
+}
+
+// TestFIFOHeadOfLineBlocking pins FIFO's defining pathology: a wide job at
+// the front blocks a perfectly feasible small job behind it.
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	q := []Candidate{cand("heavy", 0, 8, 1), cand("light", 0, 2, 2)}
+	if got := (FIFO{}).Next(q, 4, nil); got != -1 {
+		t.Errorf("FIFO granted %d with infeasible head, want -1 (head-of-line blocking)", got)
+	}
+	if got := (FIFO{}).Next(q, 8, nil); got != 0 {
+		t.Errorf("FIFO granted %d, want 0 (the head) once it fits", got)
+	}
+}
+
+// TestFIFOPriorityOrder: higher priority wins regardless of submission
+// order; ties break by submission sequence.
+func TestFIFOPriorityOrder(t *testing.T) {
+	q := []Candidate{cand("a", 0, 2, 1), cand("b", 5, 2, 3), cand("c", 5, 2, 2)}
+	if got := (FIFO{}).Next(q, 8, nil); got != 2 {
+		t.Errorf("FIFO granted %d, want 2 (highest priority, earliest seq)", got)
+	}
+}
+
+// TestFairShareSkipsInfeasibleFront: unlike FIFO, fair share arbitrates
+// per tenant — one tenant's infeasible wide front never blocks another
+// tenant's feasible job.
+func TestFairShareSkipsInfeasibleFront(t *testing.T) {
+	f := NewFairShare(nil)
+	q := []Candidate{cand("heavy", 0, 8, 1), cand("light", 0, 2, 2)}
+	if got := f.Next(q, 2, nil); got != 1 {
+		t.Errorf("FairShare granted %d, want 1 (light's feasible job)", got)
+	}
+	if got := f.Next(q[:1], 2, nil); got != -1 {
+		t.Errorf("FairShare granted %d with no feasible front, want -1", got)
+	}
+}
+
+// TestFairShareWeightedRatio drives the deficit round-robin through many
+// grants with two always-backlogged tenants and checks the grant ratio
+// tracks the 3:1 weights.
+func TestFairShareWeightedRatio(t *testing.T) {
+	f := NewFairShare(map[string]float64{"a": 3, "b": 1})
+	var seq int64
+	queue := []Candidate{}
+	refill := func(tenant string) {
+		seq++
+		queue = append(queue, cand(tenant, 0, 4, seq))
+	}
+	refill("a")
+	refill("b")
+	grants := map[string]int{}
+	for i := 0; i < 24; i++ {
+		pick := f.Next(queue, 4, nil)
+		if pick < 0 {
+			t.Fatalf("grant %d: policy stalled with backlogged tenants", i)
+		}
+		tenant := queue[pick].Tenant
+		grants[tenant]++
+		queue = append(queue[:pick], queue[pick+1:]...)
+		refill(tenant) // keep both tenants backlogged
+	}
+	if grants["a"] < 16 || grants["a"] > 20 {
+		t.Errorf("weight-3 tenant got %d of 24 grants, want ≈ 18 (3:1 over weight-1's %d)",
+			grants["a"], grants["b"])
+	}
+}
+
+// TestFairShareDeficitResetOnDeparture: a tenant that drains its queue
+// loses accrued credit, so it cannot hoard deficit while idle and then
+// monopolize the cluster on return (classic DRR reset).
+func TestFairShareDeficitResetOnDeparture(t *testing.T) {
+	f := NewFairShare(nil)
+	both := []Candidate{cand("a", 0, 8, 1), cand("b", 0, 8, 2)}
+	if got := f.Next(both, 8, nil); got != 0 {
+		t.Fatalf("first grant = %d, want 0", got)
+	}
+	// b departs without being granted; its deficit must be dropped.
+	onlyA := []Candidate{cand("a", 0, 8, 3)}
+	f.Next(onlyA, 8, nil)
+	if _, ok := f.deficit["b"]; ok {
+		t.Errorf("departed tenant b still holds deficit %v", f.deficit["b"])
+	}
+}
+
+// TestSlotCapsSkipsCappedTenant: a tenant at its cap is skipped, not
+// blocked on — its backlog never holds up other tenants.
+func TestSlotCapsSkipsCappedTenant(t *testing.T) {
+	p := SlotCaps{Caps: map[string]int{"a": 4}}
+	q := []Candidate{cand("a", 0, 4, 1), cand("b", 0, 4, 2)}
+	inflight := map[string]int{"a": 4}
+	if got := p.Next(q, 4, inflight); got != 1 {
+		t.Errorf("SlotCaps granted %d, want 1 (b; a is at its cap)", got)
+	}
+	if got := p.Next(q, 8, map[string]int{}); got != 0 {
+		t.Errorf("SlotCaps granted %d, want 0 (a under its cap, earlier seq)", got)
+	}
+}
+
+// TestSlotCapsWideJobRunsAlone: a gang wider than its tenant's cap would
+// never fit under a strict cap; it is admitted only when the tenant holds
+// nothing.
+func TestSlotCapsWideJobRunsAlone(t *testing.T) {
+	p := SlotCaps{Caps: map[string]int{"a": 2}}
+	q := []Candidate{cand("a", 0, 4, 1)}
+	if got := p.Next(q, 8, map[string]int{"a": 2}); got != -1 {
+		t.Errorf("SlotCaps granted %d, want -1 (over-cap gang while tenant busy)", got)
+	}
+	if got := p.Next(q, 8, map[string]int{}); got != 0 {
+		t.Errorf("SlotCaps granted %d, want 0 (over-cap gang runs when tenant idle)", got)
+	}
+}

@@ -1,0 +1,443 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Sentinel errors surfaced by admission control and dispatch.
+var (
+	// ErrQueueFull rejects a submission when the tenant's queue is at
+	// capacity under the Reject overflow policy.
+	ErrQueueFull = errors.New("sched: tenant queue full")
+	// ErrShed completes a queued job dropped by admission control (queue
+	// overflow under the Shed policy).
+	ErrShed = errors.New("sched: job shed by admission control")
+	// ErrDeadline completes a queued job whose deadline expired before it
+	// was granted any slot.
+	ErrDeadline = errors.New("sched: deadline expired before slot grant")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+)
+
+// OverflowPolicy selects what happens when a tenant's queue is full.
+type OverflowPolicy int
+
+const (
+	// Reject refuses the new submission (the caller sees ErrQueueFull).
+	Reject OverflowPolicy = iota
+	// Shed drops the tenant's oldest queued job (its handle completes
+	// with ErrShed) and admits the new one — load shedding keeps the
+	// queue fresh under sustained overload.
+	Shed
+)
+
+// Config is the scheduler's admission control.
+type Config struct {
+	// MaxQueuedPerTenant bounds each tenant's pending queue; ≤ 0
+	// defaults to 64.
+	MaxQueuedPerTenant int
+	// MaxInFlightPerTenant bounds how many of a tenant's jobs may run
+	// concurrently (jobs, not slots — slot isolation is the SlotCaps
+	// policy's business); 0 = unlimited.
+	MaxInFlightPerTenant int
+	// OnFull picks Reject or Shed when a tenant's queue is at capacity.
+	OnFull OverflowPolicy
+}
+
+// Job is one unit of submission: who wants it, how urgent it is, how many
+// slots its gang needs, and the work itself.
+type Job struct {
+	// Tenant names the submitting session; empty maps to "default".
+	Tenant string
+	// Priority orders jobs where the policy honors it (higher first).
+	Priority int
+	// Deadline, when set, sheds the job if it is still queued past this
+	// instant (grant-or-kill admission; running jobs are never killed).
+	Deadline time.Time
+	// Slots is the gang reservation: the number of cluster slots the job
+	// needs held simultaneously. Pipelined engines (flink) need the whole
+	// gang resident — producers block on exchange backpressure until the
+	// consumers run — so grants are all-or-nothing: the scheduler rounds
+	// the demand up to whole per-node widths and never grants a partial
+	// gang. ≤ 0 asks for 1 slot; demands above the cluster total clamp.
+	Slots int
+	// Run is the job body, executed on the scheduler's worker goroutine
+	// with the granted runtime.
+	Run func(*Grant) error
+}
+
+// Grant is a live slot allocation: the carved runtime a granted job
+// schedules onto, plus the grant's identity.
+type Grant struct {
+	rt     *cluster.Runtime
+	tenant string
+	slots  int
+}
+
+// Runtime returns the carved per-job runtime. Tasks run on the job's own
+// per-node pools of the granted width; the scheduler's accounting keeps
+// the sum of all live grants within the cluster's slot capacity.
+func (g *Grant) Runtime() *cluster.Runtime { return g.rt }
+
+// Slots returns the granted gang size in slots.
+func (g *Grant) Slots() int { return g.slots }
+
+// Tenant returns the owning tenant.
+func (g *Grant) Tenant() string { return g.tenant }
+
+// Handle tracks one submitted job. All accessors are valid after Done is
+// closed; Wait blocks for that.
+type Handle struct {
+	tenant string
+	seq    int64
+	done   chan struct{}
+
+	// Written by the scheduler before done is closed.
+	err       error
+	submitted time.Time
+	granted   time.Time // zero when the job was shed before any grant
+	finished  time.Time
+}
+
+// Done is closed when the job finished (ran to completion, failed, or was
+// shed by admission control).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its error (nil on
+// success; ErrShed / ErrDeadline when admission dropped it).
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Tenant returns the submitting tenant.
+func (h *Handle) Tenant() string { return h.tenant }
+
+// QueueDelay returns submission→first-slot-grant, or 0 for jobs shed
+// before any grant. Valid after Done.
+func (h *Handle) QueueDelay() time.Duration {
+	if h.granted.IsZero() {
+		return 0
+	}
+	return h.granted.Sub(h.submitted)
+}
+
+// JCT returns the job completion time, submission→finish. Valid after
+// Done.
+func (h *Handle) JCT() time.Duration { return h.finished.Sub(h.submitted) }
+
+// job is the scheduler's internal record of a queued submission.
+type job struct {
+	h        *Handle
+	run      func(*Grant) error
+	priority int
+	deadline time.Time
+	perNode  int // carved slots per node
+	cost     int // gang cost: perNode × nodes
+}
+
+// Scheduler is the multi-tenant job service between submission and
+// cluster.Runtime: per-tenant queues under admission control, a pluggable
+// sharing policy arbitrating gang slot grants, and carved runtimes
+// enforcing each grant. See doc.go for the pipeline.
+type Scheduler struct {
+	rt    *cluster.Runtime
+	cfg   Config
+	nodes int
+	total int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	policy SharingPolicy
+	queue  []*job
+	queued map[string]int // tenant → queued jobs
+	// inflightSlots/inflightJobs track live grants per tenant.
+	inflightSlots map[string]int
+	inflightJobs  map[string]int
+	running       int
+	free          int
+	seq           int64
+	closed        bool
+
+	// Measurement (ext8's raw material).
+	started     bool
+	startAt     time.Time
+	lastDone    time.Time
+	busySlotSec float64
+	jct         metrics.LatencySketch
+	queueDelay  metrics.QueueDelay
+	launched    int64
+	rejected    int64
+	shed        int64
+	expired     int64
+}
+
+// New builds a scheduler arbitrating rt's slot capacity (nodes ×
+// slots-per-node) under the given sharing policy and admission config.
+// The runtime handed in is the cluster: scheduled jobs run on runtimes
+// carved from it, so single-job callers using rt directly are unaffected.
+func New(rt *cluster.Runtime, policy SharingPolicy, cfg Config) *Scheduler {
+	s := &Scheduler{
+		rt:            rt,
+		cfg:           cfg,
+		nodes:         rt.Spec().Nodes,
+		total:         rt.Spec().Nodes * rt.SlotsPerNode(),
+		policy:        policy,
+		queued:        map[string]int{},
+		inflightSlots: map[string]int{},
+		inflightJobs:  map[string]int{},
+	}
+	s.free = s.total
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// TotalSlots returns the arbitrated slot capacity.
+func (s *Scheduler) TotalSlots() int { return s.total }
+
+// Policy returns the active sharing policy's name.
+func (s *Scheduler) Policy() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.Name()
+}
+
+// SetPolicy swaps the sharing policy mid-run. Queued jobs are re-arbitrated
+// under the new policy on the next dispatch; live grants are untouched.
+func (s *Scheduler) SetPolicy(p SharingPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+	s.dispatchLocked()
+}
+
+// gang rounds a slot demand up to whole per-node widths: demand W over N
+// nodes carves ceil(W/N) slots on every node, and the whole width is the
+// cost committed against the cluster.
+func (s *Scheduler) gang(slots int) (perNode, cost int) {
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > s.total {
+		slots = s.total
+	}
+	perNode = (slots + s.nodes - 1) / s.nodes
+	return perNode, perNode * s.nodes
+}
+
+// Submit enqueues a job under admission control and returns its handle.
+// The call never blocks on cluster capacity — that is the queue's job —
+// but can reject (ErrQueueFull, ErrClosed) at the door.
+func (s *Scheduler) Submit(j Job) (*Handle, error) {
+	if j.Run == nil {
+		return nil, errors.New("sched: job has no Run function")
+	}
+	tenant := j.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	maxQ := s.cfg.MaxQueuedPerTenant
+	if maxQ <= 0 {
+		maxQ = 64
+	}
+	if s.queued[tenant] >= maxQ {
+		if s.cfg.OnFull == Reject {
+			s.rejected++
+			return nil, fmt.Errorf("%w: tenant %q at %d queued jobs", ErrQueueFull, tenant, maxQ)
+		}
+		s.shedOldestLocked(tenant)
+	}
+	now := time.Now()
+	if !s.started {
+		s.started = true
+		s.startAt = now
+	}
+	s.seq++
+	perNode, cost := s.gang(j.Slots)
+	h := &Handle{tenant: tenant, seq: s.seq, done: make(chan struct{}), submitted: now}
+	s.queue = append(s.queue, &job{
+		h: h, run: j.Run, priority: j.Priority, deadline: j.Deadline,
+		perNode: perNode, cost: cost,
+	})
+	s.queued[tenant]++
+	s.dispatchLocked()
+	return h, nil
+}
+
+// Close rejects further submissions; queued and running jobs drain
+// normally (pair with Drain).
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Drain blocks until every submitted job has finished. Progress is
+// guaranteed: with the cluster idle, every policy grants some queued job
+// (FIFO's head always fits an idle cluster after gang clamping).
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for len(s.queue) > 0 || s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// shedOldestLocked drops the tenant's oldest queued job with ErrShed.
+func (s *Scheduler) shedOldestLocked(tenant string) {
+	for i, jb := range s.queue {
+		if jb.h.tenant == tenant {
+			s.removeLocked(i)
+			s.shed++
+			s.finishQueuedLocked(jb, ErrShed)
+			return
+		}
+	}
+}
+
+// removeLocked deletes queue[i] preserving submission order.
+func (s *Scheduler) removeLocked(i int) {
+	jb := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	s.queued[jb.h.tenant]--
+}
+
+// finishQueuedLocked completes a job that never ran.
+func (s *Scheduler) finishQueuedLocked(jb *job, err error) {
+	jb.h.err = err
+	jb.h.finished = time.Now()
+	close(jb.h.done)
+	s.cond.Broadcast()
+}
+
+// expireLocked sheds queued jobs whose deadline has passed.
+func (s *Scheduler) expireLocked(now time.Time) {
+	for i := 0; i < len(s.queue); {
+		jb := s.queue[i]
+		if !jb.deadline.IsZero() && now.After(jb.deadline) {
+			s.removeLocked(i)
+			s.expired++
+			s.finishQueuedLocked(jb, ErrDeadline)
+			continue
+		}
+		i++
+	}
+}
+
+// dispatchLocked grants as many queued jobs as the policy and free slots
+// allow. Called on every state change (submit, completion, policy swap).
+func (s *Scheduler) dispatchLocked() {
+	for {
+		now := time.Now()
+		s.expireLocked(now)
+		// Candidates: queued jobs whose tenant is under its in-flight cap.
+		cands := make([]Candidate, 0, len(s.queue))
+		idx := make([]int, 0, len(s.queue))
+		for i, jb := range s.queue {
+			if s.cfg.MaxInFlightPerTenant > 0 && s.inflightJobs[jb.h.tenant] >= s.cfg.MaxInFlightPerTenant {
+				continue
+			}
+			cands = append(cands, Candidate{
+				Tenant: jb.h.tenant, Priority: jb.priority, Cost: jb.cost, Seq: jb.h.seq,
+			})
+			idx = append(idx, i)
+		}
+		if len(cands) == 0 {
+			return
+		}
+		pick := s.policy.Next(cands, s.free, s.inflightSlots)
+		if pick < 0 || pick >= len(cands) {
+			return
+		}
+		jb := s.queue[idx[pick]]
+		if jb.cost > s.free {
+			// A policy must not over-grant; refuse rather than oversubscribe.
+			return
+		}
+		s.removeLocked(idx[pick])
+		crt, err := s.rt.Carve(jb.perNode)
+		if err != nil {
+			// Unreachable by construction (gang clamps perNode to the
+			// runtime's width), but a policy bug must not hang the handle.
+			s.finishQueuedLocked(jb, err)
+			continue
+		}
+		s.free -= jb.cost
+		s.inflightSlots[jb.h.tenant] += jb.cost
+		s.inflightJobs[jb.h.tenant]++
+		s.running++
+		s.launched++
+		jb.h.granted = now
+		s.queueDelay.Observe(now.Sub(jb.h.submitted))
+		go s.exec(jb, &Grant{rt: crt, tenant: jb.h.tenant, slots: jb.cost})
+	}
+}
+
+// exec runs one granted job and releases its gang.
+func (s *Scheduler) exec(jb *job, g *Grant) {
+	err := jb.run(g)
+	now := time.Now()
+	s.mu.Lock()
+	s.free += jb.cost
+	s.inflightSlots[jb.h.tenant] -= jb.cost
+	s.inflightJobs[jb.h.tenant]--
+	s.running--
+	s.busySlotSec += float64(jb.cost) * now.Sub(jb.h.granted).Seconds()
+	if now.After(s.lastDone) {
+		s.lastDone = now
+	}
+	s.jct.Observe(now.Sub(jb.h.submitted))
+	jb.h.err = err
+	jb.h.finished = now
+	close(jb.h.done)
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats is the measured outcome of a contention run.
+type Stats struct {
+	TotalSlots int
+	// Launched counts granted jobs; Rejected/Shed/Expired count admission
+	// drops (full queue under Reject, shed under Shed, missed deadlines).
+	Launched, Rejected, Shed, Expired int64
+	// JCT is the job-completion-time distribution (submission→finish) of
+	// jobs that ran; QueueDelay the submission→first-grant distribution.
+	JCT, QueueDelay metrics.LatencySnapshot
+	// Utilization is granted slot-time over cluster slot capacity across
+	// the run's makespan (first submission → last completion), 0..1.
+	Utilization float64
+}
+
+// Stats snapshots the run so far; call after Drain for final numbers.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		TotalSlots: s.total,
+		Launched:   s.launched,
+		Rejected:   s.rejected,
+		Shed:       s.shed,
+		Expired:    s.expired,
+		JCT:        s.jct.Snapshot(),
+		QueueDelay: s.queueDelay.Snapshot(),
+	}
+	if span := s.lastDone.Sub(s.startAt).Seconds(); span > 0 {
+		st.Utilization = s.busySlotSec / (float64(s.total) * span)
+		if st.Utilization > 1 {
+			st.Utilization = 1
+		}
+	}
+	return st
+}

@@ -1,0 +1,371 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func testRuntime(t *testing.T) *cluster.Runtime {
+	t.Helper()
+	rt, err := cluster.NewRuntime(cluster.Spec{
+		Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB,
+		DiskSeqMiBps: 200, NetMiBps: 200,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt // 2 nodes × 4 slots = 8 cluster slots
+}
+
+// TestSchedulerRunsJob: the basic contract — a submitted job runs with a
+// carved runtime of its granted gang width, and stats record it.
+func TestSchedulerRunsJob(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{})
+	var gotSlots, gotPerNode int
+	h, err := s.Submit(Job{Tenant: "t1", Slots: 3, Run: func(g *Grant) error {
+		gotSlots = g.Slots()
+		gotPerNode = g.Runtime().SlotsPerNode()
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Demand 3 over 2 nodes rounds up to a whole gang: 2 per node, cost 4.
+	if gotSlots != 4 || gotPerNode != 2 {
+		t.Errorf("grant = %d slots, %d per node; want 4 and 2 (gang-rounded)", gotSlots, gotPerNode)
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Launched != 1 || st.JCT.Count != 1 || st.QueueDelay.Count != 1 {
+		t.Errorf("stats = %+v, want one launched job with one JCT and queue-delay sample", st)
+	}
+}
+
+// block occupies the whole cluster until release is closed.
+func block(t *testing.T, s *Scheduler, tenant string) (release chan struct{}, running chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	running = make(chan struct{})
+	_, err := s.Submit(Job{Tenant: tenant, Slots: s.TotalSlots(), Run: func(*Grant) error {
+		close(running)
+		<-release
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	return release, running
+}
+
+// TestAdmissionReject: with the queue at capacity under Reject, the next
+// submission fails with ErrQueueFull and is counted.
+func TestAdmissionReject(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{MaxQueuedPerTenant: 2, OnFull: Reject})
+	release, _ := block(t, s, "t1")
+	noop := func(*Grant) error { return nil }
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Job{Tenant: "t1", Slots: 2, Run: noop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(Job{Tenant: "t1", Slots: 2, Run: noop}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third queued submission error = %v, want ErrQueueFull", err)
+	}
+	// Admission is per tenant: another tenant still gets in.
+	if _, err := s.Submit(Job{Tenant: "t2", Slots: 2, Run: noop}); err != nil {
+		t.Errorf("other tenant rejected: %v", err)
+	}
+	close(release)
+	s.Drain()
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestAdmissionShed: under Shed, overflow drops the tenant's oldest queued
+// job (its handle completes with ErrShed) and admits the new one.
+func TestAdmissionShed(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{MaxQueuedPerTenant: 1, OnFull: Shed})
+	release, _ := block(t, s, "t1")
+	noop := func(*Grant) error { return nil }
+	h1, err := s.Submit(Job{Tenant: "t1", Slots: 2, Run: noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Submit(Job{Tenant: "t1", Slots: 2, Run: noop})
+	if err != nil {
+		t.Fatalf("overflow under Shed should admit, got %v", err)
+	}
+	if err := h1.Wait(); !errors.Is(err, ErrShed) {
+		t.Errorf("oldest queued job error = %v, want ErrShed", err)
+	}
+	if h1.QueueDelay() != 0 {
+		t.Errorf("shed job queue delay = %v, want 0 (never granted)", h1.QueueDelay())
+	}
+	close(release)
+	if err := h2.Wait(); err != nil {
+		t.Errorf("admitted job error = %v", err)
+	}
+	s.Drain()
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestDeadlineExpiry: a queued job whose deadline passes before any slot
+// frees is shed with ErrDeadline at the next dispatch.
+func TestDeadlineExpiry(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{})
+	release, _ := block(t, s, "t1")
+	h, err := s.Submit(Job{Tenant: "t2", Slots: 2, Deadline: time.Now().Add(10 * time.Millisecond),
+		Run: func(*Grant) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(release) // completion triggers dispatch, which expires the job
+	if err := h.Wait(); !errors.Is(err, ErrDeadline) {
+		t.Errorf("expired job error = %v, want ErrDeadline", err)
+	}
+	s.Drain()
+	if st := s.Stats(); st.Expired != 1 {
+		t.Errorf("expired = %d, want 1", st.Expired)
+	}
+}
+
+// TestMaxInFlightPerTenant: the in-flight cap serializes a tenant's jobs
+// even when the cluster has room for both.
+func TestMaxInFlightPerTenant(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{MaxInFlightPerTenant: 1})
+	var cur, peak atomic.Int64
+	body := func(*Grant) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(Job{Tenant: "t1", Slots: 2, Run: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	if p := peak.Load(); p != 1 {
+		t.Errorf("peak concurrent jobs = %d, want 1 under MaxInFlightPerTenant=1", p)
+	}
+}
+
+// TestPolicySwapMidRun: under FIFO an infeasible wide head blocks a small
+// feasible job; swapping to FairShare mid-run re-arbitrates the queue and
+// lets the small job through while the wide one keeps waiting.
+func TestPolicySwapMidRun(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{})
+	// Occupy 6 of 8 slots so only 2 remain free.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	if _, err := s.Submit(Job{Tenant: "bg", Slots: 6, Run: func(*Grant) error {
+		close(running)
+		<-release
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// Wide job first (cost 8, infeasible), small job behind (cost 2, fits).
+	wide, err := s.Submit(Job{Tenant: "heavy", Slots: 8, Run: func(*Grant) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.Submit(Job{Tenant: "light", Slots: 2, Run: func(*Grant) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-small.Done():
+		t.Fatal("FIFO let the small job jump the infeasible head")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.SetPolicy(NewFairShare(nil))
+	select {
+	case <-small.Done():
+	case <-time.After(time.Second):
+		t.Fatal("small job still blocked after swapping to fair share")
+	}
+	select {
+	case <-wide.Done():
+		t.Fatal("wide job ran with only 2 slots free")
+	default:
+	}
+	close(release)
+	s.Drain()
+	if err := wide.Wait(); err != nil {
+		t.Errorf("wide job error after drain: %v", err)
+	}
+}
+
+// TestClosedSchedulerRejects: Close stops admissions but drains in-flight
+// work.
+func TestClosedSchedulerRejects(t *testing.T) {
+	s := New(testRuntime(t), FIFO{}, Config{})
+	s.Close()
+	if _, err := s.Submit(Job{Run: func(*Grant) error { return nil }}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// runContention replays the same workload under a given policy: one heavy
+// tenant bursts full-cluster jobs, one light tenant trickles in small
+// quick jobs behind the burst. Returns the light tenant's p99 JCT.
+func runContention(t *testing.T, policy SharingPolicy) time.Duration {
+	t.Helper()
+	s := New(testRuntime(t), policy, Config{})
+	var handles []*Handle
+	// Heavy burst: 12 full-width 20 ms jobs — ~240 ms of serialized
+	// cluster occupancy queued up front.
+	for i := 0; i < 12; i++ {
+		h, err := s.Submit(Job{Tenant: "heavy", Slots: 8, Run: func(*Grant) error {
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = h
+	}
+	// Light tenant arrives just after the burst with small fast jobs.
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		h, err := s.Submit(Job{Tenant: "light", Slots: 2, Run: func(*Grant) error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	s.Drain()
+	var sk QueueDelaySketchHelper
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		sk.Observe(h.JCT())
+	}
+	return sk.Quantile(0.99)
+}
+
+// QueueDelaySketchHelper is a tiny local quantile helper over durations.
+type QueueDelaySketchHelper struct{ ds []time.Duration }
+
+func (q *QueueDelaySketchHelper) Observe(d time.Duration) { q.ds = append(q.ds, d) }
+func (q *QueueDelaySketchHelper) Quantile(p float64) time.Duration {
+	if len(q.ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), q.ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TestFairShareBoundsLightTenantJCT is the acceptance check for the
+// sharing policies: under a heavy-tenant burst of full-cluster jobs, fair
+// share must bound the light tenant's p99 JCT well below FIFO's, where
+// the light jobs sit behind the whole burst (head-of-line starvation).
+func TestFairShareBoundsLightTenantJCT(t *testing.T) {
+	fifoP99 := runContention(t, FIFO{})
+	fairP99 := runContention(t, NewFairShare(nil))
+	t.Logf("light-tenant p99 JCT: fifo=%v fair=%v", fifoP99, fairP99)
+	// Structurally FIFO ≈ the whole 240 ms burst, fair ≈ one or two heavy
+	// job lengths. Demand a 2× bound to stay robust to CI timer noise.
+	if fairP99*2 >= fifoP99 {
+		t.Errorf("fair-share p99 %v not < half of FIFO p99 %v: light tenant not protected from heavy burst",
+			fairP99, fifoP99)
+	}
+}
+
+// TestSchedulerStress hammers the scheduler from 64 concurrent submitters
+// across tenants, priorities, gang widths and policies — primarily a
+// -race and accounting-invariant check.
+func TestSchedulerStress(t *testing.T) {
+	s := New(testRuntime(t), NewFairShare(map[string]float64{"t0": 2}), Config{
+		MaxQueuedPerTenant: 32, MaxInFlightPerTenant: 4, OnFull: Shed,
+	})
+	const submitters = 64
+	var wg sync.WaitGroup
+	var submitted, rejected atomic.Int64
+	var handles sync.Map
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tenants := []string{"t0", "t1", "t2", "t3"}
+			for i := 0; i < 6; i++ {
+				nap := time.Duration(rng.Int63n(int64(time.Millisecond)))
+				h, err := s.Submit(Job{
+					Tenant:   tenants[rng.Intn(len(tenants))],
+					Priority: rng.Intn(3),
+					Slots:    1 + rng.Intn(8),
+					Run: func(*Grant) error {
+						time.Sleep(nap)
+						return nil
+					},
+				})
+				if err != nil {
+					rejected.Add(1)
+					continue
+				}
+				submitted.Add(1)
+				handles.Store(h, struct{}{})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Swap policies while the backlog drains.
+	s.SetPolicy(SlotCaps{Default: 4})
+	s.SetPolicy(FIFO{})
+	s.Drain()
+	handles.Range(func(k, _ any) bool {
+		h := k.(*Handle)
+		select {
+		case <-h.Done():
+		default:
+			t.Error("handle not done after Drain")
+		}
+		return true
+	})
+	st := s.Stats()
+	if st.Launched+st.Shed+st.Expired != submitted.Load() {
+		t.Errorf("accounting: launched %d + shed %d + expired %d != submitted %d",
+			st.Launched, st.Shed, st.Expired, submitted.Load())
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Errorf("utilization %v outside [0,1]", st.Utilization)
+	}
+	if int64(st.JCT.Count) != st.Launched {
+		t.Errorf("JCT samples %d != launched %d", st.JCT.Count, st.Launched)
+	}
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/des"
+)
+
+// The multi-tenant contention workload (ext8): several tenants share one
+// cluster, each submitting the same small analytic job — revenue per
+// region over a transaction log — while a Zipf-skewed tenant mix decides
+// who submits next. The skew is the point: a few heavy tenants generate
+// most of the load, and the sharing policy decides whether the light
+// tenants' latency survives that.
+
+// Txn is one transaction record: who spent, how much, where, on what.
+type Txn struct {
+	User     int64
+	Amount   int64 // cents
+	Region   string
+	Category string
+}
+
+// Regions is the fixed region vocabulary of the generator.
+var Regions = []string{"us", "eu", "apac"}
+
+// txnCategories is the fixed purchase-category vocabulary.
+var txnCategories = []string{"electronics", "grocery", "travel", "media"}
+
+// GenTxns generates n transactions with Zipf-skewed user popularity
+// (exponent userSkew over users ranks) and uniformly mixed regions and
+// categories. Deterministic for a given seed.
+func GenTxns(seed int64, n, users int, userSkew float64) []Txn {
+	if users < 1 {
+		users = 1
+	}
+	pop := des.NewZipf(seed, userSkew, users)
+	amt := des.NewZipf(seed+1, 0, 9999) // uniform 1..9999 cents
+	out := make([]Txn, n)
+	for i := range out {
+		u := pop.Next()
+		out[i] = Txn{
+			User:     int64(u),
+			Amount:   int64(amt.Next()) + 1,
+			Region:   Regions[(u+i)%len(Regions)],
+			Category: txnCategories[i%len(txnCategories)],
+		}
+	}
+	return out
+}
+
+// TenantMix draws which tenant submits the next job, Zipf-skewed so a few
+// heavy tenants dominate the offered load — the contention pattern the
+// ext8 sharing-policy experiments measure. Tenant 0 is the heaviest.
+type TenantMix struct {
+	z     *des.Zipf
+	names []string
+}
+
+// NewTenantMix builds a mix over n tenants named tenant-0..tenant-n-1 with
+// activity skew s (0 = uniform offered load).
+func NewTenantMix(seed int64, n int, s float64) *TenantMix {
+	if n < 1 {
+		n = 1
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "tenant-" + strconv.Itoa(i)
+	}
+	return &TenantMix{z: des.NewZipf(seed, s, n), names: names}
+}
+
+// Next returns the tenant submitting the next job.
+func (m *TenantMix) Next() string { return m.names[m.z.Next()] }
+
+// Names returns the tenant vocabulary, heaviest first.
+func (m *TenantMix) Names() []string { return append([]string(nil), m.names...) }
+
+// RegionRevenue is the per-tenant analytic job: sum transaction amounts by
+// region. FromSlice → mapToPair(region, amount) → reduceByKey → collect —
+// a real two-stage shuffle on every engine, small enough that a contention
+// run completes hundreds of them. In-memory input keeps placement
+// locality-free, so the job runs identically on any carved runtime width.
+func RegionRevenue(s *dataflow.Session, txns []Txn, parallelism int) (map[string]int64, error) {
+	data := dataflow.FromSlice(s, txns, parallelism)
+	pairs := dataflow.MapToPair(data, func(t Txn) core.Pair[string, int64] {
+		return core.KV(t.Region, t.Amount)
+	})
+	return dataflow.CollectAsMap(dataflow.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }))
+}
+
+// RegionRevenueSerial is the reference result the engine parity tests
+// compare against.
+func RegionRevenueSerial(txns []Txn) map[string]int64 {
+	out := map[string]int64{}
+	for _, t := range txns {
+		out[t.Region] += t.Amount
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+)
+
+// TestGenTxnsShape pins the generator: deterministic per seed, amounts
+// positive, regions within the vocabulary, user popularity Zipf-skewed
+// (the top user strictly dominates under skew, not under uniform).
+func TestGenTxnsShape(t *testing.T) {
+	a := GenTxns(3, 5000, 100, 1.2)
+	b := GenTxns(3, 5000, 100, 1.2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different transaction logs")
+	}
+	regions := map[string]bool{}
+	for _, r := range Regions {
+		regions[r] = true
+	}
+	userCount := map[int64]int{}
+	for _, tx := range a {
+		if tx.Amount <= 0 {
+			t.Fatalf("non-positive amount %d", tx.Amount)
+		}
+		if !regions[tx.Region] {
+			t.Fatalf("unknown region %q", tx.Region)
+		}
+		userCount[tx.User]++
+	}
+	if top := userCount[0]; top < 3*5000/100 {
+		t.Errorf("top user has %d of 5000 txns under skew 1.2, want ≫ uniform share of 50", top)
+	}
+}
+
+// TestTenantMixSkew: under positive skew tenant-0 must dominate the draw;
+// the vocabulary is stable and deterministic per seed.
+func TestTenantMixSkew(t *testing.T) {
+	m := NewTenantMix(11, 4, 1.1)
+	if want := []string{"tenant-0", "tenant-1", "tenant-2", "tenant-3"}; !reflect.DeepEqual(m.Names(), want) {
+		t.Fatalf("names = %v, want %v", m.Names(), want)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[m.Next()]++
+	}
+	if counts["tenant-0"] <= counts["tenant-1"] || counts["tenant-1"] <= counts["tenant-3"] {
+		t.Errorf("tenant activity not skew-ordered: %v", counts)
+	}
+}
+
+// TestRegionRevenueParity runs the contention job on all three engines and
+// requires each to match the serial reference — the same one-definition,
+// three-lowerings contract as the main parity suite.
+func TestRegionRevenueParity(t *testing.T) {
+	txns := GenTxns(7, 4000, 50, 1.0)
+	want := RegionRevenueSerial(txns)
+	for _, engine := range dataflow.Names() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			got, err := RegionRevenue(paritySession(t, engine), txns, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("region revenue = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestRegionRevenueUnderScheduler is the end-to-end integration check of
+// the multi-tenant path: three tenants submit RegionRevenue jobs on all
+// three engines through a fair-share scheduler, every job runs on its
+// carved grant via dataflow.WithScheduler, and every result matches the
+// serial reference.
+func TestRegionRevenueUnderScheduler(t *testing.T) {
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(rt, sched.NewFairShare(nil), sched.Config{})
+	txns := GenTxns(19, 2000, 40, 1.0)
+	want := RegionRevenueSerial(txns)
+
+	type outcome struct {
+		engine string
+		got    map[string]int64
+	}
+	results := make(chan outcome, 9)
+	for i, engine := range dataflow.Names() {
+		for j := 0; j < 3; j++ {
+			engine := engine
+			tenant := NewTenantMix(0, 3, 0).Names()[i]
+			if _, err := s.Submit(sched.Job{Tenant: tenant, Slots: 4, Run: func(g *sched.Grant) error {
+				conf := core.NewConfig()
+				conf.SetInt(core.SparkDefaultParallelism, 2)
+				conf.SetInt(core.FlinkDefaultParallelism, 2)
+				sess, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithScheduler(g))
+				if err != nil {
+					return err
+				}
+				got, err := RegionRevenue(sess, txns, 2)
+				if err != nil {
+					return err
+				}
+				results <- outcome{engine, got}
+				return nil
+			}}); err != nil {
+				t.Fatalf("submit %s/%d: %v", engine, j, err)
+			}
+		}
+	}
+	s.Drain()
+	close(results)
+	n := 0
+	for res := range results {
+		n++
+		if !reflect.DeepEqual(res.got, want) {
+			t.Errorf("%s under scheduler: revenue = %v, want %v", res.engine, res.got, want)
+		}
+	}
+	if n != 9 {
+		t.Fatalf("%d of 9 scheduled jobs completed", n)
+	}
+	st := s.Stats()
+	if st.Launched != 9 || st.JCT.Count != 9 {
+		t.Errorf("scheduler stats = %+v, want 9 launched with 9 JCT samples", st)
+	}
+}
