@@ -6,7 +6,7 @@ GO ?= go
 COVER_FLOOR ?= 60
 COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/... ./internal/sched/...
 
-.PHONY: build test lint cover bench-smoke
+.PHONY: build test lint cover bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -38,12 +38,23 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus five benchrunner
+# Fast benchmark subset (1 iteration, no unit tests) plus six benchrunner
 # experiments — tab1 (operator plans), ext4 (a three-way graph run), ext6
 # (the shuffle strategy × parallelism sweep on the real engines), ext7
-# (streaming latency percentiles, micro-batch vs per-event) and ext8 (the
-# multi-tenant contention matrix, sharing policy × offered load) — whose
-# reports land in BENCH_smoke.json, the per-push CI artifact.
+# (streaming latency percentiles, micro-batch vs per-event), ext8 (the
+# multi-tenant contention matrix, sharing policy × offered load) and ext9
+# (raw speed: ns/record and allocs/record per engine, optimized vs legacy
+# allocation) — whose reports land in BENCH_smoke.json, the per-push CI
+# artifact the benchguard regression gate compares across pushes.
 bench-smoke:
-	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8 -json BENCH_smoke.json
+	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining|RawSpeed' -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8,ext9 -json BENCH_smoke.json
+
+# Short fuzz smoke over the row format: each fuzz target runs for a few
+# seconds on top of its seeded corpus (decode robustness and normalized-key
+# order agreement). CI runs this on every push; longer local sessions just
+# raise -fuzztime.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzRowDecode$$' -fuzztime $(FUZZTIME) ./internal/serde
+	$(GO) test -run '^$$' -fuzz '^FuzzRowKeyOrder$$' -fuzztime $(FUZZTIME) ./internal/serde

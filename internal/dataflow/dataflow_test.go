@@ -111,6 +111,53 @@ func TestPipelineAgreesOnAllBackends(t *testing.T) {
 	}
 }
 
+// TestNarrowChainsFuse checks that a Map→Filter→Map chain lowers as one
+// fused operator on every backend (and computes correctly), and that a
+// cache hint landing on an intermediate AFTER construction voids the chain
+// so the engine still sees the node to persist.
+func TestNarrowChainsFuse(t *testing.T) {
+	for _, engine := range dataflow.Names() {
+		s := session(t, engine)
+		s.FS().WriteFile("fin", []byte("a\nbb\nccc\n"))
+		lines := dataflow.TextFile(s, "fin")
+		upper := dataflow.Map(lines, strings.ToUpper)
+		long := dataflow.Filter(upper, func(x string) bool { return len(x) > 1 })
+		bang := dataflow.Map(long, func(x string) string { return x + "!" })
+		got, err := dataflow.Collect(bang)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		sort.Strings(got)
+		if fmt.Sprint(got) != "[BB! CCC!]" {
+			t.Errorf("%s: fused chain = %v, want [BB! CCC!]", engine, got)
+		}
+		if engine == "spark" {
+			rdd, err := dataflow.SparkRDDOf(bang)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := "Fused[Map→Filter→Map]"; rdd.Name() != want {
+				t.Errorf("spark lowered chain as %q, want %q", rdd.Name(), want)
+			}
+		}
+	}
+
+	// Late cache hint: Cached() on the intermediate after the tail exists.
+	s := session(t, "spark")
+	s.FS().WriteFile("fin", []byte(strings.Repeat("x\n", 100)))
+	mid := dataflow.Map(dataflow.TextFile(s, "fin"), strings.ToUpper)
+	tail := dataflow.Filter(mid, func(x string) bool { return x == "X" })
+	mid.Cached()
+	for i := 0; i < 2; i++ {
+		if _, err := dataflow.Count(tail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Metrics().CacheHits.Load() == 0 {
+		t.Error("late Cached() on a chain intermediate was fused away")
+	}
+}
+
 // TestKeyByAndCollectAsMap exercises the keyed view and the driver map
 // action on every backend.
 func TestKeyByAndCollectAsMap(t *testing.T) {

@@ -19,6 +19,10 @@ type Dataset[T any] struct {
 	// lower builds the engine representation: *spark.RDD[T],
 	// *flink.DataSet[T] or *mrFrag[T] depending on the backend kind.
 	lower func() (any, error)
+	// fuse, when non-nil, is the narrow-operator chain ending at this
+	// dataset; lowering collapses it into one physical operator (see
+	// fuse.go).
+	fuse *fchain
 }
 
 // Session returns the owning session.
@@ -136,10 +140,15 @@ func FromSlice[T any](s *Session, data []T, parallelism int) *Dataset[T] {
 
 // Map applies f to every record. Narrow everywhere: Spark runs it in the
 // parent's tasks, Flink chains it into the producing operator, MapReduce
-// fuses it into the next job's map phase.
+// fuses it into the next job's map phase. Consecutive narrow operators
+// additionally fuse into one compiled closure at lowering (see fuse.go).
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 	out := &Dataset[U]{s: d.s, node: d.s.newNode(core.OpMap, "Map", d.node)}
-	out.lower = func() (any, error) {
+	out.fuse = extendChain(d, out.node, func(sink any) any {
+		emit := sink.(func(U))
+		return func(v T) { emit(f(v)) }
+	})
+	plain := func() (any, error) {
 		switch d.s.kind() {
 		case Spark:
 			in, err := repOf[*spark.RDD[T]](d)
@@ -167,13 +176,27 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 			}), nil
 		}
 	}
+	out.lower = func() (any, error) {
+		if rep, ok, err := lowerFused(out); ok {
+			return rep, err
+		}
+		return plain()
+	}
 	return out
 }
 
 // FlatMap applies f and flattens the results.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 	out := &Dataset[U]{s: d.s, node: d.s.newNode(core.OpFlatMap, "FlatMap", d.node)}
-	out.lower = func() (any, error) {
+	out.fuse = extendChain(d, out.node, func(sink any) any {
+		emit := sink.(func(U))
+		return func(v T) {
+			for _, u := range f(v) {
+				emit(u)
+			}
+		}
+	})
+	plain := func() (any, error) {
 		switch d.s.kind() {
 		case Spark:
 			in, err := repOf[*spark.RDD[T]](d)
@@ -201,13 +224,27 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 			}), nil
 		}
 	}
+	out.lower = func() (any, error) {
+		if rep, ok, err := lowerFused(out); ok {
+			return rep, err
+		}
+		return plain()
+	}
 	return out
 }
 
 // Filter keeps records where f is true.
 func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
 	out := &Dataset[T]{s: d.s, node: d.s.newNode(core.OpFilter, "Filter", d.node)}
-	out.lower = func() (any, error) {
+	out.fuse = extendChain(d, out.node, func(sink any) any {
+		emit := sink.(func(T))
+		return func(v T) {
+			if f(v) {
+				emit(v)
+			}
+		}
+	})
+	plain := func() (any, error) {
 		switch d.s.kind() {
 		case Spark:
 			in, err := repOf[*spark.RDD[T]](d)
@@ -236,6 +273,12 @@ func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
 				return kept
 			}), nil
 		}
+	}
+	out.lower = func() (any, error) {
+		if rep, ok, err := lowerFused(out); ok {
+			return rep, err
+		}
+		return plain()
 	}
 	return out
 }

@@ -1,0 +1,171 @@
+package dataflow
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+)
+
+// Operator fusion: consecutive narrow operators (Map, Filter, FlatMap)
+// collapse into ONE compiled per-record closure and lower as ONE physical
+// operator per backend — spark.FusedNarrow, flink.FusedChain, or a single
+// mrFrag stage — instead of one engine node and one intermediate slice per
+// operator. The logical plan is untouched: every operator still gets its
+// Node, so PlanOf and the per-engine plan renderings are unchanged; only
+// the lowering collapses.
+//
+// The chain is built in continuation-passing style with erased types: each
+// operator contributes a step that turns its output sink func(U) into its
+// input consumer func(T) (both boxed as any), and composing steps from the
+// chain's tail to its root yields one closure from the root's record type
+// to the final sink. The root-side typed work — iterating a []R batch,
+// fetching the root's engine rep — is captured when the chain starts, where
+// R is statically known, so execution does one type assertion per
+// partition batch and none per record.
+
+// erasedLoad is a type-erased mrFrag load: per-split record slices (each a
+// boxed []R), preferred nodes and the charged input bytes.
+type erasedLoad = func() ([]any, func(int) int, int64, error)
+
+// fchain records the fusible narrow chain ending at its owning dataset.
+type fchain struct {
+	// nodes are the fused operators' logical nodes in chain order; the
+	// last entry belongs to the owning dataset.
+	nodes []*Node
+	// compile turns the chain's output sink (func(U), boxed) into its
+	// input consumer (func(R), boxed).
+	compile func(sink any) any
+	// drive iterates a boxed []R through a boxed func(R).
+	drive func(recs, feed any)
+	// Root engine-rep accessors, captured where R is known. Lowering the
+	// root goes through repOf, so shared roots still lower exactly once.
+	sparkRoot func() (any, error)
+	flinkRoot func() (any, error)
+	mrRoot    func() (erasedLoad, error)
+}
+
+// newChain starts a chain whose first fused operator consumes root.
+func newChain[R any](root *Dataset[R], node *Node, step func(sink any) any) *fchain {
+	return &fchain{
+		nodes:   []*Node{node},
+		compile: step,
+		drive: func(recs, feed any) {
+			rs := recs.([]R)
+			fd := feed.(func(R))
+			for _, v := range rs {
+				fd(v)
+			}
+		},
+		sparkRoot: func() (any, error) { return repOf[*spark.RDD[R]](root) },
+		flinkRoot: func() (any, error) { return repOf[*flink.DataSet[R]](root) },
+		mrRoot: func() (erasedLoad, error) {
+			in, err := repOf[*mrFrag[R]](root)
+			if err != nil {
+				return nil, err
+			}
+			return func() ([]any, func(int) int, int64, error) {
+				sp, err := in.load()
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				parts := make([]any, len(sp.parts))
+				for i := range sp.parts {
+					parts[i] = sp.parts[i]
+				}
+				return parts, sp.pref, sp.bytes, nil
+			}, nil
+		},
+	}
+}
+
+// extendChain grows d's chain with one more operator, or starts a new
+// chain at d. A dataset already marked Cached() is a fusion barrier: the
+// chain starts after it so the engine still sees the node to persist.
+func extendChain[T any](d *Dataset[T], node *Node, step func(sink any) any) *fchain {
+	if fc := d.fuse; fc != nil && !d.node.Cached {
+		return &fchain{
+			nodes:     append(append([]*Node{}, fc.nodes...), node),
+			compile:   func(sink any) any { return fc.compile(step(sink)) },
+			drive:     fc.drive,
+			sparkRoot: fc.sparkRoot,
+			flinkRoot: fc.flinkRoot,
+			mrRoot:    fc.mrRoot,
+		}
+	}
+	return newChain(d, node, step)
+}
+
+// fusedLabel names the collapsed operator, e.g. "Fused[FlatMap→Map]".
+func fusedLabel(nodes []*Node) string {
+	labels := make([]string, len(nodes))
+	for i, n := range nodes {
+		labels[i] = n.Label
+	}
+	return "Fused[" + strings.Join(labels, "→") + "]"
+}
+
+// fusionOff, when set, makes every lowering fall back to the per-operator
+// path. Only the raw-speed experiment (ext9) flips it, to measure fusion's
+// contribution against the unfused baseline; flip it only between jobs.
+var fusionOff atomic.Bool
+
+// SetFusion toggles operator fusion (on by default) and returns the
+// previous setting. Benchmark plumbing only.
+func SetFusion(on bool) bool {
+	return !fusionOff.Swap(!on)
+}
+
+// lowerFused lowers d's chain of ≥2 narrow operators as one physical
+// operator. It reports handled=false when fusion does not apply — a short
+// or absent chain, an intermediate marked Cached() after construction, or
+// fusion switched off — and the caller falls back to per-operator lowering.
+func lowerFused[U any](d *Dataset[U]) (rep any, handled bool, err error) {
+	fc := d.fuse
+	if fc == nil || len(fc.nodes) < 2 || fusionOff.Load() {
+		return nil, false, nil
+	}
+	// Cached() can be called any time before the first action; a hint that
+	// landed on an intermediate after the chain was built voids it.
+	for _, n := range fc.nodes[:len(fc.nodes)-1] {
+		if n.Cached {
+			return nil, false, nil
+		}
+	}
+	name := fusedLabel(fc.nodes)
+	switch d.s.kind() {
+	case Spark:
+		in, err := fc.sparkRoot()
+		if err != nil {
+			return nil, true, err
+		}
+		return cacheHint(d.node, spark.FusedNarrow[U](in, name, d.node.Kind, fc.drive, fc.compile)), true, nil
+	case Flink:
+		in, err := fc.flinkRoot()
+		if err != nil {
+			return nil, true, err
+		}
+		return flink.FusedChain[U](in, name, d.node.Kind, fc.drive, fc.compile), true, nil
+	default:
+		load, err := fc.mrRoot()
+		if err != nil {
+			return nil, true, err
+		}
+		c := mrCluster(d.s)
+		return &mrFrag[U]{c: c, load: func() (mrSplits[U], error) {
+			partsAny, pref, bytes, err := load()
+			if err != nil {
+				return mrSplits[U]{}, err
+			}
+			parts := make([][]U, len(partsAny))
+			for i, pa := range partsAny {
+				var out []U
+				feed := fc.compile(func(u U) { out = append(out, u) })
+				fc.drive(pa, feed)
+				parts[i] = out
+			}
+			return mrSplits[U]{parts: parts, pref: pref, bytes: bytes}, nil
+		}}, true, nil
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine/flink"
 	"repro/internal/engine/spark"
+	"repro/internal/serde"
 )
 
 // Keys are constrained to cmp.Ordered (not just comparable) because the
@@ -92,7 +93,10 @@ func SortByKey[K cmp.Ordered, V any](d *Dataset[core.Pair[K, V]], part core.Part
 			if err != nil {
 				return nil, err
 			}
-			sorted := spark.RepartitionAndSortWithinPartitions(in, part, func(a, b K) bool { return a < b })
+			// Natural key order makes the binary normalized-key sort safe
+			// whenever K has one (TeraSort's string keys take this path).
+			sorted := spark.RepartitionAndSortNormalized(in, part,
+				func(a, b K) bool { return a < b }, serde.NormKeyerFor[K]())
 			return cacheHint(out.node, sorted), nil
 		case Flink:
 			in, err := repOf[*flink.DataSet[core.Pair[K, V]]](d)
@@ -100,7 +104,9 @@ func SortByKey[K cmp.Ordered, V any](d *Dataset[core.Pair[K, V]], part core.Part
 				return nil, err
 			}
 			parted := flink.PartitionCustom(in, part, func(p core.Pair[K, V]) K { return p.Key })
-			return flink.SortPartition(parted, func(a, b core.Pair[K, V]) bool { return a.Key < b.Key }), nil
+			return flink.SortPartitionNormalized(parted,
+				func(a, b core.Pair[K, V]) bool { return a.Key < b.Key },
+				serde.PairNormKeyer[K, V](serde.NormKeyerFor[K]())), nil
 		default:
 			in, err := repOf[*mrFrag[core.Pair[K, V]]](d)
 			if err != nil {

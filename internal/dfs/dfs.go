@@ -152,6 +152,26 @@ func (f *File) Contents() []byte {
 	return buf.Bytes()
 }
 
+// AppendTo appends the file's contents to dst and returns the extended
+// slice — the pool-friendly read path (the caller brings a recycled
+// buffer instead of Contents allocating a fresh one).
+func (f *File) AppendTo(dst []byte) []byte {
+	for _, b := range f.Blocks {
+		dst = append(dst, b.Data...)
+	}
+	return dst
+}
+
+// Contiguous returns the file's bytes without copying when they live in a
+// single storage block — the zero-copy local-read fast path. Callers must
+// treat the returned slice as read-only borrowed storage.
+func (f *File) Contiguous() ([]byte, bool) {
+	if len(f.Blocks) == 1 {
+		return f.Blocks[0].Data, true
+	}
+	return nil, false
+}
+
 // LineSplits returns one slice of complete lines per block using the HDFS
 // input-split convention: every line belongs to exactly one split — the one
 // containing the line's first byte — and a reader finishes a line that

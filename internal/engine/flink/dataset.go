@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/shuffle"
 )
 
 // partSink receives one partition's stream: push delivers batches in
@@ -172,6 +173,17 @@ func MapPartition[T, U any](d *DataSet[T], f func([]T) []U) *DataSet[U] {
 // within the task: records buffer until end-of-input, then flow out
 // sorted — but no exchange happens and the task is still the same.
 func SortPartition[T any](d *DataSet[T], less func(a, b T) bool) *DataSet[T] {
+	return SortPartitionNormalized(d, less, nil)
+}
+
+// SortPartitionNormalized is SortPartition with an optional normalized-key
+// writer: when normKey is non-nil the sort compares packed key bytes with
+// memcmp instead of calling less per comparison — Flink's normalized-key
+// sort, the optimization the paper credits for the efficient sort-based
+// runtime. normKey MUST be total and order exactly as less does (ties keep
+// arrival order either way); serde.NormKeyerFor builds conforming writers.
+func SortPartitionNormalized[T any](d *DataSet[T], less func(a, b T) bool,
+	normKey func(v T, dst []byte) []byte) *DataSet[T] {
 	e := d.env
 	ds := &DataSet[T]{
 		env:         e,
@@ -193,7 +205,11 @@ func SortPartition[T any](d *DataSet[T], less func(a, b T) bool) *DataSet[T] {
 					return nil
 				},
 				close: func() error {
-					sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+					if normKey != nil {
+						shuffle.SortByNormKey(buf, normKey)
+					} else {
+						sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+					}
 					if len(buf) > 0 {
 						if err := out.push(buf); err != nil {
 							return err

@@ -90,11 +90,15 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 					}
 				},
 				Emit: func(dst int, b shuffle.Block) error {
-					if len(b.Data) == 0 {
+					if b.Len() == 0 {
+						b.Release()
 						return nil
 					}
-					e.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, false)
-					chans[dst] <- shuffle.Packet{From: fromNode, Data: b.Data, Raw: b.Raw}
+					e.metrics.AddShuffleWrite(int64(b.Len()), b.Raw, false)
+					// Ownership rides the packet; the consumer releases
+					// after decoding, recycling the buffer for the next
+					// flush.
+					chans[dst] <- shuffle.Packet{From: fromNode, Block: b}
 					return nil
 				},
 			})
@@ -138,15 +142,18 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 				var failed error
 				for pkt := range chans[part] {
 					if failed != nil {
+						pkt.Block.Release()
 						continue
 					}
-					e.metrics.AddShuffleRead(int64(len(pkt.Data)), pkt.From == node)
-					raw, err := shuffle.Unpack(set, pkt.Data)
+					e.metrics.AddShuffleRead(int64(pkt.Block.Len()), pkt.From == node)
+					raw, err := shuffle.Unpack(set, pkt.Block.Bytes())
 					if err != nil {
+						pkt.Block.Release()
 						failed = fmt.Errorf("flink: %s: %w", label, err)
 						continue
 					}
 					recs, err := serde.DecodeAll(codec, raw)
+					pkt.Block.Release() // decode copies; recycle the buffer
 					if err != nil {
 						failed = fmt.Errorf("flink: %s decode: %w", label, err)
 						continue

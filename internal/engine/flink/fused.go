@@ -1,0 +1,83 @@
+package flink
+
+import "repro/internal/core"
+
+// This file is the engine half of the dataflow layer's operator fusion: a
+// whole Map→Filter→FlatMap chain arrives as one compiled per-record closure
+// and becomes ONE chained operator in the producing task, instead of one
+// DataSet (and one intermediate batch slice) per operator. Flink's operator
+// chaining already keeps narrow operators in the same task; fusion removes
+// the per-operator sink hops and batch materializations on top of it. The
+// chain's record types are erased at the dataflow layer, so the parent
+// arrives as `any` and the callbacks carry the typed work (see
+// spark.FusedNarrow for the drive/compile contract).
+
+// erasedSink is a partSink with the batch element type erased: push
+// receives a []R boxed as any.
+type erasedSink struct {
+	push  func(batch any) error
+	close func() error
+}
+
+// produceErased runs produce through erased sinks, boxing each batch once.
+func (d *DataSet[T]) produceErased(ctx *jobCtx, sinks []erasedSink) error {
+	wrapped := make([]partSink[T], len(sinks))
+	for p := range sinks {
+		es := sinks[p]
+		wrapped[p] = partSink[T]{
+			push:  func(batch []T) error { return es.push(batch) },
+			close: es.close,
+		}
+	}
+	return d.produce(ctx, wrapped)
+}
+
+// fusedDS is the erased parent view FusedChain needs.
+type fusedDS interface {
+	anyDataSet
+	produceErased(ctx *jobCtx, sinks []erasedSink) error
+	fuseMeta() (e *Env, parallelism int, pref func(int) int)
+}
+
+func (d *DataSet[T]) fuseMeta() (*Env, int, func(int) int) {
+	return d.env, d.parallelism, d.pref
+}
+
+// FusedChain builds one chained operator computing a fused narrow chain.
+// parent must be a *DataSet of the chain's input type; label and kind name
+// the collapsed operator in the task chain. Like every chainOp, it runs in
+// the parent's tasks — no exchange, no new tasks.
+func FusedChain[U any](parent any, label string, kind core.OpKind,
+	drive func(recs, feed any), compile func(sink any) any) *DataSet[U] {
+	p := parent.(fusedDS)
+	e, parallelism, pref := p.fuseMeta()
+	ds := &DataSet[U]{
+		env:         e,
+		id:          int(e.nextID.Add(1)),
+		chain:       append(append([]string{}, p.chainLabels()...), label),
+		kind:        kind,
+		parallelism: parallelism,
+		parents:     []planParent{{ds: p}},
+		pref:        pref,
+	}
+	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
+		wrapped := make([]erasedSink, len(sinks))
+		for i := range sinks {
+			out := sinks[i]
+			wrapped[i] = erasedSink{
+				push: func(batch any) error {
+					var buf []U
+					feed := compile(func(u U) { buf = append(buf, u) })
+					drive(batch, feed)
+					if len(buf) == 0 {
+						return nil
+					}
+					return out.push(buf)
+				},
+				close: out.close,
+			}
+		}
+		return p.produceErased(ctx, wrapped)
+	}
+	return ds
+}

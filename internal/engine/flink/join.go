@@ -174,11 +174,12 @@ func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
 			Settings: set,
 			Metrics:  e.metrics,
 			Emit: func(dst int, b shuffle.Block) error {
-				if len(b.Data) == 0 {
+				if b.Len() == 0 {
+					b.Release()
 					return nil
 				}
-				e.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, false)
-				chans[dst] <- shuffle.Packet{From: fromNode, Data: b.Data, Raw: b.Raw}
+				e.metrics.AddShuffleWrite(int64(b.Len()), b.Raw, false)
+				chans[dst] <- shuffle.Packet{From: fromNode, Block: b}
 				return nil
 			},
 		})
@@ -217,15 +218,18 @@ func drainSide[T any](e *Env, node int, ch <-chan shuffle.Packet, codec serde.Co
 	var failed error
 	for pkt := range ch {
 		if failed != nil {
+			pkt.Block.Release()
 			continue
 		}
-		e.metrics.AddShuffleRead(int64(len(pkt.Data)), pkt.From == node)
-		raw, err := shuffle.Unpack(e.shuffleSet, pkt.Data)
+		e.metrics.AddShuffleRead(int64(pkt.Block.Len()), pkt.From == node)
+		raw, err := shuffle.Unpack(e.shuffleSet, pkt.Block.Bytes())
 		if err != nil {
+			pkt.Block.Release()
 			failed = err
 			continue
 		}
 		recs, err := serde.DecodeAll(codec, raw)
+		pkt.Block.Release()
 		if err != nil {
 			failed = err
 			continue

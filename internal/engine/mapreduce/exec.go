@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/memory"
 	"repro/internal/serde"
 	"repro/internal/shuffle"
 )
@@ -152,6 +153,9 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 		Less:     func(a, b core.Pair[K, V]) bool { return a.Key < b.Key },
 		Same:     func(a, b core.Pair[K, V]) bool { return a.Key == b.Key },
 		Hash:     func(p core.Pair[K, V]) uint64 { return core.HashKey(p.Key) },
+		// MapReduce keys always sort in natural order, so the binary
+		// normalized-key sort applies whenever K has one.
+		NormKey: serde.PairNormKeyer[K, V](serde.NormKeyerFor[K]()),
 	}
 	if combine := job.Combine; combine != nil {
 		spec.CombineRun = func(run []core.Pair[K, V]) []core.Pair[K, V] {
@@ -177,9 +181,11 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 		Spill:    &dfsSpillStore{c: c, job: jobID, m: m},
 		Emit: func(r int, b shuffle.Block) error {
 			// The materialized segment the barrier guards; wire bytes hit
-			// the DFS under the shared accounting rule.
-			c.fs.WriteFile(segmentFile(jobID, m, r), b.Data)
-			c.metrics.AddShuffleWrite(int64(len(b.Data)), b.Raw, true)
+			// the DFS under the shared accounting rule. The DFS retains the
+			// block's storage by reference, so ownership transfers to it —
+			// no release until the job's cleanup deletes the segment.
+			c.fs.WriteFile(segmentFile(jobID, m, r), b.Bytes())
+			c.metrics.AddShuffleWrite(int64(b.Len()), b.Raw, true)
 			return nil
 		},
 	})
@@ -207,22 +213,33 @@ func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name st
 	job Job[I, K, V], codec serde.Codec[core.Pair[K, V]]) ([]core.Pair[K, V], error) {
 	c.metrics.TasksLaunched.Add(1)
 	node := c.rt.NodeFor(r)
-	blocks := make([][]byte, 0, maps)
+	blocks := make([]shuffle.Block, 0, maps)
 	for m := 0; m < maps; m++ {
 		f, err := c.fs.Open(segmentFile(jobID, m, r))
 		if err != nil {
 			return nil, fmt.Errorf("shuffle fetch %s: %w", segmentFile(jobID, m, r), err)
 		}
-		data := f.Contents()
-		n := int64(len(data))
 		// Local iff the segment's DFS replica lives on the reduce node —
 		// the materialized shuffle really fetches from the filesystem (see
-		// the accounting rule in internal/metrics).
-		c.metrics.AddShuffleRead(n, replicaNode(f, 0) == node)
-		c.metrics.DiskBytesRead.Add(n)
-		blocks = append(blocks, data)
+		// the accounting rule in internal/metrics). A local single-block
+		// segment is read zero-copy (borrowing the DFS storage); anything
+		// remote — or spanning blocks — copies into a pooled buffer.
+		local := replicaNode(f, 0) == node
+		var blk shuffle.Block
+		if data, ok := f.Contiguous(); ok && local {
+			blk = shuffle.OwnedBlock(data, f.Size(), 0)
+		} else {
+			buf := f.AppendTo(memory.DefaultPool.Get(int(f.Size())))
+			blk = shuffle.PooledBlock(buf, f.Size(), 0)
+		}
+		c.metrics.AddShuffleRead(int64(blk.Len()), local)
+		c.metrics.DiskBytesRead.Add(int64(blk.Len()))
+		blocks = append(blocks, blk)
 	}
 	segments, err := shuffle.DecodeBlocks(c.shuffleSet, codec, blocks)
+	for i := range blocks {
+		blocks[i].Release()
+	}
 	if err != nil {
 		return nil, err
 	}

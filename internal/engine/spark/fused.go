@@ -1,0 +1,52 @@
+package spark
+
+import "repro/internal/core"
+
+// This file is the engine half of the dataflow layer's operator fusion: a
+// whole Map→Filter→FlatMap chain arrives as one compiled per-record closure
+// and becomes ONE narrow RDD, instead of one RDD (and one intermediate
+// slice) per operator — whole-stage codegen in miniature. The chain's
+// record types are erased at the dataflow layer (continuation-passing
+// closures), so the parent arrives as `any` and the two callbacks carry the
+// typed work:
+//
+//   - drive iterates one partition batch ([]R, boxed) through the chain's
+//     compiled input consumer (func(R), boxed) — captured where R is known.
+//   - compile turns this side's typed output sink func(U) into that input
+//     consumer.
+//
+// Each runs one type assertion per partition, never per record.
+
+// fusedRDD is the erased parent view FusedNarrow needs beyond anyRDD.
+type fusedRDD interface {
+	anyRDD
+	ctxOf() *Context
+	iterAny(p int, tc *taskContext) (any, error)
+}
+
+func (r *RDD[T]) ctxOf() *Context { return r.ctx }
+func (r *RDD[T]) iterAny(p int, tc *taskContext) (any, error) {
+	return r.iterator(p, tc)
+}
+
+// FusedNarrow builds one narrow RDD computing a fused operator chain.
+// parent must be a *RDD of the chain's input type; name and kind label the
+// collapsed operator in lineage and plans. Partitioning, locality and the
+// parent's cache behaviour (iterator honours persisted blocks) are
+// unchanged — only the per-operator materialization disappears.
+func FusedNarrow[U any](parent any, name string, kind core.OpKind,
+	drive func(recs, feed any), compile func(sink any) any) *RDD[U] {
+	r := parent.(fusedRDD)
+	out := newRDD[U](r.ctxOf(), name, kind, r.partitions(), []dep{{parent: r}}, nil)
+	out.compute = func(p int, tc *taskContext) ([]U, error) {
+		recs, err := r.iterAny(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		var res []U
+		feed := compile(func(u U) { res = append(res, u) })
+		drive(recs, feed)
+		return res, nil
+	}
+	return out
+}

@@ -57,7 +57,7 @@ func CombineByKey[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string,
 		numParts = r.ctx.parallelism
 	}
 	part := core.NewHashPartitioner[K](numParts)
-	return shuffledRDD(r, name, core.OpReduceByKey, part, createCombiner, mergeValue, mergeCombiners, mapSideCombine, false, nil)
+	return shuffledRDD(r, name, core.OpReduceByKey, part, createCombiner, mergeValue, mergeCombiners, mapSideCombine, false, nil, nil)
 }
 
 // PartitionBy redistributes pairs with an explicit partitioner, no
@@ -69,7 +69,7 @@ func PartitionBy[K comparable, V any](r *RDD[core.Pair[K, V]], part core.Partiti
 		func(v V) V { return v },
 		func(c V, v V) V { return v },
 		func(a, b V) V { return b },
-		false, true, nil)
+		false, true, nil, nil)
 }
 
 // RepartitionAndSortWithinPartitions is the Tera Sort primitive: shuffle by
@@ -77,11 +77,23 @@ func PartitionBy[K comparable, V any](r *RDD[core.Pair[K, V]], part core.Partiti
 // the sort during the shuffle read.
 func RepartitionAndSortWithinPartitions[K comparable, V any](r *RDD[core.Pair[K, V]],
 	part core.Partitioner[K], less func(a, b K) bool) *RDD[core.Pair[K, V]] {
+	return RepartitionAndSortNormalized(r, part, less, nil)
+}
+
+// RepartitionAndSortNormalized is RepartitionAndSortWithinPartitions with an
+// optional normalized-key writer: when normKey is non-nil the map-side sort
+// compares packed key bytes with memcmp instead of calling less per
+// comparison (the tungsten UnsafeShuffleWriter trick). normKey MUST be total
+// and order exactly as less does — serde.NormKeyerFor builds conforming
+// writers for natural-ordered scalar keys.
+func RepartitionAndSortNormalized[K comparable, V any](r *RDD[core.Pair[K, V]],
+	part core.Partitioner[K], less func(a, b K) bool,
+	normKey func(dst []byte, k K) []byte) *RDD[core.Pair[K, V]] {
 	return shuffledRDD(r, "RepartitionAndSortWithinPartitions", core.OpPartition, part,
 		func(v V) V { return v },
 		func(c V, v V) V { return v },
 		func(a, b V) V { return b },
-		false, true, less)
+		false, true, less, normKey)
 }
 
 // shuffledRDD builds the wide dependency: map tasks write partitioned,
@@ -91,7 +103,8 @@ func RepartitionAndSortWithinPartitions[K comparable, V any](r *RDD[core.Pair[K,
 func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, kind core.OpKind,
 	part core.Partitioner[K],
 	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
-	mapSideCombine, keepAll bool, less func(a, b K) bool) *RDD[core.Pair[K, C]] {
+	mapSideCombine, keepAll bool, less func(a, b K) bool,
+	normKey func(dst []byte, k K) []byte) *RDD[core.Pair[K, C]] {
 
 	ctx := r.ctx
 	numParts := part.NumPartitions()
@@ -109,7 +122,7 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 		if err != nil {
 			return err
 		}
-		w := newMapWriter(tc, sd, part, pairCodec, mapSideCombine, createCombiner, mergeValue, mergeCombiners, less)
+		w := newMapWriter(tc, sd, part, pairCodec, mapSideCombine, createCombiner, mergeValue, mergeCombiners, less, normKey)
 		for _, p := range in {
 			w.add(p.Key, p.Value)
 		}
@@ -123,6 +136,9 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 			return nil, err
 		}
 		segs, err := shuffle.DecodeBlocks(ctx.shuffleSet, pairCodec, blocks)
+		for i := range blocks {
+			blocks[i].Release() // borrows no-op; remote copies recycle
+		}
 		if err != nil {
 			return nil, fmt.Errorf("spark: shuffle decode: %w", err)
 		}

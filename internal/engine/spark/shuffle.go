@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/shuffle"
 )
 
 // errFetchFailed marks a reducer that could not find a map output — the
@@ -21,12 +23,14 @@ type shuffleDep struct {
 	write    func(mapPart int, tc *taskContext) error
 }
 
-// mapOutput is one map task's contribution: one serialized block per
-// reduce partition, tagged with the node that produced it so reads can be
-// classified local or remote.
+// mapOutput is one map task's contribution: one sealed block per reduce
+// partition, tagged with the node that produced it so reads can be
+// classified local or remote. The service owns the blocks' storage — map
+// outputs outlive the producing stage for lineage-based retries, so they
+// are never released back to the pool while registered.
 type mapOutput struct {
 	node    int
-	buckets [][]byte
+	buckets []shuffle.Block
 }
 
 // shuffleService stores map outputs between stages — Spark's shuffle files
@@ -50,13 +54,14 @@ func (s *shuffleService) register(sd *shuffleDep) {
 	}
 }
 
-// put stores one map task's buckets. raw is the pre-compression serialized
-// volume; the wire bytes also count as disk writes (shuffle files hit local
-// disk) under the shared accounting rule in internal/metrics.
-func (s *shuffleService) put(shuffleID, mapPart, node int, buckets [][]byte, raw int64) {
+// put stores one map task's buckets, taking ownership of their storage.
+// raw is the pre-compression serialized volume; the wire bytes also count
+// as disk writes (shuffle files hit local disk) under the shared accounting
+// rule in internal/metrics.
+func (s *shuffleService) put(shuffleID, mapPart, node int, buckets []shuffle.Block, raw int64) {
 	var written int64
 	for _, b := range buckets {
-		written += int64(len(b))
+		written += int64(b.Len())
 	}
 	s.mu.Lock()
 	s.outputs[shuffleID][mapPart] = &mapOutput{node: node, buckets: buckets}
@@ -101,17 +106,21 @@ func (s *shuffleService) missingMaps(shuffleID, numMaps int) []int {
 	return missing
 }
 
-// fetch returns the serialized blocks of one reduce partition, one per map
-// task, in map order. Bytes are accounted as local or remote reads
-// depending on the producing node.
-func (s *shuffleService) fetch(shuffleID, reducePart int, tc *taskContext) ([][]byte, error) {
+// fetch returns one reduce partition's blocks, one per map task, in map
+// order. A block produced on the reader's own node is BORROWED — a
+// zero-copy view of the service's storage; a block from any other node is
+// COPIED into a fresh pooled buffer, modeling the network transfer a real
+// remote fetch performs. Bytes are accounted local or remote accordingly;
+// the caller releases every returned block after decoding (borrows no-op,
+// remote copies recycle).
+func (s *shuffleService) fetch(shuffleID, reducePart int, tc *taskContext) ([]shuffle.Block, error) {
 	s.mu.Lock()
 	outs, ok := s.outputs[shuffleID]
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: shuffle %d never ran", errFetchFailed, shuffleID)
 	}
-	blocks := make([][]byte, 0, len(outs))
+	blocks := make([]shuffle.Block, 0, len(outs))
 	var local, remote int64
 	for _, o := range outs {
 		if o == nil {
@@ -119,11 +128,12 @@ func (s *shuffleService) fetch(shuffleID, reducePart int, tc *taskContext) ([][]
 			return nil, fmt.Errorf("%w: shuffle %d", errFetchFailed, shuffleID)
 		}
 		b := o.buckets[reducePart]
-		blocks = append(blocks, b)
 		if o.node == tc.node {
-			local += int64(len(b))
+			blocks = append(blocks, b.Borrow())
+			local += int64(b.Len())
 		} else {
-			remote += int64(len(b))
+			blocks = append(blocks, b.CopyPooled())
+			remote += int64(b.Len())
 		}
 	}
 	s.mu.Unlock()

@@ -19,7 +19,7 @@ type mapWriter[K comparable, V, C any] struct {
 	w              shuffle.Writer[core.Pair[K, C]]
 	createCombiner func(V) C
 
-	buckets [][]byte
+	buckets []shuffle.Block
 	raw     int64
 	err     error
 }
@@ -31,13 +31,13 @@ type mapWriter[K comparable, V, C any] struct {
 func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 	part core.Partitioner[K], codec serde.Codec[core.Pair[K, C]], mapSideCombine bool,
 	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
-	less func(a, b K) bool) *mapWriter[K, V, C] {
+	less func(a, b K) bool, normKey func(dst []byte, k K) []byte) *mapWriter[K, V, C] {
 	_ = mergeValue
 	w := &mapWriter[K, V, C]{
 		tc:             tc,
 		sd:             sd,
 		createCombiner: createCombiner,
-		buckets:        make([][]byte, sd.numParts),
+		buckets:        make([]shuffle.Block, sd.numParts),
 	}
 	spec := shuffle.Spec[core.Pair[K, C]]{
 		NumParts: sd.numParts,
@@ -48,6 +48,7 @@ func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 	}
 	if less != nil {
 		spec.Less = func(a, b core.Pair[K, C]) bool { return less(a.Key, b.Key) }
+		spec.NormKey = serde.PairNormKeyer[K, C](normKey)
 	}
 	if mapSideCombine {
 		spec.Merge = func(a, b core.Pair[K, C]) core.Pair[K, C] {
@@ -61,8 +62,9 @@ func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 		Free:     tc.heap.FreeShuffle,
 		Emit: func(p int, b shuffle.Block) error {
 			// FlushBytes is zero for spark (a materialized shuffle), so
-			// every partition gets exactly one Close-time block.
-			w.buckets[p] = b.Data
+			// every partition gets exactly one Close-time block, whose
+			// ownership passes through to the shuffle service.
+			w.buckets[p] = b
 			w.raw += b.Raw
 			return nil
 		},

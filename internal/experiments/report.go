@@ -37,7 +37,16 @@ type Row struct {
 	SparkQD99  float64
 	FlinkQD99  float64
 	MapRedQD99 float64
-	PaperNote  string // the paper's reported values or claim, for the report
+	// Raw-speed columns of the per-record reports (ext9): wall-clock
+	// nanoseconds and heap allocations per input record. NaN everywhere
+	// else.
+	SparkNsRec      float64
+	FlinkNsRec      float64
+	MapRedNsRec     float64
+	SparkAllocsRec  float64
+	FlinkAllocsRec  float64
+	MapRedAllocsRec float64
+	PaperNote       string // the paper's reported values or claim, for the report
 }
 
 // Report is the regenerated artifact for one experiment id.
@@ -53,6 +62,9 @@ type Report struct {
 	// milliseconds (Spark/Flink + SparkP99/FlinkP99), not mean ± std
 	// seconds.
 	Latency bool
+	// PerRecord marks a raw-speed report (ext9): row cells are ns/record
+	// and allocs/record (the *NsRec/*AllocsRec columns), not runtimes.
+	PerRecord bool
 }
 
 // Render produces the report as text: a paper-style comparison table plus
@@ -91,7 +103,14 @@ func (r *Report) Render() string {
 			}
 			fmt.Fprintf(&b, "%s\n", note)
 		}
-		if r.Latency {
+		if r.PerRecord {
+			printRow("config", "spark ns/rec·allocs", "flink ns/rec·allocs", "mapreduce ns/rec·allocs", noteHeader)
+			for _, row := range r.Rows {
+				printRow(row.Label, rawCell(row.SparkNsRec, row.SparkAllocsRec),
+					rawCell(row.FlinkNsRec, row.FlinkAllocsRec),
+					rawCell(row.MapRedNsRec, row.MapRedAllocsRec), row.PaperNote)
+			}
+		} else if r.Latency {
 			printRow("config", "spark p50/p99 ms", "flink p50/p99 ms", "mapreduce p50/p99 ms", noteHeader)
 			for _, row := range r.Rows {
 				printRow(row.Label, latCell(row.Spark, row.SparkP99), latCell(row.Flink, row.FlinkP99),
@@ -147,6 +166,15 @@ func latCell(p50, p99 float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1f / %.1f", p50, p99)
+}
+
+// rawCell renders one raw-speed cell: "ns/record · allocs/record", "-"
+// when the engine was filtered out or the run failed.
+func rawCell(ns, allocs float64) string {
+	if math.IsNaN(ns) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f ns · %.2f al", ns, allocs)
 }
 
 // utilCell renders the contention sub-row cell: cluster utilization and

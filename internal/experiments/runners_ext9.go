@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/engine/mapreduce"
+	"repro/internal/memory"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ext9 is the raw-speed family: WordCount and TeraSort per engine measured
+// in nanoseconds and heap allocations PER INPUT RECORD, against an in-process
+// emulation of the pre-redesign hot path. The "legacy alloc" rows switch the
+// raw-speed layer off wholesale — operator fusion disabled, the buffer pool
+// bypassed, local block reads deep-copied, and one fresh heap object per
+// encoded record (the old allocate-per-record Codec surface) — which is the
+// allocation behaviour every record paid before the tungsten-style rework.
+// The gap between the row pairs is the Sec. IV-D serialization axis measured
+// directly: same workload, same engine, only the memory discipline differs.
+
+func init() {
+	register("ext9", "Raw speed — ns/record and allocs/record, WordCount & TeraSort on the real engines", runExt9)
+}
+
+const (
+	ext9Trials      = 3
+	ext9TextBytes   = 192 * 1024
+	ext9TeraRecords = 4000
+	ext9Parallelism = 4
+)
+
+// RawSpeed is one measured (engine, workload, mode) cell: best-of-trials
+// wall-clock nanoseconds and heap allocations per input record.
+type RawSpeed struct {
+	NsPerRec     float64
+	AllocsPerRec float64
+	Records      int64
+}
+
+func runExt9() (*Report, error) {
+	rep := &Report{
+		ID:        "ext9",
+		Title:     "Raw speed: ns/record and allocs/record per engine (WordCount + TeraSort)",
+		ThreeWay:  true,
+		PerRecord: true,
+		Notes: []string{
+			"cells: best-of-" + fmt.Sprint(ext9Trials) + " wall-clock ns and heap allocations per input record (lines for WordCount, 100-byte records for TeraSort, rows on the hot-path rows)",
+			"legacy alloc = pre-redesign hot path emulated in-process: fusion off, buffer pool bypassed, local block reads copied, one allocation per encoded record",
+			"end-to-end rows run the full workload (workload-inherent allocations included); hot path rows isolate the redesigned per-record cycle — tungsten rows append-encoded through the real shuffle writer, sealed pooled blocks, zero-copy local borrow, borrowing positional decode — under each engine's default strategy",
+			"the optimized/legacy gap on allocs/record is the acceptance delta for the tungsten-style serde + zero-copy shuffle + fusion layer",
+		},
+	}
+	for _, wl := range []string{"WordCount", "TeraSort"} {
+		for _, meas := range []struct {
+			label string
+			run   func(engine, wl string, legacy bool) (RawSpeed, error)
+		}{
+			{wl, MeasureRawSpeed},
+			{wl + " hot path", MeasureHotPath},
+		} {
+			for _, mode := range []struct {
+				suffix string
+				legacy bool
+			}{{" (legacy alloc)", true}, {"", false}} {
+				row := skippedRow(meas.label+mode.suffix, "")
+				for _, engine := range enabled(sim.Engines()) {
+					rs, err := meas.run(engine.String(), wl, mode.legacy)
+					if err != nil {
+						return nil, fmt.Errorf("ext9 %s %s: %w", meas.label, engine, err)
+					}
+					switch engine {
+					case sim.Spark:
+						row.SparkNsRec, row.SparkAllocsRec = rs.NsPerRec, rs.AllocsPerRec
+					case sim.Flink:
+						row.FlinkNsRec, row.FlinkAllocsRec = rs.NsPerRec, rs.AllocsPerRec
+					case sim.MapReduce:
+						row.MapRedNsRec, row.MapRedAllocsRec = rs.NsPerRec, rs.AllocsPerRec
+					}
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// MeasureRawSpeed runs one workload on one engine and returns per-record
+// nanoseconds and allocations (best of ext9Trials measured runs, after one
+// warm-up that primes the buffer pool). legacy measures the pre-redesign
+// baseline emulation instead; the switches are process-global, so callers
+// must not measure concurrently.
+func MeasureRawSpeed(engine, wl string, legacy bool) (RawSpeed, error) {
+	if legacy {
+		prevFuse := dataflow.SetFusion(false)
+		prevZC := shuffle.SetZeroCopyLocal(false)
+		prevLA := serde.SetLegacyAlloc(true)
+		prevPool := memory.DefaultPool.SetEnabled(false)
+		defer func() {
+			dataflow.SetFusion(prevFuse)
+			shuffle.SetZeroCopyLocal(prevZC)
+			serde.SetLegacyAlloc(prevLA)
+			memory.DefaultPool.SetEnabled(prevPool)
+		}()
+	}
+	text := datagen.Text(33, ext9TextBytes, 10)
+	tera := datagen.TeraGen(7, ext9TeraRecords)
+	records := int64(ext9TeraRecords)
+	if wl == "WordCount" {
+		records = int64(bytes.Count(text, []byte("\n")))
+	}
+	if records == 0 {
+		return RawSpeed{}, fmt.Errorf("ext9: empty %s input", wl)
+	}
+	best := RawSpeed{Records: records}
+	for trial := 0; trial <= ext9Trials; trial++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := ext9Run(engine, wl, text, tera); err != nil {
+			return RawSpeed{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if trial == 0 {
+			continue // warm-up: pool and lazily-built state fill here
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(records)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(records)
+		if best.NsPerRec == 0 || ns < best.NsPerRec {
+			best.NsPerRec = ns
+		}
+		if best.AllocsPerRec == 0 || allocs < best.AllocsPerRec {
+			best.AllocsPerRec = allocs
+		}
+	}
+	return best, nil
+}
+
+// MeasureHotPath measures the redesigned per-record cycle in isolation:
+// the workload's record shape as tungsten-style rows pushed through the
+// real shuffle machinery — append-encode into pooled buffers, sealed
+// blocks, a zero-copy local borrow, and a borrowing positional decode —
+// under the engine's default strategy (sort for spark and mapreduce, the
+// pipelined hash exchange for flink). End-to-end workload runs bury this
+// path under workload-inherent allocations (word strings, reducer maps);
+// this is the axis the serde/shuffle redesign actually moves. Same
+// best-of-trials and legacy semantics as MeasureRawSpeed.
+func MeasureHotPath(engine, wl string, legacy bool) (RawSpeed, error) {
+	if legacy {
+		prevFuse := dataflow.SetFusion(false)
+		prevZC := shuffle.SetZeroCopyLocal(false)
+		prevLA := serde.SetLegacyAlloc(true)
+		prevPool := memory.DefaultPool.SetEnabled(false)
+		defer func() {
+			dataflow.SetFusion(prevFuse)
+			shuffle.SetZeroCopyLocal(prevZC)
+			serde.SetLegacyAlloc(prevLA)
+			memory.DefaultPool.SetEnabled(prevPool)
+		}()
+	}
+	set := shuffle.Settings{Kind: shuffle.Sort}
+	if engine == "flink" {
+		set = shuffle.Settings{Kind: shuffle.Hash, FlushBytes: 32 * 1024}
+	}
+	schema, rows, err := hotPathRows(wl)
+	if err != nil {
+		return RawSpeed{}, err
+	}
+	spec := shuffle.Spec[serde.Row]{
+		NumParts: ext9Parallelism,
+		Codec:    schema.Codec(),
+		Route: func(r serde.Row) int {
+			b, _ := r.Bytes(0)
+			return int(fnvHash(b) % uint64(ext9Parallelism))
+		},
+	}
+	consume := func(r serde.Row) { r.Int64(1) }
+	if wl == "TeraSort" {
+		// The TeraSort reduce path: rows order by their 10-byte key via the
+		// raw-tail normalized form, compared with memcmp and never decoded.
+		spec.Less = func(a, b serde.Row) bool {
+			ab, _ := a.Bytes(0)
+			bb, _ := b.Bytes(0)
+			return bytes.Compare(ab, bb) < 0
+		}
+		spec.NormKey = func(v serde.Row, dst []byte) []byte {
+			b, _ := v.Bytes(0)
+			return serde.AppendKeyTailBytes(dst, b)
+		}
+		consume = func(r serde.Row) { _, _ = r.Bytes(0) }
+	}
+	records := int64(len(rows))
+	best := RawSpeed{Records: records}
+	for trial := 0; trial <= ext9Trials; trial++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := hotPathCycle(spec, set, rows, consume); err != nil {
+			return RawSpeed{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if trial == 0 {
+			continue
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(records)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(records)
+		if best.NsPerRec == 0 || ns < best.NsPerRec {
+			best.NsPerRec = ns
+		}
+		if best.AllocsPerRec == 0 || allocs < best.AllocsPerRec {
+			best.AllocsPerRec = allocs
+		}
+	}
+	return best, nil
+}
+
+// hotPathCycle runs one full write → seal → borrow → decode → consume
+// cycle over the shared shuffle core, releasing every block back to the
+// pool so the next cycle runs at steady state.
+func hotPathCycle(spec shuffle.Spec[serde.Row], set shuffle.Settings, rows []serde.Row, consume func(serde.Row)) error {
+	blocks := make(map[int][]shuffle.Block, spec.NumParts)
+	w := shuffle.NewWriter(spec, shuffle.Env{Settings: set, Emit: func(p int, b shuffle.Block) error {
+		if b.Len() == 0 {
+			b.Release()
+			return nil
+		}
+		blocks[p] = append(blocks[p], b)
+		return nil
+	}})
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	var n int64
+	for p := 0; p < spec.NumParts; p++ {
+		for _, b := range blocks[p] {
+			view := b.Borrow() // the zero-copy local-read path
+			segs, err := shuffle.DecodeBlocks(set, spec.Codec, []shuffle.Block{view})
+			if err != nil {
+				return err
+			}
+			for _, seg := range segs {
+				for _, r := range seg {
+					consume(r)
+					n++
+				}
+			}
+			view.Release()
+			b.Release() // owner side: recycle the storage for the next cycle
+		}
+	}
+	if n != int64(len(rows)) {
+		return fmt.Errorf("ext9: hot path saw %d of %d records", n, len(rows))
+	}
+	return nil
+}
+
+// hotPathRows builds the workload's input as tungsten rows over one wire
+// buffer: (word, 1) pair rows for WordCount, (10-byte key, 90-byte payload)
+// rows for TeraSort. The returned rows borrow the buffer.
+func hotPathRows(wl string) (*serde.Schema, []serde.Row, error) {
+	var schema *serde.Schema
+	var wire []byte
+	switch wl {
+	case "WordCount":
+		schema = serde.NewSchema(serde.KindString, serde.KindInt64)
+		b := schema.NewBuilder()
+		for _, word := range strings.Fields(string(datagen.Text(33, ext9TextBytes, 10))) {
+			b.Reset()
+			b.SetString(0, word)
+			b.SetInt64(1, 1)
+			wire = b.AppendRow(wire)
+		}
+		b.Release()
+	case "TeraSort":
+		schema = serde.NewSchema(serde.KindBytes, serde.KindBytes)
+		tera := datagen.TeraGen(7, ext9TeraRecords)
+		b := schema.NewBuilder()
+		for off := 0; off+100 <= len(tera); off += 100 {
+			b.Reset()
+			b.SetBytes(0, tera[off:off+10])
+			b.SetBytes(1, tera[off+10:off+100])
+			wire = b.AppendRow(wire)
+		}
+		b.Release()
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", wl)
+	}
+	var rows []serde.Row
+	for src := wire; len(src) > 0; {
+		r, n, err := schema.ReadRow(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, r)
+		src = src[n:]
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("ext9: empty %s hot-path input", wl)
+	}
+	return schema, rows, nil
+}
+
+// fnvHash is FNV-1a over a row's key bytes — the route hash of the
+// hot-path cycle.
+func fnvHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ext9Run executes one workload once over a fresh session, mirroring the
+// ext6 testbed but with the engines' default shuffle strategies.
+func ext9Run(engine, wl string, text, tera []byte) error {
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+	rt, err := cluster.NewRuntime(spec, 8)
+	if err != nil {
+		return err
+	}
+	conf := core.NewConfig().
+		SetInt(core.SparkDefaultParallelism, ext9Parallelism).
+		SetInt(core.FlinkDefaultParallelism, ext9Parallelism).
+		SetInt(mapreduce.MRReduceTasks, ext9Parallelism).
+		SetInt(core.FlinkNetworkBuffers, 8192).
+		SetBytes(core.SparkExecutorMemory, 512*core.MB).
+		SetBytes(core.FlinkTaskManagerMemory, 256*core.MB)
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
+	if err != nil {
+		return err
+	}
+	switch wl {
+	case "WordCount":
+		s.FS().WriteFile("ext9-wc", text)
+		return workloads.WordCount(s, "ext9-wc", "ext9-wc-out")
+	case "TeraSort":
+		s.FS().WriteFile("ext9-tera", tera)
+		part := workloads.TeraPartitioner(tera, ext9Parallelism)
+		if err := workloads.TeraSort(s, "ext9-tera", "ext9-tera-out", part); err != nil {
+			return err
+		}
+		return workloads.VerifyTeraSorted(s.FS(), "ext9-tera-out", ext9TeraRecords)
+	}
+	return fmt.Errorf("unknown workload %q", wl)
+}

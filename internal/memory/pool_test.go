@@ -1,0 +1,59 @@
+package memory
+
+import "testing"
+
+func TestBufPoolRecycles(t *testing.T) {
+	p := &BufPool{}
+	b := p.Get(1000)
+	if cap(b) < 1000 || len(b) != 0 {
+		t.Fatalf("Get(1000) = len %d cap %d", len(b), cap(b))
+	}
+	p.Put(b)
+	b2 := p.Get(900) // same class; must hit the recycled buffer
+	if cap(b2) < 900 {
+		t.Fatalf("Get(900) cap %d", cap(b2))
+	}
+	gets, puts, misses := p.Stats()
+	if gets != 2 || puts != 1 {
+		t.Fatalf("stats gets=%d puts=%d", gets, puts)
+	}
+	if misses != 1 {
+		t.Fatalf("misses=%d, want 1 (second Get should recycle)", misses)
+	}
+}
+
+func TestBufPoolOutOfClassRequests(t *testing.T) {
+	p := &BufPool{}
+	big := p.Get(64 << 20) // beyond maxClass: plain allocation
+	if cap(big) < 64<<20 {
+		t.Fatal("huge Get under-allocated")
+	}
+	p.Put(big) // must be dropped, not pooled
+	small := p.Get(1)
+	if cap(small) < 1 {
+		t.Fatal("tiny Get under-allocated")
+	}
+	// A buffer that grew past its class must round down so Get's capacity
+	// promise holds.
+	odd := make([]byte, 0, 1000)
+	p.Put(odd)
+	got := p.Get(512)
+	if cap(got) < 512 {
+		t.Fatalf("Get(512) after odd Put: cap %d", cap(got))
+	}
+}
+
+func TestBufPoolZeroAllocSteadyState(t *testing.T) {
+	p := &BufPool{}
+	src := make([]byte, 100)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.Get(4096)
+		b = append(b, src...)
+		p.Put(b)
+	})
+	// The per-Put box aside (one word-sized object per BLOCK, not per
+	// record), Get/Put round-trips must not allocate buffer storage.
+	if allocs > 1 {
+		t.Fatalf("steady-state Get/Put allocates %.1f/op", allocs)
+	}
+}

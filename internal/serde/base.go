@@ -24,26 +24,26 @@ func wrap[T any](style Style, typeName string, tag byte, base Codec[T]) Codec[T]
 	case Java:
 		hdr := javaHeaderFor(typeName)
 		return Codec[T]{
-			Enc: func(dst []byte, v T) []byte {
+			Encode: func(dst []byte, v T) []byte {
 				dst = append(dst, hdr...)
-				return base.Enc(dst, v)
+				return base.Encode(dst, v)
 			},
-			Dec: func(src []byte) (T, int, error) {
+			Decode: func(src []byte) (T, int, error) {
 				var zero T
 				if len(src) < len(hdr) {
 					return zero, 0, ErrShortBuffer
 				}
-				v, n, err := base.Dec(src[len(hdr):])
+				v, n, err := base.Decode(src[len(hdr):])
 				return v, n + len(hdr), err
 			},
 		}
 	case Kryo:
 		return Codec[T]{
-			Enc: func(dst []byte, v T) []byte {
+			Encode: func(dst []byte, v T) []byte {
 				dst = append(dst, tag)
-				return base.Enc(dst, v)
+				return base.Encode(dst, v)
 			},
-			Dec: func(src []byte) (T, int, error) {
+			Decode: func(src []byte) (T, int, error) {
 				var zero T
 				if len(src) < 1 {
 					return zero, 0, ErrShortBuffer
@@ -51,7 +51,7 @@ func wrap[T any](style Style, typeName string, tag byte, base Codec[T]) Codec[T]
 				if src[0] != tag {
 					return zero, 0, fmt.Errorf("serde: kryo tag mismatch: got %#x want %#x", src[0], tag)
 				}
-				v, n, err := base.Dec(src[1:])
+				v, n, err := base.Decode(src[1:])
 				return v, n + 1, err
 			},
 		}
@@ -74,11 +74,11 @@ const (
 
 // rawString encodes a varint length followed by the bytes.
 var rawString = Codec[string]{
-	Enc: func(dst []byte, v string) []byte {
+	Encode: func(dst []byte, v string) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		return append(dst, v...)
 	},
-	Dec: func(src []byte) (string, int, error) {
+	Decode: func(src []byte) (string, int, error) {
 		l, n := binary.Uvarint(src)
 		if n <= 0 || uint64(len(src)-n) < l {
 			return "", 0, ErrShortBuffer
@@ -88,11 +88,11 @@ var rawString = Codec[string]{
 }
 
 var rawBytes = Codec[[]byte]{
-	Enc: func(dst []byte, v []byte) []byte {
+	Encode: func(dst []byte, v []byte) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		return append(dst, v...)
 	},
-	Dec: func(src []byte) ([]byte, int, error) {
+	Decode: func(src []byte) ([]byte, int, error) {
 		l, n := binary.Uvarint(src)
 		if n <= 0 || uint64(len(src)-n) < l {
 			return nil, 0, ErrShortBuffer
@@ -104,10 +104,10 @@ var rawBytes = Codec[[]byte]{
 }
 
 var rawInt64 = Codec[int64]{
-	Enc: func(dst []byte, v int64) []byte {
+	Encode: func(dst []byte, v int64) []byte {
 		return binary.AppendVarint(dst, v)
 	},
-	Dec: func(src []byte) (int64, int, error) {
+	Decode: func(src []byte) (int64, int, error) {
 		v, n := binary.Varint(src)
 		if n <= 0 {
 			return 0, 0, ErrShortBuffer
@@ -117,10 +117,10 @@ var rawInt64 = Codec[int64]{
 }
 
 var rawFloat64 = Codec[float64]{
-	Enc: func(dst []byte, v float64) []byte {
+	Encode: func(dst []byte, v float64) []byte {
 		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
 	},
-	Dec: func(src []byte) (float64, int, error) {
+	Decode: func(src []byte) (float64, int, error) {
 		if len(src) < 8 {
 			return 0, 0, ErrShortBuffer
 		}
@@ -129,13 +129,13 @@ var rawFloat64 = Codec[float64]{
 }
 
 var rawBool = Codec[bool]{
-	Enc: func(dst []byte, v bool) []byte {
+	Encode: func(dst []byte, v bool) []byte {
 		if v {
 			return append(dst, 1)
 		}
 		return append(dst, 0)
 	},
-	Dec: func(src []byte) (bool, int, error) {
+	Decode: func(src []byte) (bool, int, error) {
 		if len(src) < 1 {
 			return false, 0, ErrShortBuffer
 		}
@@ -156,9 +156,9 @@ func Int64Codec(s Style) Codec[int64] { return wrap(s, "java.lang.Long", tagInt6
 func IntCodec(s Style) Codec[int] {
 	c := Int64Codec(s)
 	return Codec[int]{
-		Enc: func(dst []byte, v int) []byte { return c.Enc(dst, int64(v)) },
-		Dec: func(src []byte) (int, int, error) {
-			v, n, err := c.Dec(src)
+		Encode: func(dst []byte, v int) []byte { return c.Encode(dst, int64(v)) },
+		Decode: func(src []byte) (int, int, error) {
+			v, n, err := c.Decode(src)
 			return int(v), n, err
 		},
 	}

@@ -11,17 +11,17 @@ import (
 // descriptor, Kryo a tag, TypeInfo nothing — the schema is implied).
 func PairCodec[K comparable, V any](s Style, kc Codec[K], vc Codec[V]) Codec[core.Pair[K, V]] {
 	base := Codec[core.Pair[K, V]]{
-		Enc: func(dst []byte, p core.Pair[K, V]) []byte {
-			dst = kc.Enc(dst, p.Key)
-			return vc.Enc(dst, p.Value)
+		Encode: func(dst []byte, p core.Pair[K, V]) []byte {
+			dst = kc.Encode(dst, p.Key)
+			return vc.Encode(dst, p.Value)
 		},
-		Dec: func(src []byte) (core.Pair[K, V], int, error) {
+		Decode: func(src []byte) (core.Pair[K, V], int, error) {
 			var zero core.Pair[K, V]
-			k, n, err := kc.Dec(src)
+			k, n, err := kc.Decode(src)
 			if err != nil {
 				return zero, 0, err
 			}
-			v, m, err := vc.Dec(src[n:])
+			v, m, err := vc.Decode(src[n:])
 			if err != nil {
 				return zero, 0, err
 			}
@@ -34,14 +34,14 @@ func PairCodec[K comparable, V any](s Style, kc Codec[K], vc Codec[V]) Codec[cor
 // SliceCodec composes an element codec into a codec for slices.
 func SliceCodec[T any](s Style, ec Codec[T]) Codec[[]T] {
 	base := Codec[[]T]{
-		Enc: func(dst []byte, vs []T) []byte {
+		Encode: func(dst []byte, vs []T) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(vs)))
 			for _, v := range vs {
-				dst = ec.Enc(dst, v)
+				dst = ec.Encode(dst, v)
 			}
 			return dst
 		},
-		Dec: func(src []byte) ([]T, int, error) {
+		Decode: func(src []byte) ([]T, int, error) {
 			l, n := binary.Uvarint(src)
 			if n <= 0 {
 				return nil, 0, ErrShortBuffer
@@ -49,7 +49,7 @@ func SliceCodec[T any](s Style, ec Codec[T]) Codec[[]T] {
 			out := make([]T, 0, l)
 			off := n
 			for i := uint64(0); i < l; i++ {
-				v, m, err := ec.Dec(src[off:])
+				v, m, err := ec.Decode(src[off:])
 				if err != nil {
 					return nil, 0, err
 				}
@@ -69,7 +69,7 @@ func SliceCodec[T any](s Style, ec Codec[T]) Codec[[]T] {
 func FixedCodec[T any](s Style, typeName string, width int,
 	put func(dst []byte, v T), get func(src []byte) T) Codec[T] {
 	base := Codec[T]{
-		Enc: func(dst []byte, v T) []byte {
+		Encode: func(dst []byte, v T) []byte {
 			off := len(dst)
 			for i := 0; i < width; i++ {
 				dst = append(dst, 0)
@@ -77,7 +77,7 @@ func FixedCodec[T any](s Style, typeName string, width int,
 			put(dst[off:off+width], v)
 			return dst
 		},
-		Dec: func(src []byte) (T, int, error) {
+		Decode: func(src []byte) (T, int, error) {
 			var zero T
 			if len(src) < width {
 				return zero, 0, ErrShortBuffer
@@ -88,9 +88,52 @@ func FixedCodec[T any](s Style, typeName string, width int,
 	return wrap(s, typeName, tagBytes, base)
 }
 
-// NormalizedKeyer extracts a fixed-width binary sort prefix from a value.
-// Prefixes order the same way as the logical keys, so sorters can compare
-// records with bytes.Compare and no deserialization — Flink's normalized
-// key optimization that the paper credits for the efficient sort-based
-// aggregation component.
-type NormalizedKeyer[T any] func(v T, dst []byte) int
+// NormKeyerFor returns an append-style normalized-key writer for K when a
+// memcmp byte order matching Go's < on K exists: strings append raw (a
+// standalone key is its own tail field), signed integers append in
+// sign-flipped big-endian, unsigned ones in plain big-endian. This is
+// Flink's normalized-key optimization that the paper credits for the
+// efficient sort-based aggregation component — sorters compare the packed
+// bytes with bytes.Compare and never call Less (see shuffle.SortByNormKey).
+//
+// Key types with no order-faithful encoding return nil and sorters fall
+// back to comparison sorting. Floats are deliberately excluded: ±0 compare
+// equal under < but encode differently, which would change the tie order a
+// stable comparison sort guarantees.
+func NormKeyerFor[K any]() func(dst []byte, k K) []byte {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		return any(func(dst []byte, k string) []byte {
+			return append(dst, k...)
+		}).(func(dst []byte, k K) []byte)
+	case int64:
+		return any(AppendKeyInt64).(func(dst []byte, k K) []byte)
+	case int:
+		return any(func(dst []byte, k int) []byte {
+			return AppendKeyInt64(dst, int64(k))
+		}).(func(dst []byte, k K) []byte)
+	case int32:
+		return any(func(dst []byte, k int32) []byte {
+			return AppendKeyInt64(dst, int64(k))
+		}).(func(dst []byte, k K) []byte)
+	case uint64:
+		return any(func(dst []byte, k uint64) []byte {
+			return binary.BigEndian.AppendUint64(dst, k)
+		}).(func(dst []byte, k K) []byte)
+	case uint32:
+		return any(func(dst []byte, k uint32) []byte {
+			return binary.BigEndian.AppendUint64(dst, uint64(k))
+		}).(func(dst []byte, k K) []byte)
+	}
+	return nil
+}
+
+// PairNormKeyer lifts a key writer to pair records, the form shuffle.Spec
+// wants: the normalized key of a pair is the normalized key of its Key.
+func PairNormKeyer[K comparable, V any](nk func(dst []byte, k K) []byte) func(p core.Pair[K, V], dst []byte) []byte {
+	if nk == nil {
+		return nil
+	}
+	return func(p core.Pair[K, V], dst []byte) []byte { return nk(dst, p.Key) }
+}

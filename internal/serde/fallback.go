@@ -16,7 +16,7 @@ import (
 func GobCodec[T any](s Style) Codec[T] {
 	var zero T
 	base := Codec[T]{
-		Enc: func(dst []byte, v T) []byte {
+		Encode: func(dst []byte, v T) []byte {
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
 				// Encoding a value we produced ourselves cannot fail
@@ -27,7 +27,7 @@ func GobCodec[T any](s Style) Codec[T] {
 			dst = binary.AppendUvarint(dst, uint64(buf.Len()))
 			return append(dst, buf.Bytes()...)
 		},
-		Dec: func(src []byte) (T, int, error) {
+		Decode: func(src []byte) (T, int, error) {
 			var v T
 			l, n := binary.Uvarint(src)
 			if n <= 0 || uint64(len(src)-n) < l {

@@ -1,0 +1,399 @@
+package serde
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSchema draws a random schema of 1..6 fields.
+func randSchema(rng *rand.Rand) *Schema {
+	kinds := make([]Kind, 1+rng.Intn(6))
+	for i := range kinds {
+		kinds[i] = Kind(rng.Intn(5))
+	}
+	return NewSchema(kinds...)
+}
+
+// randValues draws one value per schema field. Floats occasionally include
+// the canonical NaN and infinities; var-width fields include empties, NULs
+// and multi-KB payloads.
+func randValues(rng *rand.Rand, s *Schema) []any {
+	vs := make([]any, s.NumFields())
+	for i := range vs {
+		switch s.Kind(i) {
+		case KindInt64:
+			vs[i] = rng.Int63() - rng.Int63()
+		case KindFloat64:
+			switch rng.Intn(8) {
+			case 0:
+				vs[i] = math.NaN()
+			case 1:
+				vs[i] = math.Inf(1)
+			case 2:
+				vs[i] = math.Inf(-1)
+			case 3:
+				vs[i] = math.Copysign(0, -1)
+			default:
+				vs[i] = rng.NormFloat64() * 1e6
+			}
+		case KindBool:
+			vs[i] = rng.Intn(2) == 1
+		case KindBytes, KindString:
+			n := []int{0, 1, 2, 7, 64, 3000}[rng.Intn(6)]
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte(rng.Intn(256)) // includes NUL and 0xFF
+			}
+			if s.Kind(i) == KindString {
+				vs[i] = string(b)
+			} else {
+				vs[i] = b
+			}
+		}
+	}
+	return vs
+}
+
+func buildRow(t testing.TB, b *RowBuilder, s *Schema, vs []any) {
+	t.Helper()
+	b.Reset()
+	for i, v := range vs {
+		switch s.Kind(i) {
+		case KindInt64:
+			b.SetInt64(i, v.(int64))
+		case KindFloat64:
+			b.SetFloat64(i, v.(float64))
+		case KindBool:
+			b.SetBool(i, v.(bool))
+		case KindBytes:
+			b.SetBytes(i, v.([]byte))
+		case KindString:
+			b.SetString(i, v.(string))
+		}
+	}
+}
+
+func checkRow(t *testing.T, r Row, s *Schema, vs []any) {
+	t.Helper()
+	for i, want := range vs {
+		switch s.Kind(i) {
+		case KindInt64:
+			if got := r.Int64(i); got != want.(int64) {
+				t.Fatalf("field %d: got %d want %d", i, got, want)
+			}
+		case KindFloat64:
+			got, w := r.Float64(i), want.(float64)
+			if math.Float64bits(got) != math.Float64bits(w) {
+				t.Fatalf("field %d: got %v want %v", i, got, w)
+			}
+		case KindBool:
+			if got := r.Bool(i); got != want.(bool) {
+				t.Fatalf("field %d: got %v want %v", i, got, want)
+			}
+		case KindBytes:
+			got, err := r.Bytes(i)
+			if err != nil || !bytes.Equal(got, want.([]byte)) {
+				t.Fatalf("field %d: got %v (%v) want %v", i, got, err, want)
+			}
+		case KindString:
+			got, err := r.String(i)
+			if err != nil || got != want.(string) {
+				t.Fatalf("field %d: got %q (%v) want %q", i, got, err, want)
+			}
+		}
+	}
+}
+
+// TestRowRoundTrip packs random rows of random schemas back to back and
+// decodes them positionally — the shuffle-block layout.
+func TestRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := randSchema(rng)
+		b := s.NewBuilder()
+		const rows = 5
+		var wire []byte
+		all := make([][]any, rows)
+		for r := 0; r < rows; r++ {
+			all[r] = randValues(rng, s)
+			buildRow(t, b, s, all[r])
+			wire = b.AppendRow(wire)
+		}
+		b.Release()
+		for r := 0; r < rows; r++ {
+			row, n, err := s.ReadRow(wire)
+			if err != nil {
+				t.Fatalf("trial %d row %d: %v", trial, r, err)
+			}
+			checkRow(t, row, s, all[r])
+			wire = wire[n:]
+		}
+		if len(wire) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(wire))
+		}
+	}
+}
+
+// TestRowCodec runs rows through the Codec surface (EncodeAll/DecodeAll)
+// and checks the borrowed views read back identically.
+func TestRowCodec(t *testing.T) {
+	s := NewSchema(KindString, KindInt64, KindBytes)
+	c := s.Codec()
+	b := s.NewBuilder()
+	defer b.Release()
+	var wire []byte
+	vals := [][]any{
+		{"", int64(-1), []byte{}},
+		{"hello\x00world", int64(1 << 40), []byte{0, 0xFF, 0}},
+		{"z", int64(0), bytes.Repeat([]byte("xy"), 4000)},
+	}
+	for _, vs := range vals {
+		buildRow(t, b, s, vs)
+		r, _, err := s.ReadRow(b.AppendRow(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = c.Encode(wire, r)
+	}
+	rows, err := DecodeAll(c, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(vals) {
+		t.Fatalf("decoded %d rows, want %d", len(rows), len(vals))
+	}
+	for i, r := range rows {
+		checkRow(t, r, s, vals[i])
+	}
+}
+
+// refCmp is the decoded-value reference order the normalized keys must
+// agree with: int64/bool/bytes natural order; floats in IEEE total order
+// (-Inf < ... < -0 < +0 < ... < +Inf < NaN).
+func refCmp(s *Schema, a, b []any, fields []int) int {
+	for _, i := range fields {
+		var c int
+		switch s.Kind(i) {
+		case KindInt64:
+			x, y := a[i].(int64), b[i].(int64)
+			switch {
+			case x < y:
+				c = -1
+			case x > y:
+				c = 1
+			}
+		case KindFloat64:
+			x, y := a[i].(float64), b[i].(float64)
+			switch {
+			case x < y:
+				c = -1
+			case x > y:
+				c = 1
+			case math.IsNaN(x) && !math.IsNaN(y):
+				c = 1
+			case !math.IsNaN(x) && math.IsNaN(y):
+				c = -1
+			case math.Signbit(x) != math.Signbit(y): // ±0
+				if math.Signbit(x) {
+					c = -1
+				} else {
+					c = 1
+				}
+			}
+		case KindBool:
+			x, y := a[i].(bool), b[i].(bool)
+			switch {
+			case !x && y:
+				c = -1
+			case x && !y:
+				c = 1
+			}
+		case KindBytes:
+			c = bytes.Compare(a[i].([]byte), b[i].([]byte))
+		case KindString:
+			x, y := a[i].(string), b[i].(string)
+			switch {
+			case x < y:
+				c = -1
+			case x > y:
+				c = 1
+			}
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestNormalizedKeyAgreesWithDecodedOrder is the property at the heart of
+// the binary sort path: bytes.Compare on normalized keys must order any
+// two rows exactly as comparing their decoded fields does.
+func TestNormalizedKeyAgreesWithDecodedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		s := randSchema(rng)
+		fields := make([]int, 1+rng.Intn(s.NumFields()))
+		for i := range fields {
+			fields[i] = rng.Intn(s.NumFields())
+		}
+		va, vb := randValues(rng, s), randValues(rng, s)
+		if rng.Intn(3) == 0 {
+			vb = append([]any(nil), va...) // force equal-prefix cases
+		}
+		b := s.NewBuilder()
+		ra, _, err := s.ReadRow(buildAndAppend(t, b, s, va))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := s.ReadRow(buildAndAppend(t, b, s, vb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka, err := ra.AppendKey(nil, fields...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := rb.AppendKey(nil, fields...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+		if got, want := sign(bytes.Compare(ka, kb)), sign(refCmp(s, va, vb, fields)); got != want {
+			t.Fatalf("trial %d: key order %d, decoded order %d (fields %v, a=%v b=%v)",
+				trial, got, want, fields, va, vb)
+		}
+	}
+}
+
+// buildAndAppend builds a row and returns its own wire copy (the builder
+// is reused across rows, so the caller needs a stable buffer to view).
+func buildAndAppend(t testing.TB, b *RowBuilder, s *Schema, vs []any) []byte {
+	buildRow(t, b, s, vs)
+	return b.AppendRow(nil)
+}
+
+// TestRowReadRowRejectsCorrupt checks truncated and out-of-range rows fail
+// cleanly instead of panicking or aliasing out of bounds.
+func TestRowReadRowRejectsCorrupt(t *testing.T) {
+	s := NewSchema(KindInt64, KindBytes)
+	b := s.NewBuilder()
+	defer b.Release()
+	b.SetInt64(0, 42)
+	b.SetBytes(1, []byte("payload"))
+	wire := b.AppendRow(nil)
+	for cut := 0; cut < len(wire); cut++ {
+		if _, _, err := s.ReadRow(wire[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	// Corrupt the var-width slot's length so it points past the body.
+	bad := append([]byte(nil), wire...)
+	bad[4+8+4] = 0xFF
+	r, _, err := s.ReadRow(bad)
+	if err == nil {
+		if _, err := r.Bytes(1); err == nil {
+			t.Fatal("out-of-range var field read succeeded")
+		}
+	}
+}
+
+// TestRowZeroAlloc pins the zero-allocation contract: steady-state
+// encode+decode of a row with a var-width field must not allocate.
+func TestRowZeroAlloc(t *testing.T) {
+	s := NewSchema(KindString, KindInt64)
+	b := s.NewBuilder()
+	defer b.Release()
+	wire := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		b.SetString(0, "steady-state")
+		b.SetInt64(1, 7)
+		wire = b.AppendRow(wire[:0])
+		r, _, err := s.ReadRow(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Int64(1) != 7 {
+			t.Fatal("bad decode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state encode/decode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzRowDecode feeds arbitrary bytes to the positional decoder: it must
+// never panic, and anything it accepts must re-encode byte-identically.
+func FuzzRowDecode(f *testing.F) {
+	s := NewSchema(KindInt64, KindString, KindFloat64, KindBytes)
+	b := s.NewBuilder()
+	b.SetInt64(0, -5)
+	b.SetString(1, "seed")
+	b.SetFloat64(2, 3.14)
+	b.SetBytes(3, []byte{0, 1, 2})
+	f.Add(b.AppendRow(nil))
+	b.Release()
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	codec := s.Codec()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := s.ReadRow(data)
+		if err != nil {
+			return
+		}
+		for i := 0; i < s.NumFields(); i++ {
+			switch s.Kind(i) {
+			case KindInt64:
+				r.Int64(i)
+			case KindFloat64:
+				r.Float64(i)
+			case KindBytes, KindString:
+				r.Bytes(i) // may error on corrupt offsets; must not panic
+			}
+		}
+		if got := codec.Encode(nil, r); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode differs: %x vs %x", got, data[:n])
+		}
+	})
+}
+
+// FuzzRowKeyOrder drives the key-agreement property from fuzzed field
+// values on a mixed fixed/var schema.
+func FuzzRowKeyOrder(f *testing.F) {
+	f.Add(int64(0), "", int64(1), "a")
+	f.Add(int64(-9), "x\x00y", int64(-9), "x")
+	f.Fuzz(func(t *testing.T, i1 int64, s1 string, i2 int64, s2 string) {
+		s := NewSchema(KindInt64, KindString)
+		va := []any{i1, s1}
+		vb := []any{i2, s2}
+		b := s.NewBuilder()
+		defer b.Release()
+		ra, _, err := s.ReadRow(buildAndAppend(t, b, s, va))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := s.ReadRow(buildAndAppend(t, b, s, vb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields := []int{0, 1}
+		ka, _ := ra.AppendKey(nil, fields...)
+		kb, _ := rb.AppendKey(nil, fields...)
+		if got, want := sign(bytes.Compare(ka, kb)), sign(refCmp(s, va, vb, fields)); got != want {
+			t.Fatalf("key order %d, decoded order %d (a=%v b=%v)", got, want, va, vb)
+		}
+	})
+}

@@ -14,11 +14,35 @@
 // built by composition. Types without a fast path fall back to encoding/gob
 // per record — which is exactly the "generic and slow" behaviour the Java
 // strategy models, and a measurable penalty for the other two.
+//
+// # Binary rows
+//
+// row.go carries the TypeInfo strategy to its endpoint: a Schema describes a
+// record's fields once, and every record is one contiguous byte span —
+//
+//	[uint32 bodyLen][one 8-byte slot per field][var-width tail]
+//
+// Fixed-width fields (Int64, Float64, Bool) live inline in their slot;
+// var-width fields (Bytes, String) pack a uint32 offset and uint32 length
+// into the slot, pointing at the tail. A RowBuilder (pooled, reused via
+// Reset/Release) encodes; Schema.ReadRow and Schema.Codec decode by
+// *borrowing* the source buffer, so field access is pointer arithmetic on
+// bytes that are never copied. The AppendKey* helpers emit normalized keys:
+// binary forms whose bytes.Compare order equals the decoded order, letting
+// sorters run memcmp on serialized records without deserializing.
+//
+// Rows are the payload format; moving them between operators is the job of
+// internal/shuffle (zero-copy Block borrow/release), and deciding how few
+// operators there are to move between is the job of the operator-fusion
+// pass in the dataflow lowering (internal/dataflow/fuse.go), which collapses
+// narrow Map/Filter/FlatMap chains into a single compiled closure so fused
+// records never touch a codec at all.
 package serde
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Style selects one of the three serialization strategies.
@@ -60,19 +84,50 @@ func (s Style) String() string {
 // ErrShortBuffer reports a truncated encoding.
 var ErrShortBuffer = errors.New("serde: short buffer")
 
-// Codec encodes and decodes values of one concrete type. Enc appends the
-// encoding of v to dst and returns the extended slice; Dec decodes one value
-// from the front of src and reports the number of bytes consumed.
+// Codec encodes and decodes values of one concrete type, append-style:
+// Encode appends the encoding of v to dst (caller-owned, usually pooled via
+// memory.BufPool) and returns the extended slice; Decode decodes one value
+// from the front of src and reports the number of bytes consumed. Neither
+// direction allocates per record once the destination buffer has warmed up.
 type Codec[T any] struct {
-	Enc func(dst []byte, v T) []byte
-	Dec func(src []byte) (T, int, error)
+	Encode func(dst []byte, v T) []byte
+	Decode func(src []byte) (T, int, error)
+}
+
+// legacyAlloc, when set, makes Append and EncodeAll emulate the
+// allocate-per-record Encode surface this API replaced: every record is
+// encoded into a fresh heap object and copied into the destination. Only
+// the raw-speed experiment (ext9) flips it, to measure what the
+// append-style redesign bought; it is not meant for real workloads.
+var legacyAlloc atomic.Bool
+
+// SetLegacyAlloc toggles the legacy allocate-per-record emulation and
+// returns the previous setting. Benchmark plumbing only.
+func SetLegacyAlloc(on bool) bool {
+	return legacyAlloc.Swap(on)
+}
+
+// Append appends one record's encoding to dst — the choke point the shuffle
+// writers encode through, so the legacy-allocation emulation has exactly one
+// place to intercept.
+func Append[T any](c Codec[T], dst []byte, v T) []byte {
+	if legacyAlloc.Load() {
+		return append(dst, c.Encode(nil, v)...)
+	}
+	return c.Encode(dst, v)
 }
 
 // EncodeAll encodes every value back to back, the layout of a shuffle
 // block or spill file.
 func EncodeAll[T any](c Codec[T], dst []byte, vs []T) []byte {
+	if legacyAlloc.Load() {
+		for _, v := range vs {
+			dst = append(dst, c.Encode(nil, v)...)
+		}
+		return dst
+	}
 	for _, v := range vs {
-		dst = c.Enc(dst, v)
+		dst = c.Encode(dst, v)
 	}
 	return dst
 }
@@ -81,7 +136,7 @@ func EncodeAll[T any](c Codec[T], dst []byte, vs []T) []byte {
 func DecodeAll[T any](c Codec[T], src []byte) ([]T, error) {
 	var out []T
 	for len(src) > 0 {
-		v, n, err := c.Dec(src)
+		v, n, err := c.Decode(src)
 		if err != nil {
 			return nil, err
 		}

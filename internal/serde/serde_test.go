@@ -22,8 +22,8 @@ func TestStringRoundTripAllStyles(t *testing.T) {
 	for _, s := range allStyles {
 		c := StringCodec(s)
 		f := func(v string) bool {
-			buf := c.Enc(nil, v)
-			got, n, err := c.Dec(buf)
+			buf := c.Encode(nil, v)
+			got, n, err := c.Decode(buf)
 			return err == nil && n == len(buf) && got == v
 		}
 		if err := quick.Check(f, nil); err != nil {
@@ -36,8 +36,8 @@ func TestInt64RoundTripAllStyles(t *testing.T) {
 	for _, s := range allStyles {
 		c := Int64Codec(s)
 		f := func(v int64) bool {
-			buf := c.Enc(nil, v)
-			got, n, err := c.Dec(buf)
+			buf := c.Encode(nil, v)
+			got, n, err := c.Decode(buf)
 			return err == nil && n == len(buf) && got == v
 		}
 		if err := quick.Check(f, nil); err != nil {
@@ -50,16 +50,16 @@ func TestFloat64AndBoolRoundTrip(t *testing.T) {
 	for _, s := range allStyles {
 		fc := Float64Codec(s)
 		for _, v := range []float64{0, 1.5, -2.25e10, 3.14159} {
-			buf := fc.Enc(nil, v)
-			got, _, err := fc.Dec(buf)
+			buf := fc.Encode(nil, v)
+			got, _, err := fc.Decode(buf)
 			if err != nil || got != v {
 				t.Errorf("style %v float64 %v: got %v err %v", s, v, got, err)
 			}
 		}
 		bc := BoolCodec(s)
 		for _, v := range []bool{true, false} {
-			buf := bc.Enc(nil, v)
-			got, _, err := bc.Dec(buf)
+			buf := bc.Encode(nil, v)
+			got, _, err := bc.Decode(buf)
 			if err != nil || got != v {
 				t.Errorf("style %v bool %v: got %v err %v", s, v, got, err)
 			}
@@ -71,8 +71,8 @@ func TestPairRoundTrip(t *testing.T) {
 	for _, s := range allStyles {
 		c := PairCodec(s, StringCodec(s), Int64Codec(s))
 		f := func(k string, v int64) bool {
-			buf := c.Enc(nil, core.KV(k, v))
-			got, n, err := c.Dec(buf)
+			buf := c.Encode(nil, core.KV(k, v))
+			got, n, err := c.Decode(buf)
 			return err == nil && n == len(buf) && got.Key == k && got.Value == v
 		}
 		if err := quick.Check(f, nil); err != nil {
@@ -85,8 +85,8 @@ func TestSliceCodec(t *testing.T) {
 	for _, s := range allStyles {
 		c := SliceCodec(s, Float64Codec(s))
 		in := []float64{1, 2, 3.5}
-		buf := c.Enc(nil, in)
-		got, n, err := c.Dec(buf)
+		buf := c.Encode(nil, in)
+		got, n, err := c.Decode(buf)
 		if err != nil || n != len(buf) || len(got) != 3 || got[2] != 3.5 {
 			t.Errorf("style %v slice round trip failed: %v %v", s, got, err)
 		}
@@ -119,7 +119,7 @@ func TestStyleSizeOrdering(t *testing.T) {
 		c := PairCodec(s, StringCodec(s), Int64Codec(s))
 		var buf []byte
 		for i, w := range words {
-			buf = c.Enc(buf, core.KV(w, int64(i)))
+			buf = c.Encode(buf, core.KV(w, int64(i)))
 		}
 		return len(buf)
 	}
@@ -137,8 +137,8 @@ func TestGobFallbackRoundTrip(t *testing.T) {
 	for _, s := range allStyles {
 		c := GobCodec[odd](s)
 		in := odd{A: "x", B: []int{1, 2, 3}}
-		buf := c.Enc(nil, in)
-		got, n, err := c.Dec(buf)
+		buf := c.Encode(nil, in)
+		got, n, err := c.Decode(buf)
 		if err != nil || n != len(buf) {
 			t.Fatalf("style %v gob: err=%v n=%d len=%d", s, err, n, len(buf))
 		}
@@ -150,13 +150,13 @@ func TestGobFallbackRoundTrip(t *testing.T) {
 
 func TestShortBufferErrors(t *testing.T) {
 	c := StringCodec(TypeInfo)
-	buf := c.Enc(nil, "hello world")
-	if _, _, err := c.Dec(buf[:3]); err == nil {
+	buf := c.Encode(nil, "hello world")
+	if _, _, err := c.Decode(buf[:3]); err == nil {
 		t.Error("truncated buffer should error")
 	}
 	jc := StringCodec(Java)
-	jbuf := jc.Enc(nil, "hello")
-	if _, _, err := jc.Dec(jbuf[:2]); err == nil {
+	jbuf := jc.Encode(nil, "hello")
+	if _, _, err := jc.Decode(jbuf[:2]); err == nil {
 		t.Error("truncated java buffer should error")
 	}
 }
@@ -164,8 +164,8 @@ func TestShortBufferErrors(t *testing.T) {
 func TestKryoTagMismatch(t *testing.T) {
 	sc := StringCodec(Kryo)
 	ic := Int64Codec(Kryo)
-	buf := sc.Enc(nil, "not an int")
-	if _, _, err := ic.Dec(buf); err == nil {
+	buf := sc.Encode(nil, "not an int")
+	if _, _, err := ic.Decode(buf); err == nil {
 		t.Error("kryo decode with wrong tag should error")
 	}
 }
@@ -181,8 +181,8 @@ func TestFixedCodec(t *testing.T) {
 				return r
 			})
 		in := rec{key: [10]byte{'A', 'B', 'C', 1, 2, 3, 4, 5, 6, 7}}
-		buf := c.Enc(nil, in)
-		got, n, err := c.Dec(buf)
+		buf := c.Encode(nil, in)
+		got, n, err := c.Decode(buf)
 		if err != nil || n != len(buf) || got != in {
 			t.Errorf("style %v fixed codec failed: %+v err=%v", s, got, err)
 		}
@@ -205,8 +205,8 @@ func TestMeasureProfiles(t *testing.T) {
 
 func TestDecodeAllNoProgressGuard(t *testing.T) {
 	bad := Codec[int]{
-		Enc: func(dst []byte, v int) []byte { return dst },
-		Dec: func(src []byte) (int, int, error) { return 0, 0, nil },
+		Encode: func(dst []byte, v int) []byte { return dst },
+		Decode: func(src []byte) (int, int, error) { return 0, 0, nil },
 	}
 	if _, err := DecodeAll(bad, []byte{1, 2}); err == nil {
 		t.Error("zero-progress decoder should be rejected")

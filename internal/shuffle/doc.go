@@ -53,4 +53,33 @@
 // All byte accounting flows through metrics.JobMetrics with one shared rule
 // (documented in internal/metrics): wire bytes written/read, raw bytes
 // before compression, local vs remote classified by producer/consumer node.
+//
+// # Block ownership
+//
+// A shuffle block is no longer a bare []byte: Block pairs the payload with
+// its byte accounting and an ownership bit, so the pooled-buffer recycling
+// in internal/memory stays safe across engine boundaries. The contract:
+//
+//   - Writers emit sealed Blocks through Env.Emit. Emit TRANSFERS ownership:
+//     after the call returns, the writer never touches the payload again.
+//     Blocks sealed from pooled buffers (PooledBlock) carry release rights;
+//     Blocks wrapping storage owned by someone else (OwnedBlock — e.g. a DFS
+//     block or a retained map output) do not.
+//   - Borrow returns a zero-copy view WITHOUT release rights — the local
+//     fast path. CopyPooled clones into a fresh pooled buffer WITH release
+//     rights — the remote path, which is also what keeps the local/remote
+//     byte-accounting rule honest (remote reads really move bytes).
+//   - Release returns a pooled payload to memory.DefaultPool and clears the
+//     Block; on a borrowed or owned Block it is a safe no-op. Call it once,
+//     after the last read. Every registered codec copies var-width payloads
+//     on Decode, so releasing right after DecodeBlocks/DecodeAll is safe.
+//
+// Per engine: spark's shuffle service retains emitted blocks forever (lineage
+// retries) and never releases; fetches borrow locally and copy remotely, and
+// the reader releases after decode. Flink's exchanges ship Blocks inside
+// Packets over the bounded channels; the consumer releases after decoding —
+// including on the error/drain paths. MapReduce writes emitted blocks to the
+// DFS (which retains sub-slices by reference, so no release) and reduce reads
+// borrow a local single-block segment zero-copy via dfs.File.Contiguous,
+// copying into a pooled buffer otherwise.
 package shuffle

@@ -9,11 +9,13 @@ import (
 
 // DecodeBlocks unpacks and decodes fetched blocks into one record slice per
 // block, in block (map-output) order. It must run with the Settings that
-// wrote the blocks — both sides of an edge resolve the same conf.
-func DecodeBlocks[R any](set Settings, codec serde.Codec[R], blocks [][]byte) ([][]R, error) {
+// wrote the blocks — both sides of an edge resolve the same conf. Decoding
+// copies record payloads out of the wire bytes (every registered codec
+// does), so the caller may Release the blocks as soon as this returns.
+func DecodeBlocks[R any](set Settings, codec serde.Codec[R], blocks []Block) ([][]R, error) {
 	out := make([][]R, len(blocks))
 	for i, b := range blocks {
-		raw, err := Unpack(set, b)
+		raw, err := Unpack(set, b.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: block %d: %w", i, err)
 		}

@@ -1,7 +1,10 @@
 package shuffle
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
+	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/serde"
 )
@@ -72,20 +75,106 @@ func FromConf(conf *core.Config, def Kind) Settings {
 
 // Block is one finished shuffle segment for one reduce partition: the wire
 // bytes (possibly compressed/framed) plus the accounting the engines route
-// into metrics.
+// into metrics. The byte storage is private — access goes through Bytes —
+// so the zero-copy local-read path is a typed borrow/release contract
+// instead of an aliasing convention:
+//
+//   - A writer SEALS a pool-backed block and hands ownership to Emit.
+//   - A local read BORROWS the sealed bytes (Borrow): no copy, no release
+//     rights — the owner's buffer stays live.
+//   - A remote (or simulated-remote) read COPIES (CopyPooled) into a fresh
+//     pooled buffer, keeping the local/remote byte-accounting rule honest.
+//   - Whoever holds ownership calls Release when done; pool-backed storage
+//     returns to memory.DefaultPool for the next writer.
 type Block struct {
-	Data []byte // wire form: what is stored or sent
-	Raw  int64  // serialized bytes before compression
-	Recs int64  // record count
+	data   []byte
+	Raw    int64 // serialized bytes before compression
+	Recs   int64 // record count
+	pooled bool  // storage came from memory.DefaultPool; Release recycles it
+}
+
+// OwnedBlock wraps bytes the caller owns outright (e.g. borrowed DFS block
+// storage). Release is a no-op.
+func OwnedBlock(data []byte, raw, recs int64) Block {
+	return Block{data: data, Raw: raw, Recs: recs}
+}
+
+// PooledBlock wraps a buffer obtained from memory.DefaultPool; Release
+// returns the storage to the pool.
+func PooledBlock(data []byte, raw, recs int64) Block {
+	return Block{data: data, Raw: raw, Recs: recs, pooled: true}
+}
+
+// Bytes exposes the wire form. The slice is valid until the block's owner
+// releases it; borrowers must not mutate it.
+func (b Block) Bytes() []byte { return b.data }
+
+// Len returns the wire length.
+func (b Block) Len() int { return len(b.data) }
+
+// copyLocal, when set, makes Borrow deep-copy like the pre-Block raw-[]byte
+// handoff did on every local read. Only the raw-speed experiment (ext9)
+// flips it, to measure what the zero-copy local path bought.
+var copyLocal atomic.Bool
+
+// SetZeroCopyLocal toggles the zero-copy local-read path (on by default)
+// and returns the previous setting. Benchmark plumbing only.
+func SetZeroCopyLocal(on bool) bool {
+	return !copyLocal.Swap(!on)
+}
+
+// Borrow returns a zero-copy view without release rights — the local-read
+// path. Releasing the borrow is a no-op; the owner's Release still governs
+// the storage.
+func (b Block) Borrow() Block {
+	if copyLocal.Load() {
+		data := make([]byte, len(b.data))
+		copy(data, b.data)
+		return Block{data: data, Raw: b.Raw, Recs: b.Recs}
+	}
+	return Block{data: b.data, Raw: b.Raw, Recs: b.Recs}
+}
+
+// CopyPooled deep-copies the block into a fresh pooled buffer — the remote
+// fetch path. The copy is independently releasable.
+func (b Block) CopyPooled() Block {
+	buf := memory.DefaultPool.Get(len(b.data))
+	buf = append(buf, b.data...)
+	return Block{data: buf, Raw: b.Raw, Recs: b.Recs, pooled: true}
+}
+
+// Release returns pool-backed storage to memory.DefaultPool and clears the
+// block. Releasing a borrowed or owned block is a no-op apart from the
+// clear; Release is not idempotent-safe across aliases — exactly one owner.
+func (b *Block) Release() {
+	if b.pooled {
+		memory.DefaultPool.Put(b.data)
+	}
+	b.data = nil
+	b.pooled = false
+}
+
+// seal packs a pooled raw buffer into its wire form and transfers ownership
+// into the returned block. With compression enabled the raw buffer is
+// recycled immediately and the framed copy (also pooled) ships instead.
+func seal(set Settings, raw []byte, recs int64) Block {
+	if set.Compress == nil {
+		return PooledBlock(raw, int64(len(raw)), recs)
+	}
+	data := Pack(set, raw)
+	rawLen := int64(len(raw))
+	memory.DefaultPool.Put(raw)
+	return Block{data: data, Raw: rawLen, Recs: recs}
 }
 
 // Packet is one in-flight block of a pipelined exchange, tagged with the
 // node of the producing task so the consumer can classify the read as local
-// or remote under the shared accounting rule (see internal/metrics).
+// or remote under the shared accounting rule (see internal/metrics). The
+// block's ownership travels with the packet: the consumer releases it after
+// decoding.
 type Packet struct {
-	From int
-	Data []byte
-	Raw  int64
+	From  int
+	Block Block
 }
 
 // Spec describes one shuffle edge, independent of the task executing it.
@@ -101,6 +190,15 @@ type Spec[R any] struct {
 	// groups by partition only (tungsten-style). Must be consistent with
 	// Same: equal records compare unordered.
 	Less func(a, b R) bool
+	// NormKey, when set alongside Less, appends the record's FULL
+	// normalized sort key (see internal/serde's AppendKey* helpers): a
+	// binary form whose bytes.Compare order equals Less exactly. Sort
+	// writers then order runs by memcmp on packed key bytes instead of
+	// calling Less per comparison — Flink's normalized-key sort and the
+	// paper's OptimizedText trick on the TeraSort path. A key that is
+	// merely a prefix of the logical order would diverge from Less-only
+	// engines and break cross-engine parity; it must be total.
+	NormKey func(v R, dst []byte) []byte
 	// Same reports key equality, required by Merge and CombineRun.
 	Same func(a, b R) bool
 	// Hash is the key hash for the hash strategy's combine table, required

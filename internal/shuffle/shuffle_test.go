@@ -37,10 +37,10 @@ func pairSpec(parts int, combine bool) Spec[core.Pair[string, int64]] {
 func runWriter(t *testing.T, spec Spec[core.Pair[string, int64]], env Env,
 	recs []core.Pair[string, int64]) map[string]int64 {
 	t.Helper()
-	blocks := make(map[int][][]byte)
+	blocks := make(map[int][]Block)
 	if env.Emit == nil {
 		env.Emit = func(part int, b Block) error {
-			blocks[part] = append(blocks[part], b.Data)
+			blocks[part] = append(blocks[part], b)
 			return nil
 		}
 	}
@@ -111,9 +111,9 @@ func TestSortWriterBlocksAreKeySorted(t *testing.T) {
 	spec := pairSpec(3, true)
 	set := Settings{Kind: Sort, SpillRecs: 500}
 	m := &metrics.JobMetrics{}
-	blocks := map[int][]byte{}
+	blocks := map[int]Block{}
 	w := NewWriter(spec, Env{Settings: set, Metrics: m, Emit: func(part int, b Block) error {
-		blocks[part] = b.Data
+		blocks[part] = b
 		return nil
 	}})
 	for _, r := range recs {
@@ -127,8 +127,8 @@ func TestSortWriterBlocksAreKeySorted(t *testing.T) {
 	if m.SpillCount.Load() == 0 {
 		t.Error("no spills despite a 500-record threshold over 3000 records")
 	}
-	for part, data := range blocks {
-		seg, err := DecodeBlocks(set, spec.Codec, [][]byte{data})
+	for part, blk := range blocks {
+		seg, err := DecodeBlocks(set, spec.Codec, []Block{blk})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,11 +181,11 @@ func TestSortWriterSpillsOnMemoryPressure(t *testing.T) {
 func TestHashWriterPipelinedFlush(t *testing.T) {
 	recs, want := wordRecords(4000)
 	flushes := 0
-	blocks := make(map[int][][]byte)
+	blocks := make(map[int][]Block)
 	set := Settings{Kind: Hash, FlushBytes: 512}
 	env := Env{Settings: set, Emit: func(part int, b Block) error {
 		flushes++
-		blocks[part] = append(blocks[part], b.Data)
+		blocks[part] = append(blocks[part], b)
 		return nil
 	}}
 	spec := pairSpec(2, false)

@@ -1,9 +1,11 @@
 package shuffle
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
+	"repro/internal/memory"
 	"repro/internal/serde"
 )
 
@@ -110,8 +112,11 @@ func (w *hashWriter[R]) emit(rec R) (int, error) {
 	if p < 0 || p >= w.spec.NumParts {
 		return 0, fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
 	}
+	if w.bufs[p] == nil {
+		w.bufs[p] = memory.DefaultPool.Get(memQuantum)
+	}
 	before := len(w.bufs[p])
-	w.bufs[p] = w.spec.Codec.Enc(w.bufs[p], rec)
+	w.bufs[p] = serde.Append(w.spec.Codec, w.bufs[p], rec)
 	w.recs[p]++
 	added := len(w.bufs[p]) - before
 	if w.env.Settings.FlushBytes > 0 && int64(len(w.bufs[p])) >= w.env.Settings.FlushBytes {
@@ -120,13 +125,14 @@ func (w *hashWriter[R]) emit(rec R) (int, error) {
 	return added, nil
 }
 
-// flush sends one bucket downstream and resets it.
+// flush seals one bucket, sends it downstream (ownership transfers to the
+// Emit receiver) and resets the bucket.
 func (w *hashWriter[R]) flush(p int) error {
 	raw := w.bufs[p]
 	if len(raw) == 0 {
 		return nil
 	}
-	b := Block{Data: Pack(w.env.Settings, raw), Raw: int64(len(raw)), Recs: w.recs[p]}
+	b := seal(w.env.Settings, raw, w.recs[p])
 	w.bufs[p] = nil
 	w.recs[p] = 0
 	return w.env.Emit(p, b)
@@ -145,8 +151,7 @@ func (w *hashWriter[R]) Close() error {
 		}
 	}
 	for p := range w.bufs {
-		raw := w.bufs[p]
-		b := Block{Data: Pack(w.env.Settings, raw), Raw: int64(len(raw)), Recs: w.recs[p]}
+		b := seal(w.env.Settings, w.bufs[p], w.recs[p])
 		w.bufs[p] = nil
 		w.recs[p] = 0
 		if err := w.env.Emit(p, b); err != nil {
@@ -228,7 +233,11 @@ func (w *sortWriter[R]) cut() [][]R {
 	}
 	for p, part := range parts {
 		if w.spec.Less != nil {
-			sort.SliceStable(part, func(i, j int) bool { return w.spec.Less(part[i], part[j]) })
+			if w.spec.NormKey != nil {
+				SortByNormKey(part, w.spec.NormKey)
+			} else {
+				sort.SliceStable(part, func(i, j int) bool { return w.spec.Less(part[i], part[j]) })
+			}
 		} else if w.spec.combining() {
 			part = groupFirstSeen(part, w.spec)
 		}
@@ -331,9 +340,8 @@ func (w *sortWriter[R]) Close() error {
 			// (tungsten's partition-prefix sort never orders keys).
 			final = Concat(segs)
 		}
-		enc := serde.EncodeAll(w.spec.Codec, nil, final)
-		b := Block{Data: Pack(w.env.Settings, enc), Raw: int64(len(enc)), Recs: int64(len(final))}
-		if err := w.env.Emit(p, b); err != nil {
+		enc := serde.EncodeAll(w.spec.Codec, memory.DefaultPool.Get(memQuantum), final)
+		if err := w.env.Emit(p, seal(w.env.Settings, enc, int64(len(final)))); err != nil {
 			return err
 		}
 	}
@@ -352,6 +360,42 @@ func (w *sortWriter[R]) Close() error {
 		w.granted = 0
 	}
 	return nil
+}
+
+// SortByNormKey orders a run by memcmp over packed normalized keys: one
+// pass extracts every record's key into a single pooled buffer, an index
+// permutation sorts by bytes.Compare (ties keep arrival order, matching
+// sort.SliceStable under Less), and the records are permuted once at the
+// end. No Less calls, no per-comparison decoding. The key writer must be
+// TOTAL and agree with the Less the caller would otherwise sort with —
+// serde.NormKeyerFor builds conforming writers for ordered scalar keys.
+func SortByNormKey[R any](part []R, key func(v R, dst []byte) []byte) {
+	if len(part) < 2 {
+		return
+	}
+	buf := memory.DefaultPool.Get(len(part) * 16)
+	offs := make([]int32, len(part)+1)
+	for i, rec := range part {
+		buf = key(rec, buf)
+		offs[i+1] = int32(len(buf))
+	}
+	idx := make([]int32, len(part))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if c := bytes.Compare(buf[offs[i]:offs[i+1]], buf[offs[j]:offs[j+1]]); c != 0 {
+			return c < 0
+		}
+		return i < j // stability: equal keys keep arrival order
+	})
+	out := make([]R, len(part))
+	for pos, i := range idx {
+		out[pos] = part[i]
+	}
+	copy(part, out)
+	memory.DefaultPool.Put(buf)
 }
 
 // --- shared combine helpers -------------------------------------------------

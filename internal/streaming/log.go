@@ -131,7 +131,7 @@ func (l *Log[T]) AppendBatch(part int, eventTimesMs []int64, vs []T) (int64, err
 	for i, v := range vs {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(eventTimesMs[i]))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(ingest))
-		buf = l.codec.Enc(buf, v)
+		buf = l.codec.Encode(buf, v)
 	}
 
 	l.mu.Lock()
@@ -230,7 +230,7 @@ func (l *Log[T]) readSegment(file string) ([]dataflow.StreamRecord[T], error) {
 		}
 		t := int64(binary.BigEndian.Uint64(src))
 		ing := int64(binary.BigEndian.Uint64(src[8:]))
-		v, n, err := l.codec.Dec(src[16:])
+		v, n, err := l.codec.Decode(src[16:])
 		if err != nil {
 			return nil, fmt.Errorf("streaming: %s: segment %s: %w", l.name, file, err)
 		}
