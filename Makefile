@@ -1,10 +1,13 @@
 GO ?= go
 
 # Coverage floor (%) enforced by `make cover` over the unified-API and
-# graph-library packages plus the shared shuffle core and the multi-tenant
-# scheduler.
+# graph-library packages plus the shared shuffle core, the multi-tenant
+# scheduler and the cost-based planner. The planner additionally carries
+# its own, higher floor: its decisions steer every adaptive run, so the
+# package stays near-fully exercised.
 COVER_FLOOR ?= 60
-COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/... ./internal/sched/...
+PLANNER_COVER_FLOOR ?= 80
+COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/... ./internal/sched/... ./internal/planner/...
 
 .PHONY: build test lint cover bench-smoke fuzz-smoke
 
@@ -37,18 +40,24 @@ cover:
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
+	@pl="$$($(GO) test -cover ./internal/planner | awk '{ for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%/, "", $$i); print $$i } }')"; \
+	echo "internal/planner coverage: $$pl% (floor $(PLANNER_COVER_FLOOR)%)"; \
+	awk -v t="$$pl" -v f="$(PLANNER_COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
+		{ echo "planner coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus six benchrunner
+# Fast benchmark subset (1 iteration, no unit tests) plus seven benchrunner
 # experiments — tab1 (operator plans), ext4 (a three-way graph run), ext6
 # (the shuffle strategy × parallelism sweep on the real engines), ext7
 # (streaming latency percentiles, micro-batch vs per-event), ext8 (the
-# multi-tenant contention matrix, sharing policy × offered load) and ext9
+# multi-tenant contention matrix, sharing policy × offered load), ext9
 # (raw speed: ns/record and allocs/record per engine, optimized vs legacy
-# allocation) — whose reports land in BENCH_smoke.json, the per-push CI
-# artifact the benchguard regression gate compares across pushes.
+# allocation) and ext10 (adaptive execution: planner regret vs a measured
+# oracle, plus the runtime re-planning cell) — whose reports land in
+# BENCH_smoke.json, the per-push CI artifact the benchguard regression
+# gate compares across pushes.
 bench-smoke:
 	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining|RawSpeed' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8,ext9 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8,ext9,ext10 -json BENCH_smoke.json
 
 # Short fuzz smoke over the row format: each fuzz target runs for a few
 # seconds on top of its seeded corpus (decode robustness and normalized-key

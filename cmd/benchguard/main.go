@@ -10,7 +10,7 @@
 // field name; only numeric lower-is-better fields compare (utilization
 // fields are skipped). A worsening past -max-worsen (default 25%) on an
 // experiment named in -fail fails the run; on any other experiment it only
-// warns — the real-engine families (ext6..ext9) measure wall-clock on
+// warns — the real-engine families (ext6..ext10) measure wall-clock on
 // shared CI runners and are too noisy to gate on, while tab1's simulated
 // cells are deterministic. A missing or unreadable baseline warns and
 // passes: the first push, an expired artifact, or a schema change must not

@@ -47,7 +47,16 @@ type jsonRow struct {
 	SparkAllocsRec  *float64 `json:"spark_allocs_per_record,omitempty"`
 	FlinkAllocsRec  *float64 `json:"flink_allocs_per_record,omitempty"`
 	MapReduceAllocs *float64 `json:"mapreduce_allocs_per_record,omitempty"`
-	Note            string   `json:"note,omitempty"`
+	// Planner reports (ext10): measured seconds of the planner's choice,
+	// the oracle sweep's best and worst fixed configurations, the regret
+	// ratio and the re-plan count. All lower-is-better, so the guard's
+	// generic comparison applies; the chosen configuration rides in note.
+	PlannerSec *float64 `json:"planner_choice_s,omitempty"`
+	OracleSec  *float64 `json:"oracle_s,omitempty"`
+	WorstSec   *float64 `json:"worst_fixed_s,omitempty"`
+	Regret     *float64 `json:"planner_regret,omitempty"`
+	Replans    *float64 `json:"replans,omitempty"`
+	Note       string   `json:"note,omitempty"`
 }
 
 type jsonReport struct {
@@ -76,6 +85,12 @@ func toJSONReport(rep *experiments.Report) jsonReport {
 			jr.SparkAllocsRec = finite(row.SparkAllocsRec)
 			jr.FlinkAllocsRec = finite(row.FlinkAllocsRec)
 			jr.MapReduceAllocs = finite(row.MapRedAllocsRec)
+		} else if rep.Planner {
+			jr.PlannerSec = finite(row.PlannerSec)
+			jr.OracleSec = finite(row.OracleSec)
+			jr.WorstSec = finite(row.WorstSec)
+			jr.Regret = finite(row.Regret)
+			jr.Replans = finite(row.Replans)
 		} else if rep.Latency {
 			jr.SparkP50 = finite(row.Spark)
 			jr.SparkP99 = finite(row.SparkP99)

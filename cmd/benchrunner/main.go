@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "experiment ids (fig1..fig17, tab1..tab7, ext1..ext8), comma-separated, or 'all'")
+	runID := flag.String("run", "", "experiment ids (fig1..fig17, tab1..tab7, ext1..ext10), comma-separated, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.String("md", "", "also write a markdown report to this file")
 	jsonOut := flag.String("json", "", "also write the reports as JSON to this file")

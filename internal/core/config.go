@@ -96,16 +96,25 @@ const (
 // Config is a typed view over string-keyed settings, mirroring both
 // frameworks' configuration objects. The zero value is not usable; call
 // NewConfig (paper defaults) or NewEmptyConfig.
+//
+// Keys written through Set (and its typed variants) after construction are
+// EXPLICIT: the user pinned them, and automatic tuning layers (the planner)
+// must not override them. Defaults loaded by NewConfig and values written
+// through SetDerived are not explicit. Explicit reports the distinction.
 type Config struct {
 	mu sync.RWMutex
 	m  map[string]string
+	// explicit marks keys the user set after construction; sealed flips on
+	// once the constructor's defaults are loaded.
+	explicit map[string]bool
+	sealed   bool
 }
 
 // NewConfig returns a Config pre-loaded with the defaults both frameworks
 // ship (32KB buffers, java serialization for Spark, 0.7 memory fraction for
 // Flink) as described in Section IV.
 func NewConfig() *Config {
-	c := NewEmptyConfig()
+	c := &Config{m: make(map[string]string), explicit: make(map[string]bool)}
 	c.Set(SparkShuffleManager, "tungsten-sort")
 	c.Set(SparkSerializer, "java")
 	c.Set(SparkShuffleConsolidateFiles, "true")
@@ -126,16 +135,20 @@ func NewConfig() *Config {
 	c.SetDuration(StreamingWindowSize, 100*time.Millisecond)
 	c.SetDuration(StreamingWatermarkBound, 20*time.Millisecond)
 	c.SetDuration(StreamingIdleTimeout, 200*time.Millisecond)
+	c.mu.Lock()
+	c.sealed = true // everything above is defaults, not user intent
+	c.mu.Unlock()
 	return c
 }
 
-// NewEmptyConfig returns a Config with no entries.
+// NewEmptyConfig returns a Config with no entries. Every subsequent Set is
+// explicit (there are no defaults to distinguish from).
 func NewEmptyConfig() *Config {
-	return &Config{m: make(map[string]string)}
+	return &Config{m: make(map[string]string), explicit: make(map[string]bool), sealed: true}
 }
 
 // Clone returns an independent copy; experiments derive per-run configs
-// from a shared base without interference.
+// from a shared base without interference. Explicitness carries over.
 func (c *Config) Clone() *Config {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -143,15 +156,41 @@ func (c *Config) Clone() *Config {
 	for k, v := range c.m {
 		out.m[k] = v
 	}
+	for k, v := range c.explicit {
+		out.explicit[k] = v
+	}
 	return out
 }
 
-// Set stores a raw string value.
+// Set stores a raw string value, marking the key explicit (user-pinned).
 func (c *Config) Set(key, value string) *Config {
 	c.mu.Lock()
 	c.m[key] = value
+	if c.sealed {
+		c.explicit[key] = true
+	}
 	c.mu.Unlock()
 	return c
+}
+
+// SetDerived stores a value WITHOUT marking the key explicit — the write
+// path for automatic tuning layers (the planner), so later layers can still
+// tell machine choices from user pins. It never overwrites an explicit key.
+func (c *Config) SetDerived(key, value string) *Config {
+	c.mu.Lock()
+	if !c.explicit[key] {
+		c.m[key] = value
+	}
+	c.mu.Unlock()
+	return c
+}
+
+// Explicit reports whether the user pinned the key via Set after
+// construction (constructor defaults and SetDerived writes don't count).
+func (c *Config) Explicit(key string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.explicit[key]
 }
 
 // SetInt stores an integer value.

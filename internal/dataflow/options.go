@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/planner"
 	"repro/internal/sched"
 )
 
@@ -16,9 +17,13 @@ import (
 type Option func(*openSettings)
 
 type openSettings struct {
-	conf *core.Config
-	rt   *cluster.Runtime
-	fs   *dfs.FS
+	conf     *core.Config
+	rt       *cluster.Runtime
+	fs       *dfs.FS
+	plan     *planner.PlanSpec
+	provider planner.CostProvider
+	pars     []int
+	comps    []string
 }
 
 // WithConfig supplies the engine configuration. Omitted: core.NewConfig()
@@ -53,6 +58,33 @@ func WithFS(fs *dfs.FS) Option {
 // has no scheduler in the loop at all.
 func WithScheduler(g *sched.Grant) Option {
 	return func(o *openSettings) { o.rt = g.Runtime() }
+}
+
+// WithPlanner runs the cost-based planner before the session starts: the
+// plan spec is scored against the session's engine (the engine choice stays
+// with the caller — Open already names it) over every shuffle strategy,
+// codec and parallelism, and the winning candidate is written into the
+// configuration with derived priority, so keys the user set explicitly
+// always win. The Decision — chosen candidate, cost table and trace — is
+// retrievable with Session.PlannerDecision; Session.StartAdaptive attaches
+// the runtime re-planner on top of it.
+func WithPlanner(spec planner.PlanSpec) Option {
+	return func(o *openSettings) { o.plan = &spec }
+}
+
+// WithCostProvider substitutes the planner's cost oracle (default: the
+// calibrated simulator via planner.SimCost). Only meaningful together with
+// WithPlanner; tests use it to force decisions.
+func WithCostProvider(cp planner.CostProvider) Option {
+	return func(o *openSettings) { o.provider = cp }
+}
+
+// WithPlannerSpace restricts the planner's candidate enumeration to the
+// given reduce-side parallelisms and shuffle codecs (nil keeps the planner
+// defaults). Experiments use it to make the planner's search space equal an
+// oracle sweep's, so regret is measured over the same configurations.
+func WithPlannerSpace(parallelisms []int, compressions []string) Option {
+	return func(o *openSettings) { o.pars, o.comps = parallelisms, compressions }
 }
 
 // defaultSpec is the substrate Open builds when no runtime is supplied: a
@@ -97,7 +129,30 @@ func Open(name string, opts ...Option) (*Session, error) {
 	if o.fs == nil {
 		o.fs = dfs.New(o.rt.Spec().Nodes, 64*core.KB, 1)
 	}
-	return NewSession(f(o.conf, o.rt, o.fs)), nil
+	var pl *planner.Planner
+	var dec *planner.Decision
+	if o.plan != nil {
+		// Plan before the backend factory runs: engines resolve planner-
+		// controlled keys from the live configuration, but deciding first
+		// keeps even construction-time derivations (slots, buffers)
+		// consistent with the chosen candidate.
+		cp := o.provider
+		if cp == nil {
+			cp = &planner.SimCost{Base: o.conf}
+		}
+		pl = &planner.Planner{Provider: cp, Spec: o.rt.Spec(), Parallelisms: o.pars, Compressions: o.comps}
+		d, err := pl.PlanFor(name, *o.plan)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: planner: %w", err)
+		}
+		d.Apply(o.conf)
+		dec = d
+	}
+	s := NewSession(f(o.conf, o.rt, o.fs))
+	s.conf = o.conf
+	s.planner = pl
+	s.decision = dec
+	return s, nil
 }
 
 // OpenLegacy is the pre-options positional signature.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/metrics"
+	"repro/internal/planner"
 )
 
 // Kind identifies the execution model behind a Backend.
@@ -121,6 +122,11 @@ type Session struct {
 	b      Backend
 	nextID int
 	reps   map[int]any
+
+	// Planner state, set by Open when WithPlanner is used.
+	conf     *core.Config
+	planner  *planner.Planner
+	decision *planner.Decision
 }
 
 // NewSession binds a backend.
@@ -142,6 +148,23 @@ func (s *Session) Metrics() *metrics.JobMetrics { return s.b.Metrics() }
 
 // Timeline returns the backend's operator timeline.
 func (s *Session) Timeline() *metrics.Timeline { return s.b.Timeline() }
+
+// PlannerDecision returns the decision made by WithPlanner, or nil when the
+// session was opened without a planner.
+func (s *Session) PlannerDecision() *planner.Decision { return s.decision }
+
+// StartAdaptive attaches the runtime re-planner to the session: every stage
+// boundary the engine reports is compared against the static decision's
+// estimates, and a divergence beyond planner.replan.ratio re-plans the
+// remaining work into the live configuration (explicit user keys still
+// win). Returns nil when the session was opened without WithPlanner; detach
+// with Monitor.Detach when done.
+func (s *Session) StartAdaptive() *planner.Monitor {
+	if s.decision == nil || s.planner == nil {
+		return nil
+	}
+	return planner.NewMonitor(s.planner, s.decision, s.conf, s.b.Metrics())
+}
 
 func (s *Session) kind() Kind { return s.b.Kind() }
 

@@ -110,7 +110,14 @@ func (ctx *jobCtx) submit() error {
 	e.metrics.SchedulingRounds.Add(1)
 	e.metrics.Stages.Add(1) // a pipelined job is one stage, always
 	e.metrics.TasksLaunched.Add(int64(len(ctx.tasks)))
-	return e.rt.RunTasks(ctx.tasks)
+	if err := e.rt.RunTasks(ctx.tasks); err != nil {
+		return err
+	}
+	// A pipelined plan has no internal barriers: job completion is the only
+	// boundary where an adaptive monitor can observe counters and re-plan
+	// the jobs that follow (e.g. later iterations driven from the driver).
+	e.metrics.NotifyStage("pipeline")
+	return nil
 }
 
 // effectiveSlots is the per-node concurrency actually available: the

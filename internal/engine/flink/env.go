@@ -49,10 +49,8 @@ type Env struct {
 	metrics  *metrics.JobMetrics
 	timeline *metrics.Timeline
 
-	parallelism  int
 	slotsPerNode int
 	combineSort  bool
-	shuffleSet   shuffle.Settings
 
 	nextID atomic.Int64
 }
@@ -86,12 +84,6 @@ func NewEnv(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Env {
 			conf.Bytes(core.BufferSize, 32*core.KB)),
 		combineSort: conf.String(FlinkCombineStrategy, "sort") == "sort",
 	}
-	// The shared shuffle core: flink's native idiom is the pipelined hash
-	// repartition; shuffle.strategy=sort turns keyed exchanges into
-	// sort-based pipeline breakers. Buckets flush at the configured
-	// network buffer size, the pipelining grain.
-	env.shuffleSet = shuffle.FromConf(conf, shuffle.Hash)
-	env.shuffleSet.FlushBytes = int64(conf.Bytes(core.BufferSize, 32*core.KB))
 	for i := 0; i < spec.Nodes; i++ {
 		env.managed = append(env.managed, memory.NewManaged(total, fraction, offHeap))
 	}
@@ -99,12 +91,32 @@ func NewEnv(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Env {
 	if env.slotsPerNode <= 0 {
 		env.slotsPerNode = rt.SlotsPerNode()
 	}
-	env.parallelism = conf.Int(core.FlinkDefaultParallelism, 0)
-	if env.parallelism <= 0 {
-		// Flink sizes parallelism to the available task slots.
-		env.parallelism = env.slotsPerNode * spec.Nodes
-	}
 	return env
+}
+
+// curParallelism resolves the default parallelism from the live
+// configuration — per plan, so an adaptive re-plan between jobs changes the
+// next dataflow's degree.
+func (e *Env) curParallelism() int {
+	if p := e.conf.Int(core.FlinkDefaultParallelism, 0); p > 0 {
+		return p
+	}
+	// Flink sizes parallelism to the available task slots.
+	return e.slotsPerNode * e.rt.Spec().Nodes
+}
+
+// curShuffleSettings resolves the shuffle settings from the live
+// configuration. The shared shuffle core: flink's native idiom is the
+// pipelined hash repartition; shuffle.strategy=sort turns keyed exchanges
+// into sort-based pipeline breakers. Buckets flush at the configured
+// network buffer size, the pipelining grain. Each exchange captures the
+// settings when the plan edge is built, so the write and read sides of one
+// exchange always agree even if the adaptive planner rewrites the
+// configuration while a job runs.
+func (e *Env) curShuffleSettings() shuffle.Settings {
+	set := shuffle.FromConf(e.conf, shuffle.Hash)
+	set.FlushBytes = int64(e.conf.Bytes(core.BufferSize, 32*core.KB))
+	return set
 }
 
 // Conf returns the configuration.
@@ -120,7 +132,7 @@ func (e *Env) Metrics() *metrics.JobMetrics { return e.metrics }
 func (e *Env) Timeline() *metrics.Timeline { return e.timeline }
 
 // Parallelism returns the effective default parallelism.
-func (e *Env) Parallelism() int { return e.parallelism }
+func (e *Env) Parallelism() int { return e.curParallelism() }
 
 // Managed returns node n's managed memory pool (tests inspect it).
 func (e *Env) Managed(n int) *memory.Managed { return e.managed[n] }
@@ -132,7 +144,7 @@ func (e *Env) nodeOf(part int) int { return e.rt.NodeFor(part) }
 // (fromCollection). parallelism ≤ 0 uses the environment default.
 func FromSlice[T any](e *Env, data []T, parallelism int) *DataSet[T] {
 	if parallelism <= 0 {
-		parallelism = e.parallelism
+		parallelism = e.curParallelism()
 	}
 	if parallelism > len(data) && len(data) > 0 {
 		parallelism = len(data)
@@ -208,7 +220,7 @@ func ReadFixedRecords(e *Env, name string, recSize int) (*DataSet[[]byte], error
 // sourceParallelism bounds source subtasks by the default parallelism and
 // the number of splits.
 func sourceParallelism(e *Env, splits int) int {
-	p := e.parallelism
+	p := e.curParallelism()
 	if splits < p {
 		p = splits
 	}

@@ -47,7 +47,7 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 		parents:     []planParent{{ds: parent, exchange: true}},
 	}
 	codec := serde.Of[T](e.style)
-	set := e.shuffleSet
+	set := e.curShuffleSettings()
 	if less == nil {
 		// A non-keyed edge has no order to sort by; it stays a pipelined
 		// hash repartition under every strategy.

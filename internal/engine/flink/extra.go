@@ -122,7 +122,7 @@ func Max[K comparable](g *Grouped[K, core.Pair[K, int64]]) *DataSet[core.Pair[K,
 // repair, Flink's rebalance()).
 func Rebalance[T any](d *DataSet[T], q int) *DataSet[T] {
 	if q <= 0 {
-		q = d.env.parallelism
+		q = d.env.curParallelism()
 	}
 	var counter atomic.Int64
 	return rebalanceExchange(d, "Rebalance", core.OpPartition, q, func(T) int {

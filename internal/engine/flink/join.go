@@ -20,7 +20,7 @@ type Joined[V, W any] struct {
 func Join[L, R any, K comparable](left *DataSet[L], right *DataSet[R],
 	lk func(L) K, rk func(R) K, q int) *DataSet[core.Pair[K, Joined[L, R]]] {
 	if q <= 0 {
-		q = left.env.parallelism
+		q = left.env.curParallelism()
 	}
 	return coGroupInternal(left, right, lk, rk, q, "Join", core.OpJoin, false,
 		func(k K, ls []L, rs []R) []core.Pair[K, Joined[L, R]] {
@@ -42,7 +42,7 @@ func CoGroup[L, R any, K comparable, U any](left *DataSet[L], right *DataSet[R],
 	lk func(L) K, rk func(R) K, q int, mustFitInMemory bool,
 	f func(K, []L, []R) []U) *DataSet[U] {
 	if q <= 0 {
-		q = left.env.parallelism
+		q = left.env.curParallelism()
 	}
 	return coGroupInternal(left, right, lk, rk, q, "CoGroup", core.OpCoGroup, mustFitInMemory, f)
 }
@@ -72,13 +72,17 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 	ds.produce = func(ctx *jobCtx, sinks []partSink[U]) error {
 		lchans := ctx.makeChannels(left.parallelism, q)
 		rchans := ctx.makeChannels(right.parallelism, q)
+		// One settings capture covers both sides and both drains: producers
+		// and consumers of one exchange must agree even if the adaptive
+		// planner rewrites the configuration while the job runs.
+		set := e.curShuffleSettings()
 
-		if err := produceSide(ctx, left, lCodec, lchans, func(v L) int {
+		if err := produceSide(ctx, left, lCodec, lchans, set, func(v L) int {
 			return int(core.HashKey(lk(v)) % uint64(q))
 		}); err != nil {
 			return err
 		}
-		if err := produceSide(ctx, right, rCodec, rchans, func(v R) int {
+		if err := produceSide(ctx, right, rCodec, rchans, set, func(v R) int {
 			return int(core.HashKey(rk(v)) % uint64(q))
 		}); err != nil {
 			return err
@@ -107,7 +111,7 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 				}
 				// Drain the build side first (its channel closes when all
 				// producers finish), then the probe side.
-				if err := drainSide(e, node, lchans[part], lCodec, func(v L) error {
+				if err := drainSide(e, node, lchans[part], lCodec, set, func(v L) error {
 					k := lk(v)
 					if err := note(k); err != nil {
 						return err
@@ -121,7 +125,7 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 					}
 					return err
 				}
-				if err := drainSide(e, node, rchans[part], rCodec, func(v R) error {
+				if err := drainSide(e, node, rchans[part], rCodec, set, func(v R) error {
 					k := rk(v)
 					if err := note(k); err != nil {
 						return err
@@ -156,10 +160,9 @@ func coGroupInternal[L, R any, K comparable, U any](left *DataSet[L], right *Dat
 // pipelined hash repartitions on every strategy — the consumer builds hash
 // tables, so there is no order to sort by.
 func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
-	chans []chan shuffle.Packet, route func(T) int) error {
+	chans []chan shuffle.Packet, set shuffle.Settings, route func(T) int) error {
 	e := parent.env
 	q := len(chans)
-	set := e.shuffleSet
 	set.Kind = shuffle.Hash
 	var open atomic.Int64
 	open.Store(int64(parent.parallelism))
@@ -214,7 +217,7 @@ func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
 // RunTasks only returns once every task finishes — then reports the first
 // error.
 func drainSide[T any](e *Env, node int, ch <-chan shuffle.Packet, codec serde.Codec[T],
-	each func(T) error) error {
+	set shuffle.Settings, each func(T) error) error {
 	var failed error
 	for pkt := range ch {
 		if failed != nil {
@@ -222,7 +225,7 @@ func drainSide[T any](e *Env, node int, ch <-chan shuffle.Packet, codec serde.Co
 			continue
 		}
 		e.metrics.AddShuffleRead(int64(pkt.Block.Len()), pkt.From == node)
-		raw, err := shuffle.Unpack(e.shuffleSet, pkt.Block.Bytes())
+		raw, err := shuffle.Unpack(set, pkt.Block.Bytes())
 		if err != nil {
 			pkt.Block.Release()
 			failed = err

@@ -24,13 +24,18 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 	}
 	reduces := job.Reduces
 	if reduces <= 0 {
-		reduces = c.reduces
+		reduces = c.curReduces()
 	}
 	partition := job.Partition
 	if partition == nil {
 		partition = defaultPartition[K]
 	}
 	codec := serde.OfPair[K, V](c.style)
+	// Resolve the shuffle settings once per job: both phases must agree on
+	// strategy and codec even if an adaptive re-plan rewrites the
+	// configuration at the mid-job barrier; the corrected settings take
+	// effect at the next job of the chain.
+	set := c.curShuffleSettings()
 
 	// --- Map phase -------------------------------------------------------
 	// One task per input split, scheduled data-local. Each task buffers its
@@ -51,7 +56,7 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 			node = in.pref(m)
 		}
 		mapTasks[m] = cluster.Task{Node: node, Fn: func() error {
-			return runMapTask(c, jobID, name, m, in.splits[m], splitBytes, reduces, job, partition, codec)
+			return runMapTask(c, jobID, name, m, in.splits[m], splitBytes, reduces, set, job, partition, codec)
 		}}
 	}
 	err := c.rt.RunTasks(mapTasks)
@@ -59,6 +64,10 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: %s map phase: %w", name, err)
 	}
+	// The map outputs are materialized: report the phase boundary so an
+	// adaptive monitor can compare observed counters and re-plan the jobs
+	// that follow the barrier.
+	c.metrics.NotifyStage(name + "-map")
 
 	// --- Barrier ---------------------------------------------------------
 	// RunTasks has joined every map task; all intermediate state is now
@@ -72,7 +81,7 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 	for r := range reduceTasks {
 		r := r
 		reduceTasks[r] = cluster.Task{Node: c.rt.NodeFor(r), Fn: func() error {
-			part, err := runReduceTask(c, jobID, name, r, in.NumSplits(), job, codec)
+			part, err := runReduceTask(c, jobID, name, r, in.NumSplits(), set, job, codec)
 			if err != nil {
 				return err
 			}
@@ -85,6 +94,7 @@ func Run[I any, K cmp.Ordered, V any](c *Cluster, job Job[I, K, V], in Input[I])
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: %s reduce phase: %w", name, err)
 	}
+	c.metrics.NotifyStage(name + "-reduce")
 
 	// Job cleanup: drop the intermediate segments like the MRAppMaster's
 	// shuffle cleanup does.
@@ -140,7 +150,7 @@ func (s *dfsSpillStore) Remove(name string) { s.c.fs.Delete(name) }
 // partition — Hadoop's map side, verbatim. Under shuffle.strategy=hash the
 // segments stay unsorted and the reduce side sorts after the fetch.
 func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, m int,
-	split []I, splitBytes int64, reduces int,
+	split []I, splitBytes int64, reduces int, set shuffle.Settings,
 	job Job[I, K, V], partition func(K, int) int, codec serde.Codec[core.Pair[K, V]]) error {
 	c.metrics.TasksLaunched.Add(1)
 	c.metrics.DiskBytesRead.Add(splitBytes)
@@ -176,7 +186,7 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 		}
 	}
 	w := shuffle.NewWriter(spec, shuffle.Env{
-		Settings: c.shuffleSet,
+		Settings: set,
 		Metrics:  c.metrics,
 		Spill:    &dfsSpillStore{c: c, job: jobID, m: m},
 		Emit: func(r int, b shuffle.Block) error {
@@ -210,7 +220,7 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 // cluster.Runtime (Hadoop's merge threads) instead of one sequential pass;
 // hash-strategy segments carry no order and are sorted after the fetch.
 func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name string, r, maps int,
-	job Job[I, K, V], codec serde.Codec[core.Pair[K, V]]) ([]core.Pair[K, V], error) {
+	set shuffle.Settings, job Job[I, K, V], codec serde.Codec[core.Pair[K, V]]) ([]core.Pair[K, V], error) {
 	c.metrics.TasksLaunched.Add(1)
 	node := c.rt.NodeFor(r)
 	blocks := make([]shuffle.Block, 0, maps)
@@ -236,7 +246,7 @@ func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name st
 		c.metrics.DiskBytesRead.Add(int64(blk.Len()))
 		blocks = append(blocks, blk)
 	}
-	segments, err := shuffle.DecodeBlocks(c.shuffleSet, codec, blocks)
+	segments, err := shuffle.DecodeBlocks(set, codec, blocks)
 	for i := range blocks {
 		blocks[i].Release()
 	}
@@ -245,7 +255,7 @@ func runReduceTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name st
 	}
 	less := func(a, b core.Pair[K, V]) bool { return a.Key < b.Key }
 	var merged []core.Pair[K, V]
-	if c.shuffleSet.Kind == shuffle.Sort {
+	if set.Kind == shuffle.Sort {
 		merged = shuffle.ParallelMerge(c.rt, node, segments, less)
 	} else {
 		merged = shuffle.Concat(segments)

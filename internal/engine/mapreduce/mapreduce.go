@@ -67,10 +67,6 @@ type Cluster struct {
 	metrics  *metrics.JobMetrics
 	timeline *metrics.Timeline
 
-	reduces     int
-	sortRecords int
-	shuffleSet  shuffle.Settings
-
 	nextJob atomic.Int64
 }
 
@@ -87,21 +83,33 @@ func NewCluster(conf *core.Config, rt *cluster.Runtime, fs *dfs.FS) *Cluster {
 		metrics:  &metrics.JobMetrics{},
 		timeline: metrics.NewTimeline(),
 	}
-	c.reduces = conf.Int(MRReduceTasks, 0)
-	if c.reduces <= 0 {
-		c.reduces = rt.Spec().Nodes
-	}
-	c.sortRecords = conf.Int(MRSortRecords, 0)
-	if c.sortRecords <= 0 {
-		c.sortRecords = defaultSortRecords
-	}
-	// The shared shuffle core: classic Hadoop IS the sort strategy (sorted
-	// spills, merged segments, sort-merge reduce); the io.sort buffer is
-	// the record-count spill trigger. shuffle.strategy=hash keeps segments
-	// unsorted and moves the sort after the reduce-side fetch.
-	c.shuffleSet = shuffle.FromConf(conf, shuffle.Sort)
-	c.shuffleSet.SpillRecs = c.sortRecords
 	return c
+}
+
+// curReduces resolves mapreduce.job.reduces from the live configuration —
+// per job, so an adaptive re-plan between jobs changes the next job's
+// reducer count.
+func (c *Cluster) curReduces() int {
+	if r := c.conf.Int(MRReduceTasks, 0); r > 0 {
+		return r
+	}
+	return c.rt.Spec().Nodes
+}
+
+// curShuffleSettings resolves the shuffle settings from the live
+// configuration. The shared shuffle core: classic Hadoop IS the sort
+// strategy (sorted spills, merged segments, sort-merge reduce); the
+// io.sort buffer is the record-count spill trigger. shuffle.strategy=hash
+// keeps segments unsorted and moves the sort after the reduce-side fetch.
+// Run resolves once per job so both phases of one job always agree even if
+// the adaptive planner rewrites the configuration mid-run.
+func (c *Cluster) curShuffleSettings() shuffle.Settings {
+	set := shuffle.FromConf(c.conf, shuffle.Sort)
+	set.SpillRecs = c.conf.Int(MRSortRecords, 0)
+	if set.SpillRecs <= 0 {
+		set.SpillRecs = defaultSortRecords
+	}
+	return set
 }
 
 // Conf returns the configuration.
@@ -120,7 +128,7 @@ func (c *Cluster) Metrics() *metrics.JobMetrics { return c.metrics }
 func (c *Cluster) Timeline() *metrics.Timeline { return c.timeline }
 
 // DefaultReduces returns the effective mapreduce.job.reduces.
-func (c *Cluster) DefaultReduces() int { return c.reduces }
+func (c *Cluster) DefaultReduces() int { return c.curReduces() }
 
 // Style returns the configured intermediate serialization strategy.
 func (c *Cluster) Style() serde.Style { return c.style }

@@ -54,7 +54,7 @@ func CombineByKey[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string,
 	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
 	numParts int, mapSideCombine bool) *RDD[core.Pair[K, C]] {
 	if numParts <= 0 {
-		numParts = r.ctx.parallelism
+		numParts = r.ctx.curParallelism()
 	}
 	part := core.NewHashPartitioner[K](numParts)
 	return shuffledRDD(r, name, core.OpReduceByKey, part, createCombiner, mergeValue, mergeCombiners, mapSideCombine, false, nil, nil)
@@ -135,7 +135,7 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 		if err != nil {
 			return nil, err
 		}
-		segs, err := shuffle.DecodeBlocks(ctx.shuffleSet, pairCodec, blocks)
+		segs, err := shuffle.DecodeBlocks(sd.settings(ctx), pairCodec, blocks)
 		for i := range blocks {
 			blocks[i].Release() // borrows no-op; remote copies recycle
 		}
@@ -147,7 +147,7 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 				return shuffle.Concat(segs), nil
 			}
 			lessPair := func(a, b core.Pair[K, C]) bool { return less(a.Key, b.Key) }
-			if ctx.shuffleSet.Kind == shuffle.Sort {
+			if sd.settings(ctx).Kind == shuffle.Sort {
 				// Sort shuffles deliver key-sorted map outputs: the read
 				// side is a parallel k-way merge over the runtime instead
 				// of a full re-sort.
@@ -172,7 +172,7 @@ type Joined[V, W any] struct {
 func Join[K comparable, V, W any](left *RDD[core.Pair[K, V]], right *RDD[core.Pair[K, W]],
 	numParts int) *RDD[core.Pair[K, Joined[V, W]]] {
 	if numParts <= 0 {
-		numParts = left.ctx.parallelism
+		numParts = left.ctx.curParallelism()
 	}
 	lg := GroupByKey(left, numParts)
 	rg := GroupByKey(right, numParts)

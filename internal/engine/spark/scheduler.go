@@ -88,6 +88,11 @@ func runStages(c *Context, final anyRDD) error {
 
 	for _, sd := range order {
 		c.shuffles.register(sd)
+		// Pin this shuffle's settings now, on the driver: an adaptive
+		// re-plan can change the configuration between stages, and later
+		// shuffles of this job should see it — but THIS shuffle's reads
+		// and retries must match what its maps are about to write.
+		sd.freeze(c)
 		missing := c.shuffles.missingMaps(sd.id, sd.numMaps)
 		if len(missing) == 0 {
 			continue
@@ -107,6 +112,9 @@ func runStages(c *Context, final anyRDD) error {
 		if err := c.rt.RunTasks(tasks); err != nil {
 			return fmt.Errorf("spark: map stage for shuffle %d: %w", sd.id, err)
 		}
+		// Stage barrier: report the completed map stage so an adaptive
+		// monitor can compare observed counters and re-plan what follows.
+		c.metrics.NotifyStage(fmt.Sprintf("shuffle-%d-map", sd.id))
 	}
 	return nil
 }
@@ -132,7 +140,11 @@ func runResultStage[T any](c *Context, r *RDD[T], fn func(int, []T, *taskContext
 			})
 		}})
 	}
-	return c.rt.RunTasks(tasks)
+	if err := c.rt.RunTasks(tasks); err != nil {
+		return err
+	}
+	c.metrics.NotifyStage("result")
+	return nil
 }
 
 // placeTask prefers the partition's data locality, falling back to

@@ -56,7 +56,7 @@ func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 		}
 	}
 	w.w = shuffle.NewWriter(spec, shuffle.Env{
-		Settings: tc.ctx.shuffleSet,
+		Settings: sd.settings(tc.ctx),
 		Metrics:  tc.metrics,
 		Mem:      tc.heap.AllocShuffle,
 		Free:     tc.heap.FreeShuffle,

@@ -46,7 +46,16 @@ type Row struct {
 	SparkAllocsRec  float64
 	FlinkAllocsRec  float64
 	MapRedAllocsRec float64
-	PaperNote       string // the paper's reported values or claim, for the report
+	// Planner columns of the adaptive-execution report (ext10): measured
+	// seconds of the planner's chosen configuration, the oracle sweep's
+	// best and worst fixed configurations, the regret ratio and the re-plan
+	// count. NaN everywhere else (Replans is NaN on static cells too).
+	PlannerSec float64
+	OracleSec  float64
+	WorstSec   float64
+	Regret     float64
+	Replans    float64
+	PaperNote  string // the paper's reported values or claim, for the report
 }
 
 // Report is the regenerated artifact for one experiment id.
@@ -65,6 +74,10 @@ type Report struct {
 	// PerRecord marks a raw-speed report (ext9): row cells are ns/record
 	// and allocs/record (the *NsRec/*AllocsRec columns), not runtimes.
 	PerRecord bool
+	// Planner marks the adaptive-execution report (ext10): rows carry the
+	// Planner*/Oracle*/Regret columns for the JSON artifact only — the
+	// human rendering is the free-form Table, so Render skips the rows.
+	Planner bool
 }
 
 // Render produces the report as text: a paper-style comparison table plus
@@ -91,7 +104,7 @@ func (r *Report) Render() string {
 			b.WriteString("\n")
 		}
 	}
-	if len(r.Rows) > 0 {
+	if len(r.Rows) > 0 && !r.Planner {
 		noteHeader := "paper"
 		if r.ThreeWay {
 			noteHeader = "notes"

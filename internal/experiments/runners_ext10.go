@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/dfs"
+	"repro/internal/engine/mapreduce"
+	"repro/internal/planner"
+	"repro/internal/workloads"
+)
+
+// ext10 is the adaptive-execution family: the cost-model-driven planner
+// (internal/planner) judged against measured oracles on the real engines.
+//
+// Static regret: for each (workload × size) cell an oracle sweep measures
+// every candidate configuration the planner considers — engine × shuffle
+// strategy × parallelism — and the planner's choice is scored as
+// measured(chosen)/measured(best). A cost model is useful when that ratio
+// stays near 1 while the worst fixed configuration sits multiples away.
+//
+// Adaptive: a chained WordCount over UNIQUE keys — input that silently
+// defeats the map-side combiner the static plan counts on. The planner,
+// fed only input bytes, picks the combiner-friendly hash configuration;
+// the first wave's stage metrics reveal the cardinality misestimate
+// (observed shuffle volume ≈ 2.8× the estimate), the monitor re-plans the
+// remaining waves onto the sort strategy at lower parallelism, and the
+// decision trail records the switch. The cell compares planner-adaptive
+// against every fixed configuration over the same waves.
+
+func init() {
+	register("ext10", "Adaptive execution — planner regret and runtime re-planning (AQE)", runExt10)
+}
+
+const (
+	ext10Trials      = 3
+	ext10SmallBytes  = 192 * 1024
+	ext10LargeBytes  = 768 * 1024
+	ext10SmallTera   = 4000
+	ext10LargeTera   = 16000
+	ext10Waves       = 4
+	ext10WaveBytes   = 192 * 1024
+	ext10ClusterNode = 2
+	ext10ClusterCore = 8
+)
+
+// ext10Parallelisms is the shared candidate axis of the planner and the
+// oracle sweep; compression is pinned to "none" (the lz codec never pays at
+// laptop scale — measured in ext6 — so sweeping it would only triple the
+// oracle's cost without moving the regret).
+var ext10Parallelisms = []int{2, 8}
+
+// ext10Cand is one cell of the oracle sweep.
+type ext10Cand struct {
+	engine string
+	strat  string
+	par    int
+}
+
+func (c ext10Cand) String() string { return fmt.Sprintf("%s/%s/p=%d", c.engine, c.strat, c.par) }
+
+func ext10Candidates() []ext10Cand {
+	var out []ext10Cand
+	for _, engine := range []string{"spark", "flink", "mapreduce"} {
+		for _, strat := range []string{"hash", "sort"} {
+			for _, par := range ext10Parallelisms {
+				out = append(out, ext10Cand{engine: engine, strat: strat, par: par})
+			}
+		}
+	}
+	return out
+}
+
+func runExt10() (*Report, error) {
+	rep := &Report{
+		ID:      "ext10",
+		Planner: true,
+		Title:   "Adaptive execution: planner-static regret and runtime re-planning",
+		Notes: []string{
+			fmt.Sprintf("static cells: oracle = min over %d measured configs (3 engines × hash/sort × p∈%v, compress=none), best-of-%d runs; regret = measured(planner choice)/oracle",
+				len(ext10Candidates()), ext10Parallelisms, ext10Trials),
+			"adaptive cell: WordCount over unique keys (combiner defeated), " + fmt.Sprint(ext10Waves) + " chained waves; the planner starts from the cardinality-blind static choice and re-plans at the first stage boundary",
+		},
+	}
+	rep.Table = append(rep.Table, []string{
+		"cell", "planner choice", "est (s)", "measured (s)", "oracle", "oracle (s)", "regret", "worst fixed", "worst (s)"})
+
+	// --- Static regret cells --------------------------------------------
+	type cell struct {
+		label string
+		wl    string
+		text  []byte
+		tera  []byte
+		spec  planner.PlanSpec
+	}
+	cells := []cell{
+		{label: "WordCount 192KiB", wl: "WordCount", text: datagen.Text(33, ext10SmallBytes, 10),
+			spec: planner.PlanSpec{Workload: "WordCount", Shape: planner.Aggregate,
+				Input: planner.InputStats{Bytes: ext10SmallBytes}}},
+		{label: "WordCount 768KiB", wl: "WordCount", text: datagen.Text(33, ext10LargeBytes, 10),
+			spec: planner.PlanSpec{Workload: "WordCount", Shape: planner.Aggregate,
+				Input: planner.InputStats{Bytes: ext10LargeBytes}}},
+		{label: "TeraSort 4000r", wl: "TeraSort", tera: datagen.TeraGen(7, ext10SmallTera),
+			spec: planner.PlanSpec{Workload: "TeraSort", Shape: planner.Sort,
+				Input: planner.InputStats{Bytes: 100 * ext10SmallTera, Records: ext10SmallTera}}},
+		{label: "TeraSort 16000r", wl: "TeraSort", tera: datagen.TeraGen(7, ext10LargeTera),
+			spec: planner.PlanSpec{Workload: "TeraSort", Shape: planner.Sort,
+				Input: planner.InputStats{Bytes: 100 * ext10LargeTera, Records: ext10LargeTera}}},
+	}
+	for _, c := range cells {
+		measured := map[ext10Cand]float64{}
+		best, worst := ext10Cand{}, ext10Cand{}
+		bestSec, worstSec := 1e18, 0.0
+		for _, cand := range ext10Candidates() {
+			sec := 1e18
+			for i := 0; i < ext10Trials; i++ {
+				s, err := ext10Run(cand.engine, c.wl, cand.strat, cand.par, c.text, c.tera)
+				if err != nil {
+					return nil, fmt.Errorf("ext10 %s %s: %w", c.label, cand, err)
+				}
+				if s < sec {
+					sec = s
+				}
+			}
+			measured[cand] = sec
+			if sec < bestSec {
+				bestSec, best = sec, cand
+			}
+			if sec > worstSec {
+				worstSec, worst = sec, cand
+			}
+		}
+		d, err := ext10Plan(c.spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext10 %s: %w", c.label, err)
+		}
+		chosen := ext10Cand{engine: d.Chosen.Engine, strat: d.Chosen.Strategy, par: d.Chosen.Parallelism}
+		chosenSec, ok := measured[chosen]
+		if !ok {
+			return nil, fmt.Errorf("ext10 %s: planner chose %s outside the oracle sweep", c.label, chosen)
+		}
+		rep.Table = append(rep.Table, []string{
+			c.label, chosen.String(), fmt.Sprintf("%.3f", d.Est.Seconds),
+			fmt.Sprintf("%.3f", chosenSec), best.String(), fmt.Sprintf("%.3f", bestSec),
+			fmt.Sprintf("%.2fx", chosenSec/bestSec), worst.String(), fmt.Sprintf("%.3f", worstSec),
+		})
+		rep.Rows = append(rep.Rows, Row{Label: c.label, PaperNote: chosen.String(),
+			PlannerSec: chosenSec, OracleSec: bestSec, WorstSec: worstSec,
+			Regret: chosenSec / bestSec, Replans: math.NaN()})
+	}
+
+	// --- Adaptive cell ---------------------------------------------------
+	wave := ext10UniqueText(ext10WaveBytes)
+	bestFixed, worstFixed := ext10Cand{}, ext10Cand{}
+	bestFixedSec, worstFixedSec := 1e18, 0.0
+	for _, cand := range ext10Candidates() {
+		sec, err := ext10WavesRun(cand.engine, &cand, nil, wave)
+		if err != nil {
+			return nil, fmt.Errorf("ext10 adaptive sweep %s: %w", cand, err)
+		}
+		if sec < bestFixedSec {
+			bestFixedSec, bestFixed = sec, cand
+		}
+		if sec > worstFixedSec {
+			worstFixedSec, worstFixed = sec, cand
+		}
+	}
+	adSec, adDecision, adReplans, adTrace, err := ext10AdaptiveRun(wave)
+	if err != nil {
+		return nil, fmt.Errorf("ext10 adaptive: %w", err)
+	}
+	label := fmt.Sprintf("WC-unique %d×192KiB (adaptive)", ext10Waves)
+	rep.Table = append(rep.Table, []string{
+		label,
+		fmt.Sprintf("%s (replans=%d)", adDecision.Chosen, adReplans),
+		fmt.Sprintf("%.3f", adDecision.Est.Seconds),
+		fmt.Sprintf("%.3f", adSec), bestFixed.String(), fmt.Sprintf("%.3f", bestFixedSec),
+		fmt.Sprintf("%.2fx", adSec/bestFixedSec), worstFixed.String(), fmt.Sprintf("%.3f", worstFixedSec),
+	})
+	rep.Rows = append(rep.Rows, Row{Label: label, PaperNote: adDecision.Chosen.String(),
+		PlannerSec: adSec, OracleSec: bestFixedSec, WorstSec: worstFixedSec,
+		Regret: adSec / bestFixedSec, Replans: float64(adReplans)})
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("adaptive vs worst fixed: %.1fx faster (%s at %.3fs); re-plan events: %d",
+			worstFixedSec/adSec, worstFixed, worstFixedSec, adReplans))
+	for _, line := range strings.Split(strings.TrimRight(adTrace, "\n"), "\n") {
+		rep.Notes = append(rep.Notes, "trace: "+line)
+	}
+	return rep, nil
+}
+
+// ext10Spec is the testbed every ext10 run schedules onto.
+var ext10Spec = cluster.Spec{Nodes: ext10ClusterNode, CoresPerNode: ext10ClusterCore,
+	MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+
+// ext10BaseConf is the shared substrate configuration — memory and buffer
+// sizing only, no planner-controlled keys, so the planner (and explicit
+// Set calls in fixed-config runs) decide strategy and parallelism.
+func ext10BaseConf() *core.Config {
+	return core.NewConfig().
+		SetInt(core.FlinkNetworkBuffers, 8192).
+		SetBytes(core.SparkExecutorMemory, 512*core.MB).
+		SetBytes(core.FlinkTaskManagerMemory, 256*core.MB)
+}
+
+// ext10Plan runs the free-engine static planner for one cell over the same
+// candidate space the oracle sweep measures.
+func ext10Plan(spec planner.PlanSpec) (*planner.Decision, error) {
+	pl := &planner.Planner{
+		Provider:     &planner.SimCost{Base: ext10BaseConf()},
+		Spec:         ext10Spec,
+		Parallelisms: ext10Parallelisms,
+		Compressions: []string{"none"},
+	}
+	return pl.Plan(spec)
+}
+
+// ext10Run measures one workload once on one fixed configuration over a
+// fresh session.
+func ext10Run(engine, wl, strat string, par int, text, tera []byte) (float64, error) {
+	rt, err := cluster.NewRuntime(ext10Spec, ext10ClusterCore)
+	if err != nil {
+		return 0, err
+	}
+	conf := ext10BaseConf().
+		Set(core.ShuffleStrategy, strat).
+		SetInt(core.SparkDefaultParallelism, par).
+		SetInt(core.FlinkDefaultParallelism, par).
+		SetInt(mapreduce.MRReduceTasks, par)
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt),
+		dataflow.WithFS(dfs.New(ext10Spec.Nodes, 16*core.KB, 1)))
+	if err != nil {
+		return 0, err
+	}
+	switch wl {
+	case "WordCount":
+		s.FS().WriteFile("ext10-wc", text)
+		start := time.Now()
+		if err := workloads.WordCount(s, "ext10-wc", "ext10-wc-out"); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	case "TeraSort":
+		s.FS().WriteFile("ext10-tera", tera)
+		part := workloads.TeraPartitioner(tera, par)
+		start := time.Now()
+		if err := workloads.TeraSort(s, "ext10-tera", "ext10-tera-out", part); err != nil {
+			return 0, err
+		}
+		if err := workloads.VerifyTeraSorted(s.FS(), "ext10-tera-out", len(tera)/100); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", wl)
+}
+
+// ext10WavesRun runs the chained unique-key WordCount waves on one session.
+// With a non-nil fixed candidate the configuration is pinned explicitly;
+// with fixed nil the session opens under WithPlanner using spec, and the
+// returned session state is measured as-is (ext10AdaptiveRun layers the
+// monitor on top).
+func ext10WavesRun(engine string, fixed *ext10Cand, spec *planner.PlanSpec, wave []byte) (float64, error) {
+	rt, err := cluster.NewRuntime(ext10Spec, ext10ClusterCore)
+	if err != nil {
+		return 0, err
+	}
+	conf := ext10BaseConf()
+	if fixed != nil {
+		conf.Set(core.ShuffleStrategy, fixed.strat).
+			SetInt(core.SparkDefaultParallelism, fixed.par).
+			SetInt(core.FlinkDefaultParallelism, fixed.par).
+			SetInt(mapreduce.MRReduceTasks, fixed.par)
+	}
+	opts := []dataflow.Option{
+		dataflow.WithConfig(conf), dataflow.WithRuntime(rt),
+		dataflow.WithFS(dfs.New(ext10Spec.Nodes, 16*core.KB, 1)),
+	}
+	if spec != nil {
+		opts = append(opts, dataflow.WithPlanner(*spec),
+			dataflow.WithPlannerSpace(ext10Parallelisms, []string{"none"}))
+	}
+	s, err := dataflow.Open(engine, opts...)
+	if err != nil {
+		return 0, err
+	}
+	for w := 0; w < ext10Waves; w++ {
+		s.FS().WriteFile(fmt.Sprintf("ext10-u%d", w), wave)
+	}
+	var mon *planner.Monitor
+	if spec != nil {
+		mon = s.StartAdaptive()
+		defer mon.Detach()
+	}
+	start := time.Now()
+	for w := 0; w < ext10Waves; w++ {
+		if err := workloads.WordCount(s, fmt.Sprintf("ext10-u%d", w), fmt.Sprintf("ext10-u%d-out", w)); err != nil {
+			return 0, err
+		}
+		if mon != nil {
+			// Job boundary: re-baseline the observed counters so the next
+			// wave's divergence check compares per-job deltas.
+			mon.Reset()
+		}
+	}
+	sec := time.Since(start).Seconds()
+	if spec != nil {
+		ext10LastMonitor = mon
+	}
+	return sec, nil
+}
+
+// ext10LastMonitor carries the adaptive run's monitor out of ext10WavesRun;
+// runExt10 is single-goroutine, so a package variable suffices.
+var ext10LastMonitor *planner.Monitor
+
+// ext10AdaptiveRun measures the planner-adaptive waves: static decision
+// from input bytes only (cardinality unknown), runtime re-planning on.
+func ext10AdaptiveRun(wave []byte) (float64, *planner.Decision, int, string, error) {
+	spec := planner.PlanSpec{
+		Workload: "WordCount-unique",
+		Shape:    planner.Aggregate,
+		Input:    planner.InputStats{Bytes: int64(len(wave))},
+	}
+	sec, err := ext10WavesRun("mapreduce", nil, &spec, wave)
+	if err != nil {
+		return 0, nil, 0, "", err
+	}
+	mon := ext10LastMonitor
+	ext10LastMonitor = nil
+	d := mon.Decision()
+	return sec, d, mon.Replans(), d.Trace.Render(), nil
+}
+
+// ext10UniqueText builds text whose words are (almost) all distinct — the
+// cardinality profile that defeats a map-side combiner and breaks the
+// planner's default selectivity assumption.
+func ext10UniqueText(totalBytes int) []byte {
+	var b strings.Builder
+	b.Grow(totalBytes + 64)
+	i := 0
+	for b.Len() < totalBytes {
+		fmt.Fprintf(&b, "w%07d", i)
+		i++
+		if i%8 == 0 {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String())
+}

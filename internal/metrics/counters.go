@@ -57,6 +57,10 @@ type JobMetrics struct {
 	// Latency holds per-record ingest→emit latencies for streaming jobs;
 	// batch jobs leave it empty. See LatencySketch.
 	Latency LatencySketch
+
+	// stageObserver, when set, receives a StageEvent at every stage
+	// boundary (see SetStageObserver).
+	stageObserver atomic.Pointer[stageObserverBox]
 }
 
 // AddShuffleWrite records one produced shuffle block under the shared
@@ -114,6 +118,43 @@ type Snapshot struct {
 	CombineRatio           float64
 	SchedulingRounds       int64
 }
+
+// StageEvent is one stage-boundary observation: the stage's name and the
+// job's cumulative counters at the moment the barrier (or phase end)
+// passed. Engines emit one per completed stage via NotifyStage; the
+// adaptive planner subscribes with SetStageObserver and compares the
+// cumulative counters against its estimates to decide whether to re-plan
+// the remaining stages.
+type StageEvent struct {
+	Name string
+	Snap Snapshot
+}
+
+// SetStageObserver installs fn as the stage-boundary callback (nil removes
+// it). At most one observer is active; engines call it synchronously from
+// the driver goroutine at stage barriers, so fn may adjust configuration
+// that later stages re-read.
+func (m *JobMetrics) SetStageObserver(fn func(StageEvent)) {
+	if fn == nil {
+		m.stageObserver.Store((*stageObserverBox)(nil))
+		return
+	}
+	m.stageObserver.Store(&stageObserverBox{fn: fn})
+}
+
+// NotifyStage reports a completed stage to the registered observer, if any.
+// Cheap when no observer is installed.
+func (m *JobMetrics) NotifyStage(name string) {
+	box := m.stageObserver.Load()
+	if box == nil || box.fn == nil {
+		return
+	}
+	box.fn(StageEvent{Name: name, Snap: m.Snapshot()})
+}
+
+// stageObserverBox wraps the callback so atomic.Pointer has a concrete
+// comparable element type.
+type stageObserverBox struct{ fn func(StageEvent) }
 
 // Snapshot captures the current counter values.
 func (m *JobMetrics) Snapshot() Snapshot {

@@ -1,0 +1,147 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"sync"
+)
+
+// ReplanRatioKey configures the adaptive trigger: when the observed raw
+// shuffle volume exceeds the estimate by more than this factor at a stage
+// boundary, the monitor re-plans the remaining work. Explicitly setting it
+// to a huge value effectively disables re-planning.
+const ReplanRatioKey = "planner.replan.ratio"
+
+// defaultReplanRatio is the trigger factor when ReplanRatioKey is unset.
+// The calibration sweeps put the model's raw-volume error on well-behaved
+// inputs under ~1.6×, so 2× separates noise from genuine misestimation.
+// [ANCHOR ext10]
+const defaultReplanRatio = 2.0
+
+// maxReplans bounds how many times one monitor may change the plan, so a
+// persistently confusing workload cannot oscillate between configurations.
+const maxReplans = 3
+
+// Monitor is the adaptive half of the planner: it subscribes to an engine's
+// stage boundaries (metrics.SetStageObserver) and compares the cumulative
+// observed shuffle volume against the decision's estimate. When observation
+// exceeds estimate by the configured ratio, it re-plans with corrected
+// input statistics — attributing the divergence per shape: Sort shapes to a
+// wrong input size, Aggregate shapes to a wrong distinct-key fraction (the
+// map-side combiner misestimate, read directly off the observed combine
+// ratio). The corrected decision is applied to the live Config through the
+// same explicit-keys-win rule as the static path; engines pick the new
+// values up at their next settings-resolution point (the next job, and for
+// shuffle strategy the next unfrozen exchange).
+type Monitor struct {
+	mu       sync.Mutex
+	planner  *Planner
+	conf     *core.Config
+	jm       *metrics.JobMetrics
+	decision *Decision
+	base     metrics.Snapshot
+	ratio    float64
+	replans  int
+}
+
+// NewMonitor attaches adaptive re-planning for decision d to the job
+// metrics jm, re-planning through p (engine pinned to d's choice) and
+// writing corrected configurations into conf. Call Detach when the job is
+// done.
+func NewMonitor(p *Planner, d *Decision, conf *core.Config, jm *metrics.JobMetrics) *Monitor {
+	m := &Monitor{
+		planner:  p,
+		conf:     conf,
+		jm:       jm,
+		decision: d,
+		base:     jm.Snapshot(),
+		ratio:    conf.Float(ReplanRatioKey, defaultReplanRatio),
+	}
+	jm.SetStageObserver(m.onStage)
+	return m
+}
+
+// Decision returns the monitor's current decision (the re-planned one
+// after a trigger).
+func (m *Monitor) Decision() *Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.decision
+}
+
+// Replans reports how many times this monitor changed the plan.
+func (m *Monitor) Replans() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replans
+}
+
+// Reset re-baselines the observed counters (call between jobs that share
+// one JobMetrics, so each job is compared against a per-job estimate).
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	m.base = m.jm.Snapshot()
+	m.mu.Unlock()
+}
+
+// Detach removes the stage observer; the monitor stops re-planning.
+func (m *Monitor) Detach() {
+	m.jm.SetStageObserver(nil)
+}
+
+// onStage is the stage-boundary callback: engines invoke it synchronously
+// from the driver goroutine, so configuration writes here are visible to
+// every later settings-resolution point.
+func (m *Monitor) onStage(ev metrics.StageEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.decision
+	est := d.Est.ShuffleRawBytes
+	obs := ev.Snap.ShuffleRawBytesWritten - m.base.ShuffleRawBytesWritten
+	if est <= 0 || obs <= 0 {
+		return // nothing shuffled yet, or a shuffle-free plan
+	}
+	ratio := float64(obs) / float64(est)
+	d.Trace.add(EvObserve, ev.Name, fmt.Sprintf("observed %.2f MiB raw shuffle vs %.2f MiB estimated (x%.1f)",
+		float64(obs)/(1<<20), float64(est)/(1<<20), ratio))
+	// Only underestimation triggers: more data than planned is what breaks
+	// a plan (the overestimation direction just means slack).
+	if ratio <= m.ratio {
+		d.Trace.add(EvKeep, ev.Name, fmt.Sprintf("within replan threshold x%.1f, keeping %s", m.ratio, d.Chosen))
+		return
+	}
+	if m.replans >= maxReplans {
+		d.Trace.add(EvKeep, ev.Name, fmt.Sprintf("replan budget (%d) exhausted, keeping %s", maxReplans, d.Chosen))
+		return
+	}
+
+	spec := d.Spec
+	switch spec.Shape {
+	case Aggregate, Iterate:
+		// The input size is known from the DFS; what was wrong is the
+		// combiner's selectivity. The observed combine ratio measures it.
+		df := 1.0
+		if cr := ev.Snap.CombineRatio; cr > 1 {
+			df = 1 / cr
+		}
+		spec.Input.DistinctFrac = df
+	default:
+		// Sort shapes repartition every byte: the observed volume IS the
+		// corrected size estimate.
+		spec.Input.Bytes = int64(float64(spec.Input.Bytes) * ratio)
+	}
+
+	nd, err := m.planner.PlanFor(d.Chosen.Engine, spec)
+	if err != nil {
+		d.Trace.add(EvKeep, ev.Name, fmt.Sprintf("replan failed (%v), keeping %s", err, d.Chosen))
+		return
+	}
+	m.replans++
+	d.Trace.add(EvReplan, ev.Name, fmt.Sprintf("replan #%d: %s -> %s (corrected est %.3fs, stats %+v)",
+		m.replans, d.Chosen, nd.Chosen, nd.Est.Seconds, spec.Input))
+	nd.Trace = d.Trace // one decision trail across re-plans
+	nd.Apply(m.conf)
+	m.decision = nd
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine/mapreduce"
+)
+
+// laptopSpec mirrors the rig the estimate constants were fitted on.
+func laptopSpec() cluster.Spec {
+	return cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+}
+
+func estConf(strat, comp string, par int) *core.Config {
+	return core.NewConfig().
+		Set(core.ShuffleStrategy, strat).
+		Set(core.ShuffleCompress, comp).
+		SetInt(core.SparkDefaultParallelism, par).
+		SetInt(core.FlinkDefaultParallelism, par).
+		SetInt(mapreduce.MRReduceTasks, par)
+}
+
+func mustEstimate(t *testing.T, plan PlanStats, in InputStats, engine EngineKind, strat, comp string, par int) CostEstimate {
+	t.Helper()
+	est, err := Estimate(plan, in, Params{Spec: laptopSpec(), Engine: engine, Conf: estConf(strat, comp, par)})
+	if err != nil {
+		t.Fatalf("Estimate(%v, %s/%s/p=%d): %v", engine, strat, comp, par, err)
+	}
+	if est.Seconds <= 0 {
+		t.Fatalf("Estimate(%v, %s/%s/p=%d): non-positive seconds %v", engine, strat, comp, par, est.Seconds)
+	}
+	return est
+}
+
+func TestEstimateRequiresInputBytes(t *testing.T) {
+	_, err := Estimate(PlanStats{Workload: "wc", Shape: EstAggregate}, InputStats{}, Params{Spec: laptopSpec()})
+	if err == nil {
+		t.Fatal("Estimate with zero input bytes should fail")
+	}
+}
+
+// TestEstimateWordCountRankings pins the orderings the ext10 probe sweep
+// measured on the real engines for the Aggregate shape.
+func TestEstimateWordCountRankings(t *testing.T) {
+	plan := PlanStats{Workload: "WordCount", Shape: EstAggregate}
+	for _, bytes := range []int64{192 * 1024, 768 * 1024} {
+		in := InputStats{Bytes: bytes}
+		sparkHash := mustEstimate(t, plan, in, Spark, "hash", "none", 8)
+		sparkSort := mustEstimate(t, plan, in, Spark, "sort", "none", 8)
+		sparkLZ := mustEstimate(t, plan, in, Spark, "hash", "lz", 8)
+		mrHash := mustEstimate(t, plan, in, MapReduce, "hash", "none", 8)
+		flink := mustEstimate(t, plan, in, Flink, "hash", "none", 2)
+
+		if sparkHash.Seconds >= sparkSort.Seconds {
+			t.Errorf("bytes=%d: spark hash (%v) should beat sort (%v) on aggregates", bytes, sparkHash.Seconds, sparkSort.Seconds)
+		}
+		if sparkHash.Seconds >= sparkLZ.Seconds {
+			t.Errorf("bytes=%d: lz compression (%v) should not pay at laptop bandwidth (none=%v)", bytes, sparkLZ.Seconds, sparkHash.Seconds)
+		}
+		if sparkHash.Seconds >= mrHash.Seconds {
+			t.Errorf("bytes=%d: spark (%v) should beat mapreduce (%v)", bytes, sparkHash.Seconds, mrHash.Seconds)
+		}
+		if mrHash.Seconds >= flink.Seconds {
+			t.Errorf("bytes=%d: mapreduce (%v) should beat flink (%v) on WordCount", bytes, mrHash.Seconds, flink.Seconds)
+		}
+	}
+
+	// Flink's per-channel work makes its aggregate cost grow with
+	// parallelism — the paper's Section VI-A parallelism sensitivity.
+	in := InputStats{Bytes: 768 * 1024}
+	if p2, p8 := mustEstimate(t, plan, in, Flink, "hash", "none", 2), mustEstimate(t, plan, in, Flink, "hash", "none", 8); p2.Seconds >= p8.Seconds {
+		t.Errorf("flink aggregate should prefer low parallelism: p2=%v p8=%v", p2.Seconds, p8.Seconds)
+	}
+}
+
+// TestEstimateTeraSortRankings pins the Sort-shape orderings.
+func TestEstimateTeraSortRankings(t *testing.T) {
+	plan := PlanStats{Workload: "TeraSort", Shape: EstSort}
+	for _, bytes := range []int64{400 * 1000, 1600 * 1000} {
+		in := InputStats{Bytes: bytes, Records: bytes / 100}
+		for _, eng := range []EngineKind{Spark, MapReduce} {
+			sortS := mustEstimate(t, plan, in, eng, "sort", "none", 2)
+			hashS := mustEstimate(t, plan, in, eng, "hash", "none", 2)
+			if sortS.Seconds >= hashS.Seconds {
+				t.Errorf("%v bytes=%d: sort strategy (%v) should beat hash+re-sort (%v)", eng, bytes, sortS.Seconds, hashS.Seconds)
+			}
+		}
+		p2 := mustEstimate(t, plan, in, Spark, "sort", "none", 2)
+		p8 := mustEstimate(t, plan, in, Spark, "sort", "none", 8)
+		if p2.Seconds >= p8.Seconds {
+			t.Errorf("bytes=%d: spark sort should prefer p=2 (%v) over p=8 (%v)", bytes, p2.Seconds, p8.Seconds)
+		}
+	}
+}
+
+// TestEstimateCardinality pins the adaptive flip: at the default distinct
+// fraction MapReduce prefers hash/p=8, at full cardinality sort/p=2 —
+// the measured hash-aggregation degradation the monitor reacts to.
+func TestEstimateCardinality(t *testing.T) {
+	plan := PlanStats{Workload: "WordCount", Shape: EstAggregate}
+	low := InputStats{Bytes: 768 * 1024}
+	high := InputStats{Bytes: 768 * 1024, DistinctFrac: 1}
+
+	lowHash8 := mustEstimate(t, plan, low, MapReduce, "hash", "none", 8)
+	lowSort8 := mustEstimate(t, plan, low, MapReduce, "sort", "none", 8)
+	lowHash2 := mustEstimate(t, plan, low, MapReduce, "hash", "none", 2)
+	if lowHash8.Seconds >= lowSort8.Seconds {
+		t.Errorf("default cardinality: mr hash (%v) should beat sort (%v)", lowHash8.Seconds, lowSort8.Seconds)
+	}
+	if lowHash8.Seconds >= lowHash2.Seconds {
+		t.Errorf("default cardinality: mr hash should prefer p=8 (%v) over p=2 (%v)", lowHash8.Seconds, lowHash2.Seconds)
+	}
+
+	highHash8 := mustEstimate(t, plan, high, MapReduce, "hash", "none", 8)
+	highSort2 := mustEstimate(t, plan, high, MapReduce, "sort", "none", 2)
+	if highSort2.Seconds >= highHash8.Seconds {
+		t.Errorf("full cardinality: mr sort/p2 (%v) should beat hash/p8 (%v)", highSort2.Seconds, highHash8.Seconds)
+	}
+
+	// More distinct keys → more shuffled bytes and records, on every engine.
+	if lowHash8.ShuffleRawBytes >= highHash8.ShuffleRawBytes {
+		t.Errorf("raw shuffle volume should grow with cardinality: low=%d high=%d", lowHash8.ShuffleRawBytes, highHash8.ShuffleRawBytes)
+	}
+	if lowHash8.ShuffleRecords >= highHash8.ShuffleRecords {
+		t.Errorf("shuffle records should grow with cardinality: low=%d high=%d", lowHash8.ShuffleRecords, highHash8.ShuffleRecords)
+	}
+}
+
+// TestEstimateStages checks the per-stage breakdown invariants the monitor
+// relies on: stage seconds sum to the total and the shuffle volume is
+// attributed to the producing stage.
+func TestEstimateStages(t *testing.T) {
+	plan := PlanStats{Workload: "WordCount", Shape: EstAggregate}
+	in := InputStats{Bytes: 768 * 1024}
+	for _, eng := range []EngineKind{Spark, MapReduce, Flink} {
+		est := mustEstimate(t, plan, in, eng, "hash", "none", 4)
+		var sum float64
+		var raw int64
+		for _, st := range est.Stages {
+			sum += st.Seconds
+			raw += st.ShuffleRawBytes
+		}
+		if diff := sum - est.Seconds; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v: stage seconds sum %v != total %v", eng, sum, est.Seconds)
+		}
+		if raw != est.ShuffleRawBytes {
+			t.Errorf("%v: stage raw bytes %d != total %d", eng, raw, est.ShuffleRawBytes)
+		}
+		if eng == Flink && len(est.Stages) != 1 {
+			t.Errorf("flink should present one pipeline stage, got %d", len(est.Stages))
+		}
+		if eng != Flink && len(est.Stages) != 2 {
+			t.Errorf("%v should present map+reduce stages, got %d", eng, len(est.Stages))
+		}
+	}
+}
+
+// TestEstimateDeterministic: two identical calls agree bit-for-bit (the
+// planner memoizes nothing and relies on this).
+func TestEstimateDeterministic(t *testing.T) {
+	plan := PlanStats{Workload: "KMeans", Shape: EstIterate, Iterations: 5}
+	in := InputStats{Bytes: 1 << 20}
+	a := mustEstimate(t, plan, in, Spark, "hash", "none", 8)
+	b := mustEstimate(t, plan, in, Spark, "hash", "none", 8)
+	if a.Seconds != b.Seconds || a.ShuffleRawBytes != b.ShuffleRawBytes || a.ShuffleRecords != b.ShuffleRecords {
+		t.Fatalf("Estimate not deterministic: %v vs %v", a, b)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	_ "repro/internal/dataflow/backend/sparkexec"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
+	"repro/internal/planner"
 )
 
 // paritySession builds one engine's session over its own runtime and
@@ -26,8 +27,9 @@ func paritySession(t *testing.T, engine string) *dataflow.Session {
 }
 
 // paritySessionConf is paritySession with a configuration hook (the
-// non-default shuffle strategy runs use it).
-func paritySessionConf(t *testing.T, engine string, edit func(*core.Config)) *dataflow.Session {
+// non-default shuffle strategy runs use it) and extra Open options (the
+// planner-chosen configuration runs use those).
+func paritySessionConf(t *testing.T, engine string, edit func(*core.Config), extra ...dataflow.Option) *dataflow.Session {
 	t.Helper()
 	spec := cluster.Spec{Nodes: 2, CoresPerNode: 8, MemPerNode: core.GB, DiskSeqMiBps: 100, NetMiBps: 100}
 	rt, err := cluster.NewRuntime(spec, 8)
@@ -46,7 +48,11 @@ func paritySessionConf(t *testing.T, engine string, edit func(*core.Config)) *da
 	if edit != nil {
 		edit(conf)
 	}
-	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
+	opts := append([]dataflow.Option{
+		dataflow.WithConfig(conf), dataflow.WithRuntime(rt),
+		dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)),
+	}, extra...)
+	s, err := dataflow.Open(engine, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,6 +297,55 @@ func TestCrossEngineParity(t *testing.T) {
 			if m.ShuffleBytesWritten.Load() >= m.ShuffleRawBytesWritten.Load() {
 				t.Errorf("%s: compressed shuffle wrote %d wire bytes for %d raw bytes",
 					engine, m.ShuffleBytesWritten.Load(), m.ShuffleRawBytesWritten.Load())
+			}
+		})
+	}
+
+	// The planner's contract: whatever physical configuration the cost
+	// model picks — strategy, codec, parallelism — the workload output
+	// stays byte-identical to the hand-tuned runs above. The parallelism
+	// keys are deliberately NOT pinned here, so the planner genuinely
+	// decides them.
+	for _, engine := range engines {
+		engine := engine
+		t.Run(engine+"/planner", func(t *testing.T) {
+			base := func(conf *core.Config) {
+				conf.SetBytes(core.SparkExecutorMemory, 256*core.MB).
+					SetBytes(core.FlinkTaskManagerMemory, 256*core.MB).
+					SetInt(core.FlinkNetworkBuffers, 8192)
+			}
+			wcSpec := planner.PlanSpec{Workload: "WordCount", Shape: planner.Aggregate,
+				Input: planner.InputStats{Bytes: int64(len(text))}}
+			s := paritySessionConf(t, engine, base, dataflow.WithPlanner(wcSpec))
+			if s.PlannerDecision() == nil {
+				t.Fatal("session opened with WithPlanner carries no decision")
+			}
+			s.FS().WriteFile("wiki", text)
+			if err := WordCount(s, "wiki", "wc-out"); err != nil {
+				t.Fatalf("wordcount under planner config %s: %v", s.PlannerDecision().Chosen, err)
+			}
+			if got := sortedLines(t, s, "wc-out"); got != want.wordCounts {
+				t.Errorf("%s word counts under planner config %s differ from the default runs",
+					engine, s.PlannerDecision().Chosen)
+			}
+
+			tsSpec := planner.PlanSpec{Workload: "TeraSort", Shape: planner.Sort,
+				Input: planner.InputStats{Bytes: int64(len(tera)), Records: teraRecords}}
+			s = paritySessionConf(t, engine, base, dataflow.WithPlanner(tsSpec))
+			s.FS().WriteFile("tera-in", tera)
+			if err := TeraSort(s, "tera-in", "tera-out", teraPart); err != nil {
+				t.Fatalf("terasort under planner config %s: %v", s.PlannerDecision().Chosen, err)
+			}
+			if err := VerifyTeraSorted(s.FS(), "tera-out", teraRecords); err != nil {
+				t.Fatalf("terasort validate under planner config: %v", err)
+			}
+			tf, err := s.FS().Open("tera-out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tf.Contents(), want.teraBytes) {
+				t.Errorf("%s terasort output under planner config %s is not byte-identical",
+					engine, s.PlannerDecision().Chosen)
 			}
 		})
 	}
