@@ -9,7 +9,7 @@ COVER_FLOOR ?= 60
 PLANNER_COVER_FLOOR ?= 80
 COVER_PKGS = ./internal/dataflow/... ./internal/graph/... ./internal/shuffle/... ./internal/streaming/... ./internal/sched/... ./internal/planner/...
 
-.PHONY: build test lint cover bench-smoke fuzz-smoke
+.PHONY: build test lint cover bench-smoke fuzz-smoke profile
 
 build:
 	$(GO) build ./...
@@ -45,25 +45,40 @@ cover:
 	awk -v t="$$pl" -v f="$(PLANNER_COVER_FLOOR)" 'BEGIN { exit (t + 0 < f) ? 1 : 0 }' || \
 		{ echo "planner coverage below floor"; exit 1; }
 
-# Fast benchmark subset (1 iteration, no unit tests) plus seven benchrunner
+# Fast benchmark subset (1 iteration, no unit tests) plus eight benchrunner
 # experiments — tab1 (operator plans), ext4 (a three-way graph run), ext6
 # (the shuffle strategy × parallelism sweep on the real engines), ext7
 # (streaming latency percentiles, micro-batch vs per-event), ext8 (the
 # multi-tenant contention matrix, sharing policy × offered load), ext9
 # (raw speed: ns/record and allocs/record per engine, optimized vs legacy
-# allocation) and ext10 (adaptive execution: planner regret vs a measured
-# oracle, plus the runtime re-planning cell) — whose reports land in
-# BENCH_smoke.json, the per-push CI artifact the benchguard regression
-# gate compares across pushes.
+# allocation), ext10 (adaptive execution: planner regret vs a measured
+# oracle, plus the runtime re-planning cell) and ext11 (the batch-width
+# sweep of the vectorized layer) — whose reports land in BENCH_smoke.json,
+# the per-push CI artifact the benchguard regression gate compares across
+# pushes. GOGC is pinned and every go-test benchmark runs exactly one
+# iteration so the per-record cells see one collector schedule run-to-run
+# instead of whatever heap the previous target left behind.
+BENCH_GOGC ?= 100
+BENCHTIME ?= 1x
 bench-smoke:
-	$(GO) test -bench 'Ext|EngineWordCount|AblationPipelining|RawSpeed' -benchtime 1x -run '^$$' .
-	$(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8,ext9,ext10 -json BENCH_smoke.json
+	GOGC=$(BENCH_GOGC) $(GO) test -bench 'Ext|EngineWordCount|AblationPipelining|RawSpeed' -benchtime $(BENCHTIME) -run '^$$' .
+	GOGC=$(BENCH_GOGC) $(GO) run ./cmd/benchrunner -run tab1,ext4,ext6,ext7,ext8,ext9,ext10,ext11 -json BENCH_smoke.json
+
+# CPU + allocation profiles of the per-record hot paths (the ext9/ext11
+# raw-speed families) under the same pinned GOGC as bench-smoke. Inspect
+# with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+PROFILE_RUN ?= ext9,ext11
+profile:
+	GOGC=$(BENCH_GOGC) $(GO) run ./cmd/benchrunner -run $(PROFILE_RUN) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
 
 # Short fuzz smoke over the row format: each fuzz target runs for a few
-# seconds on top of its seeded corpus (decode robustness and normalized-key
-# order agreement). CI runs this on every push; longer local sessions just
-# raise -fuzztime.
+# seconds on top of its seeded corpus (decode robustness, normalized-key
+# order agreement, and the batch wire format round-trip). CI runs this on
+# every push; longer local sessions just raise -fuzztime.
 FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRowDecode$$' -fuzztime $(FUZZTIME) ./internal/serde
 	$(GO) test -run '^$$' -fuzz '^FuzzRowKeyOrder$$' -fuzztime $(FUZZTIME) ./internal/serde
+	$(GO) test -run '^$$' -fuzz '^FuzzRowBatch$$' -fuzztime $(FUZZTIME) ./internal/serde

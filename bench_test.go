@@ -133,6 +133,7 @@ func BenchmarkExt6ShuffleSweep(b *testing.B)      { benchExperiment(b, "ext6") }
 func BenchmarkExt7StreamingLatency(b *testing.B)  { benchExperiment(b, "ext7") }
 func BenchmarkExt8TenantContention(b *testing.B)  { benchExperiment(b, "ext8") }
 func BenchmarkExt9RawSpeed(b *testing.B)          { benchExperiment(b, "ext9") }
+func BenchmarkExt11BatchWidth(b *testing.B)       { benchExperiment(b, "ext11") }
 
 // benchRawSpeed reports the per-record raw-speed metrics (the acceptance
 // axis of the tungsten-style serde/shuffle/fusion layer) per engine.

@@ -12,9 +12,12 @@
 // experiment named in -fail fails the run; on any other experiment it only
 // warns — the real-engine families (ext6..ext10) measure wall-clock on
 // shared CI runners and are too noisy to gate on, while tab1's simulated
-// cells are deterministic. A missing or unreadable baseline warns and
-// passes: the first push, an expired artifact, or a schema change must not
-// wedge CI.
+// cells are deterministic. The per-record raw-speed cells
+// (*_ns_per_record, *_allocs_per_record — the ext9/ext11 trajectory) are
+// the exception: they are the acceptance metric of the raw-speed layer and
+// hard-fail past the threshold no matter which experiment they appear in.
+// A missing or unreadable baseline warns and passes: the first push, an
+// expired artifact, or a schema change must not wedge CI.
 package main
 
 import (
@@ -84,6 +87,14 @@ func comparable(key string) bool {
 	return true
 }
 
+// gated reports whether a cell hard-fails on regression regardless of the
+// -fail experiment list: the per-record raw-speed fields are the
+// acceptance metric the serde/shuffle/vectorization layers are graded on,
+// so a >threshold worsening anywhere (ext9, ext11) gates CI.
+func gated(key string) bool {
+	return strings.HasSuffix(key, "_ns_per_record") || strings.HasSuffix(key, "_allocs_per_record")
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_smoke.json (missing = warn and pass)")
 	current := flag.String("current", "BENCH_smoke.json", "current BENCH_smoke.json")
@@ -139,7 +150,7 @@ func main() {
 					continue
 				}
 				verdict := "WARN"
-				if failOn[id] {
+				if failOn[id] || gated(key) {
 					verdict = "FAIL"
 					failures++
 				} else {

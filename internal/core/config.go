@@ -70,6 +70,14 @@ const (
 	// memory grant (0 = memory pressure and engine defaults only).
 	ShuffleSpillThreshold = "shuffle.spill.threshold"
 
+	// ExecBatchSize is the record count of one execution batch in the
+	// vectorized dataflow path: fused narrow chains invoke their compiled
+	// kernel once per batch of this many records (selection vectors carry
+	// filters), and the engines feed the shuffle map side batch-at-a-time.
+	// 0 keeps DefaultExecBatchSize; the planner may tune it via SetDerived
+	// (explicit user settings always win). See internal/dataflow/fuse.go.
+	ExecBatchSize = "exec.batch.size"
+
 	// BufferSize is the network/shuffle buffer size shared by both
 	// frameworks in the paper's tables (buffer.size, default 32KB).
 	BufferSize = "buffer.size"
@@ -92,6 +100,25 @@ const (
 	// window emission for the whole job).
 	StreamingIdleTimeout = "streaming.watermark.idle-timeout"
 )
+
+// DefaultExecBatchSize is the execution batch width used when
+// exec.batch.size is unset or non-positive: wide enough to amortize
+// per-batch kernel dispatch and shuffle-emit bookkeeping to noise, small
+// enough that a batch of typical records stays cache-resident.
+const DefaultExecBatchSize = 256
+
+// ExecBatch resolves the execution batch width: exec.batch.size when
+// positive (explicit or planner-derived), DefaultExecBatchSize otherwise —
+// including for a nil Config, so engines constructed without one still
+// batch at the default width.
+func ExecBatch(c *Config) int {
+	if c != nil {
+		if n := c.Int(ExecBatchSize, 0); n > 0 {
+			return n
+		}
+	}
+	return DefaultExecBatchSize
+}
 
 // Config is a typed view over string-keyed settings, mirroring both
 // frameworks' configuration objects. The zero value is not usable; call

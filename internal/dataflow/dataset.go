@@ -147,6 +147,19 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 	out.fuse = extendChain(d, out.node, func(sink any) any {
 		emit := sink.(func(U))
 		return func(v T) { emit(f(v)) }
+	}, func(sink any) any {
+		// Batch kernel: map the live records into per-instance scratch and
+		// emit one compacted batch — one call downstream per input batch.
+		// sel must clear every time: a downstream filter writes its selection
+		// into this same reused batch.
+		emit := sink.(func(*recBatch[U]))
+		ob := &recBatch[U]{}
+		return func(b *recBatch[T]) {
+			ob.recs = ob.recs[:0]
+			ob.sel = nil
+			b.forEachLive(func(v T) { ob.recs = append(ob.recs, f(v)) })
+			emit(ob)
+		}
 	})
 	plain := func() (any, error) {
 		switch d.s.kind() {
@@ -195,6 +208,18 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 				emit(u)
 			}
 		}
+	}, func(sink any) any {
+		// Batch kernel: flatten the live records' expansions into scratch.
+		// sel must clear every time: a downstream filter writes its selection
+		// into this same reused batch.
+		emit := sink.(func(*recBatch[U]))
+		ob := &recBatch[U]{}
+		return func(b *recBatch[T]) {
+			ob.recs = ob.recs[:0]
+			ob.sel = nil
+			b.forEachLive(func(v T) { ob.recs = append(ob.recs, f(v)...) })
+			emit(ob)
+		}
 	})
 	plain := func() (any, error) {
 		switch d.s.kind() {
@@ -242,6 +267,39 @@ func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
 			if f(v) {
 				emit(v)
 			}
+		}
+	}, func(sink any) any {
+		// Batch kernel: flip selection entries instead of copying records.
+		// An unfiltered batch gets its first selection vector from retained
+		// scratch; an already-filtered one narrows sel in place (the write
+		// index trails the read index, so the rewrite is safe).
+		emit := sink.(func(*recBatch[T]))
+		var scratch []int32
+		return func(b *recBatch[T]) {
+			if b.sel == nil {
+				if scratch == nil {
+					// Must be non-nil even when everything is rejected: a
+					// nil selection means "all live" downstream.
+					scratch = make([]int32, 0, len(b.recs))
+				}
+				sel := scratch[:0]
+				for i, v := range b.recs {
+					if f(v) {
+						sel = append(sel, int32(i))
+					}
+				}
+				scratch = sel
+				b.sel = sel
+			} else {
+				keep := b.sel[:0]
+				for _, i := range b.sel {
+					if f(b.recs[i]) {
+						keep = append(keep, i)
+					}
+				}
+				b.sel = keep
+			}
+			emit(b)
 		}
 	})
 	plain := func() (any, error) {

@@ -1,0 +1,102 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dfs"
+)
+
+// vectorSession opens a session with exec.batch.size pinned, so the fused
+// narrow chains drive batches of exactly that width.
+func vectorSession(t *testing.T, engine string, width int) *dataflow.Session {
+	t.Helper()
+	spec := cluster.Spec{Nodes: 2, CoresPerNode: 4, MemPerNode: core.GB, DiskSeqMiBps: 200, NetMiBps: 200}
+	rt, err := cluster.NewRuntime(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.NewConfig().SetInt(core.ExecBatchSize, width)
+	if engine == "flink" {
+		conf.SetInt(core.FlinkDefaultParallelism, 4).SetInt(core.FlinkNetworkBuffers, 8192)
+	}
+	s, err := dataflow.Open(engine, dataflow.WithConfig(conf), dataflow.WithRuntime(rt), dataflow.WithFS(dfs.New(spec.Nodes, 16*core.KB, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// vectorPipeline runs the reference narrow+wide pipeline — flatMap → filter
+// → mapToPair → reduceByKey, plus a pure narrow Collect — and returns both
+// results canonically ordered.
+func vectorPipeline(t *testing.T, s *dataflow.Session, engine string) (string, string) {
+	t.Helper()
+	s.FS().WriteFile("vec-in", []byte("the quick brown fox\njumps over the lazy dog\nthe end\n"))
+	lines := dataflow.TextFile(s, "vec-in")
+	words := dataflow.FlatMap(lines, strings.Fields)
+	short := dataflow.Filter(words, func(w string) bool { return len(w) <= 4 })
+	bang := dataflow.Map(short, func(w string) string { return w + "!" })
+	narrow, err := dataflow.Collect(bang)
+	if err != nil {
+		t.Fatalf("%s narrow: %v", engine, err)
+	}
+	sort.Strings(narrow)
+
+	pairs := dataflow.MapToPair(short, func(w string) core.Pair[string, int64] { return core.KV(w, int64(1)) })
+	counts, err := dataflow.Collect(dataflow.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }))
+	if err != nil {
+		t.Fatalf("%s keyed: %v", engine, err)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].Key < counts[j].Key })
+	return fmt.Sprint(narrow), fmt.Sprint(counts)
+}
+
+// TestVectorizedMatchesRecordAtATime pins the batch kernels to the
+// record-at-a-time reference: the same pipeline must produce identical
+// results on every engine whether the fused chain compiles per-batch
+// kernels (at even and deliberately odd widths, including the degenerate
+// width 1) or the legacy per-record kernels (SetVectorized off).
+func TestVectorizedMatchesRecordAtATime(t *testing.T) {
+	for _, engine := range dataflow.Names() {
+		// Reference: record-at-a-time kernels, the pre-vectorization path.
+		prev := dataflow.SetVectorized(false)
+		wantNarrow, wantKeyed := vectorPipeline(t, vectorSession(t, engine, 256), engine)
+		dataflow.SetVectorized(prev)
+		if !prev {
+			t.Fatal("vectorization should be on by default")
+		}
+		for _, width := range []int{1, 3, 256, 1024} {
+			narrow, keyed := vectorPipeline(t, vectorSession(t, engine, width), engine)
+			if narrow != wantNarrow {
+				t.Errorf("%s width=%d narrow result %v, want %v", engine, width, narrow, wantNarrow)
+			}
+			if keyed != wantKeyed {
+				t.Errorf("%s width=%d keyed result %v, want %v", engine, width, keyed, wantKeyed)
+			}
+		}
+	}
+}
+
+// TestVectorizedEmptySelection drives a fused chain whose filter rejects
+// everything: the batch path must emit nothing (compaction of an all-dead
+// selection) without wedging any engine.
+func TestVectorizedEmptySelection(t *testing.T) {
+	for _, engine := range dataflow.Names() {
+		s := vectorSession(t, engine, 3)
+		s.FS().WriteFile("vec-none", []byte("a\nb\nc\nd\ne\n"))
+		none := dataflow.Filter(dataflow.TextFile(s, "vec-none"), func(string) bool { return false })
+		got, err := dataflow.Collect(dataflow.Map(none, strings.ToUpper))
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: all-dead selection yielded %v", engine, got)
+		}
+	}
+}

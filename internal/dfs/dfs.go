@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -29,6 +30,13 @@ type File struct {
 	Name   string
 	Blocks []Block
 	size   int64
+
+	// Flattened view, built lazily once (the file never changes after
+	// WriteFile): contents as one contiguous span plus cumulative block end
+	// offsets, shared by every scanner so repeated reads do not re-copy.
+	flatOnce sync.Once
+	flatData []byte
+	cumEnds  []int
 }
 
 // Block is one block with its replica placement.
@@ -172,42 +180,73 @@ func (f *File) Contiguous() ([]byte, bool) {
 	return nil, false
 }
 
+// flat returns the file's contents as one contiguous borrowed span plus
+// the cumulative block end offsets, built once and cached. Callers must
+// treat both as read-only.
+func (f *File) flat() ([]byte, []int) {
+	f.flatOnce.Do(func() {
+		ends := make([]int, len(f.Blocks))
+		off := 0
+		for i, b := range f.Blocks {
+			off += len(b.Data)
+			ends[i] = off
+		}
+		f.cumEnds = ends
+		if data, ok := f.Contiguous(); ok {
+			f.flatData = data
+			return
+		}
+		buf := make([]byte, 0, off)
+		for _, b := range f.Blocks {
+			buf = append(buf, b.Data...)
+		}
+		f.flatData = buf
+	})
+	return f.flatData, f.cumEnds
+}
+
+// blockSpan returns block i's byte range [start, end) in the flat view.
+func blockSpan(ends []int, i int) (int, int) {
+	if i == 0 {
+		return 0, ends[0]
+	}
+	return ends[i-1], ends[i]
+}
+
 // LineSplits returns one slice of complete lines per block using the HDFS
 // input-split convention: every line belongs to exactly one split — the one
 // containing the line's first byte — and a reader finishes a line that
 // crosses its block boundary by reading into the next block. No line is
 // lost or duplicated, which tests assert by reconciling against a plain
 // line split of the whole file.
+//
+// All lines are substrings of ONE string arena covering the file, so the
+// per-line cost is a slice header, not an allocation; ScanLines is the
+// []byte-view equivalent for callers that can avoid strings entirely.
 func (f *File) LineSplits() [][]string {
-	all := f.Contents()
+	all, ends := f.flat()
 	splits := make([][]string, len(f.Blocks))
 	if len(all) == 0 {
 		return splits
 	}
-	// Block index containing each byte offset: boundaries are cumulative.
-	boundaries := make([]int, 0, len(f.Blocks))
-	off := 0
-	for _, b := range f.Blocks {
-		off += len(b.Data)
-		boundaries = append(boundaries, off)
-	}
+	arena := string(all) // the only per-call allocation of line storage
 	blockOf := func(pos int) int {
-		i := sort.SearchInts(boundaries, pos+1)
+		i := sort.SearchInts(ends, pos+1)
 		if i >= len(f.Blocks) {
 			i = len(f.Blocks) - 1
 		}
 		return i
 	}
 	pos := 0
-	for pos < len(all) {
-		nl := bytes.IndexByte(all[pos:], '\n')
+	for pos < len(arena) {
+		nl := strings.IndexByte(arena[pos:], '\n')
 		var line string
-		next := len(all)
+		next := len(arena)
 		if nl >= 0 {
-			line = string(all[pos : pos+nl])
+			line = arena[pos : pos+nl]
 			next = pos + nl + 1
 		} else {
-			line = string(all[pos:])
+			line = arena[pos:]
 		}
 		b := blockOf(pos)
 		splits[b] = append(splits[b], line)
@@ -216,28 +255,77 @@ func (f *File) LineSplits() [][]string {
 	return splits
 }
 
+// ScanLines calls fn once per line belonging to block i, under the same
+// split convention as LineSplits, passing a borrowed []byte view of the
+// line without its newline. This is the zero-alloc ingest path: no string
+// conversion, no per-block slice — the view aliases file storage and must
+// not be retained or written.
+func (f *File) ScanLines(i int, fn func(line []byte)) {
+	all, ends := f.flat()
+	if len(all) == 0 {
+		return
+	}
+	start, end := blockSpan(ends, i)
+	pos := start
+	if i > 0 {
+		// The line containing byte `start` belongs to an earlier block
+		// unless it begins exactly there (previous byte is a newline).
+		if all[start-1] != '\n' {
+			nl := bytes.IndexByte(all[start:], '\n')
+			if nl < 0 {
+				return // block is mid-line of the file's final line
+			}
+			pos = start + nl + 1
+		}
+	}
+	for pos < end {
+		nl := bytes.IndexByte(all[pos:], '\n')
+		if nl < 0 {
+			fn(all[pos:len(all):len(all)])
+			return
+		}
+		fn(all[pos : pos+nl : pos+nl])
+		pos += nl + 1
+	}
+}
+
 // FixedRecordSplits returns per-block records of width recSize, assigning
 // each record to the block containing its first byte (records may straddle
 // blocks, as TeraSort's 100-byte records do over power-of-two block sizes).
+// Records are borrowed views over file storage.
 func (f *File) FixedRecordSplits(recSize int) [][][]byte {
 	if recSize <= 0 {
 		panic("dfs: record size must be positive")
 	}
-	all := f.Contents()
+	all, ends := f.flat()
 	splits := make([][][]byte, len(f.Blocks))
-	blockStart := 0
-	for i, b := range f.Blocks {
-		start := blockStart
-		end := blockStart + len(b.Data)
-		blockStart = end
-		// First record starting at or after `start`.
-		rec := (start + recSize - 1) / recSize
-		if i == 0 {
-			rec = 0
-		}
-		for off := rec * recSize; off < end && off+recSize <= len(all); off += recSize {
-			splits[i] = append(splits[i], all[off:off+recSize:off+recSize])
-		}
+	for i := range f.Blocks {
+		f.scanFixed(all, ends, i, recSize, func(rec []byte) {
+			splits[i] = append(splits[i], rec)
+		})
 	}
 	return splits
+}
+
+// ScanFixedRecords calls fn once per width-recSize record belonging to
+// block i (the block containing the record's first byte), passing borrowed
+// views — FixedRecordSplits without materializing per-block slices.
+func (f *File) ScanFixedRecords(i, recSize int, fn func(rec []byte)) {
+	if recSize <= 0 {
+		panic("dfs: record size must be positive")
+	}
+	all, ends := f.flat()
+	f.scanFixed(all, ends, i, recSize, fn)
+}
+
+func (f *File) scanFixed(all []byte, ends []int, i, recSize int, fn func(rec []byte)) {
+	start, end := blockSpan(ends, i)
+	// First record starting at or after `start`.
+	rec := (start + recSize - 1) / recSize
+	if i == 0 {
+		rec = 0
+	}
+	for off := rec * recSize; off < end && off+recSize <= len(all); off += recSize {
+		fn(all[off : off+recSize : off+recSize])
+	}
 }

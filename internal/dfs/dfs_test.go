@@ -215,3 +215,92 @@ func TestBlockSizeAccessor(t *testing.T) {
 		t.Error("BlockSize accessor wrong")
 	}
 }
+
+// TestScanLinesMatchesLineSplits pins the zero-alloc scanner to the
+// reference splitter: for random text and block sizes, ScanLines over every
+// block must yield exactly LineSplits' lines, block for block.
+func TestScanLinesMatchesLineSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		blockSize := 1 + rng.Intn(40)
+		n := rng.Intn(200)
+		raw := make([]byte, n)
+		for i := range raw {
+			if rng.Intn(4) == 0 {
+				raw[i] = '\n'
+			} else {
+				raw[i] = byte('a' + rng.Intn(26))
+			}
+		}
+		fs := New(3, core.ByteSize(blockSize), 1)
+		fs.WriteFile("t", raw)
+		f, _ := fs.Open("t")
+		want := f.LineSplits()
+		for b := 0; b < f.NumBlocks(); b++ {
+			var got []string
+			f.ScanLines(b, func(line []byte) {
+				got = append(got, string(line))
+			})
+			if len(got) != len(want[b]) {
+				t.Fatalf("trial %d block %d (bs=%d): %d lines, want %d\nraw=%q",
+					trial, b, blockSize, len(got), len(want[b]), raw)
+			}
+			for i := range got {
+				if got[i] != want[b][i] {
+					t.Fatalf("trial %d block %d line %d: %q want %q",
+						trial, b, i, got[i], want[b][i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanFixedRecordsMatchesSplits pins the per-block record scanner to
+// FixedRecordSplits across straddling widths.
+func TestScanFixedRecordsMatchesSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		recSize := 1 + rng.Intn(13)
+		blockSize := 1 + rng.Intn(40)
+		raw := make([]byte, recSize*rng.Intn(30))
+		rng.Read(raw)
+		fs := New(3, core.ByteSize(blockSize), 1)
+		fs.WriteFile("t", raw)
+		f, _ := fs.Open("t")
+		want := f.FixedRecordSplits(recSize)
+		for b := 0; b < f.NumBlocks(); b++ {
+			var got [][]byte
+			f.ScanFixedRecords(b, recSize, func(rec []byte) { got = append(got, rec) })
+			if len(got) != len(want[b]) {
+				t.Fatalf("trial %d block %d: %d records, want %d", trial, b, len(got), len(want[b]))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[b][i]) {
+					t.Fatalf("trial %d block %d record %d differs", trial, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLineSplitsSharesArena pins the one-allocation contract of the
+// rewritten LineSplits: every line must be a substring of one arena, so
+// per-line allocations are gone (headers aside).
+func TestLineSplitsSharesArena(t *testing.T) {
+	fs := New(2, 1024, 1)
+	var data []byte
+	for i := 0; i < 200; i++ {
+		data = append(data, []byte("line with some text\n")...)
+	}
+	fs.WriteFile("t", data)
+	f, _ := fs.Open("t")
+	f.LineSplits() // warm the flat cache outside the measurement
+	allocs := testing.AllocsPerRun(20, func() {
+		f.LineSplits()
+	})
+	// One arena string + per-block header slices (grown geometrically):
+	// far below one allocation per line (200 lines).
+	if allocs > 40 {
+		t.Fatalf("LineSplits allocates %.0f/op for 200 lines; arena sharing broken", allocs)
+	}
+}

@@ -104,10 +104,10 @@ func newExchange[T, U any](parent *DataSet[T], label string, kind core.OpKind, q
 			})
 			producerSinks[p] = partSink[T]{
 				push: func(batch []T) error {
-					for _, v := range batch {
-						if err := w.Write(v); err != nil {
-							return fmt.Errorf("flink: %s: %w", label, err)
-						}
+					// Batch-granularity emit: one shuffle call per pushed
+					// batch amortizes routing and flush checks.
+					if err := w.WriteBatch(batch); err != nil {
+						return fmt.Errorf("flink: %s: %w", label, err)
 					}
 					return nil
 				},

@@ -10,7 +10,9 @@ import "repro/internal/core"
 // the per-operator sink hops and batch materializations on top of it. The
 // chain's record types are erased at the dataflow layer, so the parent
 // arrives as `any` and the callbacks carry the typed work (see
-// spark.FusedNarrow for the drive/compile contract).
+// spark.FusedNarrow for the drive/compile contract — compile's sink is
+// func([]U) and kernel instances are per serial stream, so each subtask
+// sink compiles exactly once).
 
 // erasedSink is a partSink with the batch element type erased: push
 // receives a []R boxed as any.
@@ -64,10 +66,15 @@ func FusedChain[U any](parent any, label string, kind core.OpKind,
 		wrapped := make([]erasedSink, len(sinks))
 		for i := range sinks {
 			out := sinks[i]
+			// One kernel instance per subtask sink — compile's per-stream
+			// scratch contract — accumulating into buf via the closure.
+			var buf []U
+			feed := compile(func(us []U) { buf = append(buf, us...) })
 			wrapped[i] = erasedSink{
 				push: func(batch any) error {
-					var buf []U
-					feed := compile(func(u U) { buf = append(buf, u) })
+					// Fresh storage per push: the downstream sink may retain
+					// the slice it is handed (exchange buffers do).
+					buf = nil
 					drive(batch, feed)
 					if len(buf) == 0 {
 						return nil

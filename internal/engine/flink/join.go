@@ -188,12 +188,7 @@ func produceSide[T any](ctx *jobCtx, parent *DataSet[T], codec serde.Codec[T],
 		})
 		sinks[p] = partSink[T]{
 			push: func(batch []T) error {
-				for _, v := range batch {
-					if err := w.Write(v); err != nil {
-						return err
-					}
-				}
-				return nil
+				return w.WriteBatch(batch)
 			},
 			close: func() error {
 				err := w.Close()

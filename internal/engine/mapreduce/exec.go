@@ -199,10 +199,24 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 			return nil
 		},
 	})
+	// Map output buffers into an exec.batch.size scratch and reaches the
+	// shuffle writer in batches — one WriteBatch per full buffer instead of
+	// one Write per emitted pair.
 	var emitErr error
+	batch := make([]core.Pair[K, V], 0, core.ExecBatch(c.conf))
+	flush := func() {
+		if emitErr == nil && len(batch) > 0 {
+			emitErr = w.WriteBatch(batch)
+		}
+		batch = batch[:0]
+	}
 	emit := func(k K, v V) {
-		if emitErr == nil {
-			emitErr = w.Write(core.KV(k, v))
+		if emitErr != nil {
+			return
+		}
+		batch = append(batch, core.KV(k, v))
+		if len(batch) == cap(batch) {
+			flush()
 		}
 	}
 	for _, rec := range split {
@@ -210,6 +224,10 @@ func runMapTask[I any, K cmp.Ordered, V any](c *Cluster, jobID int64, name strin
 		if emitErr != nil {
 			return emitErr
 		}
+	}
+	flush()
+	if emitErr != nil {
+		return emitErr
 	}
 	return w.Close()
 }

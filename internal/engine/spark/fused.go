@@ -3,19 +3,23 @@ package spark
 import "repro/internal/core"
 
 // This file is the engine half of the dataflow layer's operator fusion: a
-// whole Map→Filter→FlatMap chain arrives as one compiled per-record closure
-// and becomes ONE narrow RDD, instead of one RDD (and one intermediate
-// slice) per operator — whole-stage codegen in miniature. The chain's
-// record types are erased at the dataflow layer (continuation-passing
-// closures), so the parent arrives as `any` and the two callbacks carry the
-// typed work:
+// whole Map→Filter→FlatMap chain arrives as one compiled kernel and
+// becomes ONE narrow RDD, instead of one RDD (and one intermediate slice)
+// per operator — whole-stage codegen in miniature. The chain's record
+// types are erased at the dataflow layer (continuation-passing closures),
+// so the parent arrives as `any` and the two callbacks carry the typed
+// work:
 //
-//   - drive iterates one partition batch ([]R, boxed) through the chain's
-//     compiled input consumer (func(R), boxed) — captured where R is known.
-//   - compile turns this side's typed output sink func(U) into that input
-//     consumer.
+//   - drive pushes one partition's records ([]R, boxed) through the
+//     chain's compiled input consumer — captured where R is known. Under
+//     vectorized compilation it cuts the partition into exec.batch.size
+//     batches and invokes the kernel once per batch.
+//   - compile turns this side's typed output sink func([]U) — called with
+//     compacted non-empty batches, borrowed only until the call returns —
+//     into that input consumer. Compile once per serial record stream:
+//     kernel instances carry per-stream scratch.
 //
-// Each runs one type assertion per partition, never per record.
+// Each runs one type assertion per partition, never per record or batch.
 
 // fusedRDD is the erased parent view FusedNarrow needs beyond anyRDD.
 type fusedRDD interface {
@@ -44,7 +48,7 @@ func FusedNarrow[U any](parent any, name string, kind core.OpKind,
 			return nil, err
 		}
 		var res []U
-		feed := compile(func(u U) { res = append(res, u) })
+		feed := compile(func(us []U) { res = append(res, us...) })
 		drive(recs, feed)
 		return res, nil
 	}

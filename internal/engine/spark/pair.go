@@ -123,9 +123,7 @@ func shuffledRDD[K comparable, V, C any](r *RDD[core.Pair[K, V]], name string, k
 			return err
 		}
 		w := newMapWriter(tc, sd, part, pairCodec, mapSideCombine, createCombiner, mergeValue, mergeCombiners, less, normKey)
-		for _, p := range in {
-			w.add(p.Key, p.Value)
-		}
+		w.addBatch(in)
 		return w.close(mapPart)
 	}
 

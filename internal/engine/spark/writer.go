@@ -22,6 +22,7 @@ type mapWriter[K comparable, V, C any] struct {
 	buckets []shuffle.Block
 	raw     int64
 	err     error
+	lift    []core.Pair[K, C] // addBatch's combiner-lift scratch, reused per chunk
 }
 
 // newMapWriter wires the writer for one map task. less, when non-nil, is
@@ -72,10 +73,26 @@ func newMapWriter[K comparable, V, C any](tc *taskContext, sd *shuffleDep,
 	return w
 }
 
-// add feeds one record into the writer.
-func (w *mapWriter[K, V, C]) add(k K, v V) {
-	if w.err == nil {
-		w.err = w.w.Write(core.KV(k, w.createCombiner(v)))
+// addBatch feeds records batch-at-a-time: each exec.batch.size chunk is
+// lifted to the combiner type in reused scratch and handed to the shuffle
+// core in ONE WriteBatch call, amortizing its routing and threshold
+// bookkeeping over the chunk.
+func (w *mapWriter[K, V, C]) addBatch(in []core.Pair[K, V]) {
+	width := core.ExecBatch(w.tc.ctx.conf)
+	if w.lift == nil {
+		w.lift = make([]core.Pair[K, C], 0, width)
+	}
+	for len(in) > 0 && w.err == nil {
+		n := width
+		if n > len(in) {
+			n = len(in)
+		}
+		w.lift = w.lift[:0]
+		for _, p := range in[:n] {
+			w.lift = append(w.lift, core.KV(p.Key, w.createCombiner(p.Value)))
+		}
+		w.err = w.w.WriteBatch(w.lift)
+		in = in[n:]
 	}
 }
 

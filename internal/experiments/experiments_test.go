@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"tab3", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"tab4", "tab5", "tab6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab7",
-		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9", "ext10", "ext11",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -477,5 +477,37 @@ func TestRowRatioNaN(t *testing.T) {
 	r := Row{Spark: math.NaN(), Flink: 10}
 	if !math.IsNaN(r.Ratio()) {
 		t.Error("ratio with failed spark run should be NaN")
+	}
+}
+
+// TestExt11BatchAmortization pins the batch-width family's acceptance
+// property on its deterministic axis: widening the batch must amortize the
+// per-batch costs, so allocations per record at width 256 land far below
+// width 1 (which pays a pooled arena, a writer call and a flush scan per
+// record). Wall-clock is asserted only loosely (CI runners are noisy).
+func TestExt11BatchAmortization(t *testing.T) {
+	one, err := MeasureBatchHotPath("spark", "WordCount", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureBatchHotPath("spark", "WordCount", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Records == 0 || one.Records != big.Records {
+		t.Fatalf("record counts differ across widths: %d vs %d", one.Records, big.Records)
+	}
+	if big.AllocsPerRec >= one.AllocsPerRec/2 {
+		t.Errorf("batch=256 allocs/record %.2f not well below batch=1's %.2f: amortization gone",
+			big.AllocsPerRec, one.AllocsPerRec)
+	}
+	if big.NsPerRec >= one.NsPerRec {
+		t.Errorf("batch=256 ns/record %.0f not below batch=1's %.0f", big.NsPerRec, one.NsPerRec)
+	}
+
+	// End-to-end at a deliberately odd width must still complete (TeraSort
+	// verifies its own output order inside the run).
+	if _, err := MeasureBatchE2E("mapreduce", "TeraSort", 3); err != nil {
+		t.Fatal(err)
 	}
 }

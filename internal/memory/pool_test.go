@@ -1,6 +1,9 @@
 package memory
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestBufPoolRecycles(t *testing.T) {
 	p := &BufPool{}
@@ -55,5 +58,61 @@ func TestBufPoolZeroAllocSteadyState(t *testing.T) {
 	// record), Get/Put round-trips must not allocate buffer storage.
 	if allocs > 1 {
 		t.Fatalf("steady-state Get/Put allocates %.1f/op", allocs)
+	}
+}
+
+// TestBufPoolConcurrentBorrowRelease hammers one pool from many goroutines
+// (the shuffle-writer/reader pattern: borrow, fill, hand off, release) under
+// the race detector. Each goroutine stamps its buffers with its own id and
+// re-checks the stamp before Put — a recycled buffer handed to two owners
+// at once shows up as a stamp mismatch or a detector report.
+func TestBufPoolConcurrentBorrowRelease(t *testing.T) {
+	p := &BufPool{}
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			sizes := []int{300, 4 << 10, 64 << 10, 300} // cross size classes
+			held := make([][]byte, 0, 4)
+			for r := 0; r < rounds; r++ {
+				b := p.Get(sizes[r%len(sizes)])
+				b = b[:16]
+				for i := range b {
+					b[i] = id
+				}
+				held = append(held, b)
+				if len(held) == cap(held) || r == rounds-1 {
+					for _, h := range held {
+						for _, c := range h {
+							if c != id {
+								select {
+								case errs <- "buffer shared between owners":
+								default:
+								}
+								return
+							}
+						}
+						p.Put(h)
+					}
+					held = held[:0]
+				}
+			}
+		}(byte(w + 1))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	gets, puts, _ := p.Stats()
+	if gets != workers*rounds || puts != workers*rounds {
+		t.Fatalf("stats gets=%d puts=%d, want %d each", gets, puts, workers*rounds)
 	}
 }

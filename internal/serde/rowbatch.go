@@ -1,0 +1,228 @@
+package serde
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// RowBatch is the unit of vectorized execution: a contiguous run of binary
+// rows sharing one pooled arena, plus a selection vector. Rows are stored
+// in wire form ([uint32 bodyLen][body]) packed back to back, so a batch's
+// arena IS the shuffle-block / spill-run layout — emitting a fully-selected
+// batch is one memcpy, and loading one is offset scanning with no copies.
+//
+// Filters never move bytes: Select marks surviving rows in the selection
+// vector and dead rows simply stop being visited by ForEach/Rows/EncodeTo.
+// A nil selection vector means "all rows live" (the common case after
+// AppendRow), so unfiltered batches pay nothing for the mechanism.
+//
+// A batch is either OWNING (arena drawn from memory.DefaultPool by
+// NewRowBatch; Release returns it) or BORROWING (arena is a caller slice
+// installed by LoadWire; Release detaches without touching the pool).
+// Like Row views, rows handed out by a batch borrow the arena and are
+// valid only until the next Reset/LoadWire/Release.
+type RowBatch struct {
+	s          *Schema
+	arena      []byte  // wire-form rows, back to back
+	offs       []int32 // byte offset of each row's length prefix in arena
+	sel        []int32 // live row indices (ascending); nil = all live
+	selScratch []int32 // retained selection storage across Reset cycles
+	borrowed   bool    // arena belongs to a caller (LoadWire), not the pool
+}
+
+// NewRowBatch returns an empty owning batch sized for about capRows rows of
+// typical width, its arena drawn from the default buffer pool.
+func NewRowBatch(s *Schema, capRows int) *RowBatch {
+	if capRows < 1 {
+		capRows = 1
+	}
+	// Heuristic arena sizing: prefix + slots + a little tail per row.
+	per := 4 + rowSlotSize*(s.NumFields()+2)
+	return &RowBatch{
+		s:     s,
+		arena: memory.DefaultPool.Get(capRows * per),
+		offs:  make([]int32, 0, capRows),
+	}
+}
+
+// Schema returns the batch's row schema.
+func (b *RowBatch) Schema() *Schema { return b.s }
+
+// Len returns the number of rows stored, live or not.
+func (b *RowBatch) Len() int { return len(b.offs) }
+
+// Live returns the number of selected (live) rows.
+func (b *RowBatch) Live() int {
+	if b.sel == nil {
+		return len(b.offs)
+	}
+	return len(b.sel)
+}
+
+// AppendRow copies r's wire form into the arena. Appending to a filtered or
+// borrowing batch is a misuse (the new row's liveness or ownership would be
+// ambiguous) and panics; Reset first.
+func (b *RowBatch) AppendRow(r Row) {
+	if b.sel != nil {
+		panic("serde: AppendRow on a filtered RowBatch (Reset first)")
+	}
+	if b.borrowed {
+		panic("serde: AppendRow on a borrowed RowBatch (Reset first)")
+	}
+	b.offs = append(b.offs, int32(len(b.arena)))
+	b.arena = binary.LittleEndian.AppendUint32(b.arena, uint32(len(r.body)))
+	b.arena = append(b.arena, r.body...)
+}
+
+// AppendFrom copies builder rb's current row into the arena, without going
+// through an intermediate Row view.
+func (b *RowBatch) AppendFrom(rb *RowBuilder) {
+	b.AppendRow(Row{s: b.s, body: rb.buf})
+}
+
+// Row returns a borrowing view of physical row i (selection ignored).
+func (b *RowBatch) Row(i int) Row {
+	start := int(b.offs[i]) + 4
+	n := int(binary.LittleEndian.Uint32(b.arena[b.offs[i]:]))
+	return Row{s: b.s, body: b.arena[start : start+n]}
+}
+
+// ForEach visits every live row in order with a borrowing view.
+func (b *RowBatch) ForEach(fn func(Row)) {
+	if b.sel == nil {
+		for i := range b.offs {
+			fn(b.Row(i))
+		}
+		return
+	}
+	for _, i := range b.sel {
+		fn(b.Row(int(i)))
+	}
+}
+
+// Select keeps only the live rows for which keep returns true, flipping
+// selection bits instead of moving row bytes. Repeated Selects compose.
+func (b *RowBatch) Select(keep func(Row) bool) {
+	if b.sel == nil {
+		// First filter: materialize the selection vector over all rows,
+		// reusing storage retained by a previous Reset when it fits. The
+		// vector must be non-nil even when every row is rejected — a nil
+		// selection means "all live".
+		if b.selScratch == nil {
+			b.selScratch = make([]int32, 0, len(b.offs))
+		}
+		sel := b.selScratch[:0]
+		b.selScratch = nil
+		for i := range b.offs {
+			if keep(b.Row(i)) {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.sel = sel
+		return
+	}
+	out := b.sel[:0]
+	for _, i := range b.sel {
+		if keep(b.Row(int(i))) {
+			out = append(out, i)
+		}
+	}
+	b.sel = out
+}
+
+// Rows appends borrowing views of every live row to dst and returns it —
+// the bridge from batch storage to slice-shaped operator inputs.
+func (b *RowBatch) Rows(dst []Row) []Row {
+	if b.sel == nil {
+		for i := range b.offs {
+			dst = append(dst, b.Row(i))
+		}
+		return dst
+	}
+	for _, i := range b.sel {
+		dst = append(dst, b.Row(int(i)))
+	}
+	return dst
+}
+
+// EncodeTo appends the wire form of every live row to dst. An unfiltered
+// batch is a single copy of the whole arena.
+func (b *RowBatch) EncodeTo(dst []byte) []byte {
+	if b.sel == nil {
+		return append(dst, b.arena...)
+	}
+	for _, i := range b.sel {
+		start := b.offs[i]
+		n := binary.LittleEndian.Uint32(b.arena[start:])
+		dst = append(dst, b.arena[start:start+4+int32(n)]...)
+	}
+	return dst
+}
+
+// LoadWire points the batch at a caller-owned buffer of back-to-back wire
+// rows (a shuffle block's payload), scanning row offsets without copying.
+// The previous arena is released first; the batch borrows src until the
+// next Reset/LoadWire/Release.
+func (b *RowBatch) LoadWire(src []byte) error {
+	b.dropArena()
+	b.arena = src
+	b.borrowed = true
+	b.offs = b.offs[:0]
+	b.sel = nil
+	slots := rowSlotSize * b.s.NumFields()
+	for pos := 0; pos < len(src); {
+		if len(src)-pos < 4 {
+			return ErrShortBuffer
+		}
+		n := int(binary.LittleEndian.Uint32(src[pos:]))
+		if n < slots || len(src)-pos < 4+n {
+			return ErrShortBuffer
+		}
+		b.offs = append(b.offs, int32(pos))
+		pos += 4 + n
+	}
+	return nil
+}
+
+// Reset empties the batch for reuse, keeping owned arena storage. A
+// borrowed arena is detached and replaced with a fresh pooled one.
+func (b *RowBatch) Reset() {
+	if b.borrowed {
+		b.arena = memory.DefaultPool.Get(1 << 10)
+		b.borrowed = false
+	} else {
+		b.arena = b.arena[:0]
+	}
+	b.offs = b.offs[:0]
+	if b.sel != nil {
+		b.selScratch = b.sel[:0]
+		b.sel = nil
+	}
+}
+
+// Release returns an owned arena to the pool (or detaches a borrowed one)
+// and leaves the batch unusable until re-created. No row view handed out
+// earlier may be used afterwards — the pool may hand the storage to an
+// unrelated borrower.
+func (b *RowBatch) Release() {
+	b.dropArena()
+	b.offs = nil
+	b.sel = nil
+	b.selScratch = nil
+}
+
+func (b *RowBatch) dropArena() {
+	if b.arena != nil && !b.borrowed {
+		memory.DefaultPool.Put(b.arena)
+	}
+	b.arena = nil
+	b.borrowed = false
+}
+
+// String summarizes the batch for debugging.
+func (b *RowBatch) String() string {
+	return fmt.Sprintf("RowBatch{rows=%d live=%d arena=%dB borrowed=%v}",
+		b.Len(), b.Live(), len(b.arena), b.borrowed)
+}

@@ -1,0 +1,404 @@
+package serde
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// fillBatch builds n random rows into batch b and returns their values.
+func fillBatch(t testing.TB, rng *rand.Rand, s *Schema, b *RowBatch, n int) [][]any {
+	t.Helper()
+	rb := s.NewBuilder()
+	defer rb.Release()
+	all := make([][]any, n)
+	for i := range all {
+		all[i] = randValues(rng, s)
+		buildRow(t, rb, s, all[i])
+		b.AppendFrom(rb)
+	}
+	return all
+}
+
+// TestRowBatchRoundTrip checks batch storage against the row-at-a-time
+// reference: EncodeTo of an unfiltered batch must be byte-identical to
+// AppendRow-ing each row, and every access path (Row, ForEach, Rows,
+// LoadWire of the emitted bytes) must read back the original values.
+func TestRowBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		s := randSchema(rng)
+		n := rng.Intn(40)
+		b := NewRowBatch(s, 8)
+		all := fillBatch(t, rng, s, b, n)
+		if b.Len() != n || b.Live() != n {
+			t.Fatalf("trial %d: Len=%d Live=%d want %d", trial, b.Len(), b.Live(), n)
+		}
+
+		// Reference wire form, row at a time through the builder.
+		rb := s.NewBuilder()
+		var want []byte
+		for _, vs := range all {
+			buildRow(t, rb, s, vs)
+			want = rb.AppendRow(want)
+		}
+		rb.Release()
+		got := b.EncodeTo(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: EncodeTo differs from row-at-a-time encoding", trial)
+		}
+
+		for i, vs := range all {
+			checkRow(t, b.Row(i), s, vs)
+		}
+		i := 0
+		b.ForEach(func(r Row) {
+			checkRow(t, r, s, all[i])
+			i++
+		})
+		if i != n {
+			t.Fatalf("trial %d: ForEach visited %d rows, want %d", trial, i, n)
+		}
+		views := b.Rows(nil)
+		if len(views) != n {
+			t.Fatalf("trial %d: Rows returned %d views, want %d", trial, len(views), n)
+		}
+		for i, r := range views {
+			checkRow(t, r, s, all[i])
+		}
+
+		// LoadWire over the emitted bytes must see the same rows, borrowed.
+		lb := NewRowBatch(s, 1)
+		if err := lb.LoadWire(got); err != nil {
+			t.Fatalf("trial %d: LoadWire: %v", trial, err)
+		}
+		if lb.Len() != n {
+			t.Fatalf("trial %d: LoadWire found %d rows, want %d", trial, lb.Len(), n)
+		}
+		for i, vs := range all {
+			checkRow(t, lb.Row(i), s, vs)
+		}
+		lb.Release()
+		b.Release()
+	}
+}
+
+// TestRowBatchSelection pins the selection-vector semantics: Select visits
+// live rows only, composes across calls, never moves row bytes, and
+// EncodeTo/Rows/ForEach/Live all agree on the surviving set.
+func TestRowBatchSelection(t *testing.T) {
+	s := NewSchema(KindInt64)
+	b := NewRowBatch(s, 4)
+	rb := s.NewBuilder()
+	defer rb.Release()
+	const n = 100
+	for i := 0; i < n; i++ {
+		rb.Reset()
+		rb.SetInt64(0, int64(i))
+		b.AppendFrom(rb)
+	}
+
+	b.Select(func(r Row) bool { return r.Int64(0)%2 == 0 })
+	if b.Live() != n/2 || b.Len() != n {
+		t.Fatalf("after even-filter: Live=%d Len=%d", b.Live(), b.Len())
+	}
+	b.Select(func(r Row) bool { return r.Int64(0)%3 == 0 })
+	var got []int64
+	b.ForEach(func(r Row) { got = append(got, r.Int64(0)) })
+	var want []int64
+	for i := int64(0); i < n; i++ {
+		if i%6 == 0 {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) || b.Live() != len(want) {
+		t.Fatalf("composed filter kept %d rows (Live=%d), want %d", len(got), b.Live(), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+
+	// EncodeTo of the filtered batch must match re-encoding survivors only.
+	var ref []byte
+	for _, v := range want {
+		rb.Reset()
+		rb.SetInt64(0, v)
+		ref = rb.AppendRow(ref)
+	}
+	if enc := b.EncodeTo(nil); !bytes.Equal(enc, ref) {
+		t.Fatal("filtered EncodeTo differs from re-encoded survivors")
+	}
+	if views := b.Rows(nil); len(views) != len(want) {
+		t.Fatalf("filtered Rows returned %d views, want %d", len(views), len(want))
+	}
+
+	// Physical storage is untouched: all n rows still positionally present.
+	for i := 0; i < n; i++ {
+		if b.Row(i).Int64(0) != int64(i) {
+			t.Fatalf("physical row %d moved", i)
+		}
+	}
+
+	// Reset clears selection and allows appending again.
+	b.Reset()
+	if b.Len() != 0 || b.Live() != 0 {
+		t.Fatalf("after Reset: Len=%d Live=%d", b.Len(), b.Live())
+	}
+	rb.Reset()
+	rb.SetInt64(0, 777)
+	b.AppendFrom(rb)
+	if b.Live() != 1 || b.Row(0).Int64(0) != 777 {
+		t.Fatal("append after Reset broken")
+	}
+	b.Release()
+}
+
+// TestRowBatchSelectAll covers the empty and keep-everything edges.
+func TestRowBatchSelectAll(t *testing.T) {
+	s := NewSchema(KindInt64)
+	b := NewRowBatch(s, 1)
+	defer b.Release()
+	b.Select(func(Row) bool { return true }) // empty batch: no-op
+	if b.Live() != 0 {
+		t.Fatalf("empty batch Live=%d", b.Live())
+	}
+	rb := s.NewBuilder()
+	defer rb.Release()
+	b.Reset()
+	for i := 0; i < 10; i++ {
+		rb.Reset()
+		rb.SetInt64(0, int64(i))
+		b.AppendFrom(rb)
+	}
+	b.Select(func(Row) bool { return true })
+	if b.Live() != 10 {
+		t.Fatalf("keep-all Live=%d", b.Live())
+	}
+	b.Select(func(Row) bool { return false })
+	if b.Live() != 0 || b.EncodeTo(nil) != nil {
+		t.Fatalf("keep-none Live=%d", b.Live())
+	}
+
+	// keep-none as the FIRST selection on a fresh batch must also kill every
+	// row: the empty vector has to be non-nil, since nil means "all live".
+	b2 := NewRowBatch(s, 4)
+	defer b2.Release()
+	for i := 0; i < 4; i++ {
+		rb.Reset()
+		rb.SetInt64(0, int64(i))
+		b2.AppendFrom(rb)
+	}
+	b2.Select(func(Row) bool { return false })
+	if b2.Live() != 0 || b2.EncodeTo(nil) != nil {
+		t.Fatalf("first-selection keep-none Live=%d", b2.Live())
+	}
+}
+
+// TestRowBatchPoolReuseNeverAliases releases one batch, provokes the pool
+// into reusing its arena for a second batch, and checks that data copied
+// out of the first batch before release is unaffected — and that two LIVE
+// batches never share storage.
+func TestRowBatchPoolReuseNeverAliases(t *testing.T) {
+	s := NewSchema(KindBytes)
+	rb := s.NewBuilder()
+	defer rb.Release()
+
+	mk := func(fill byte, rows int) *RowBatch {
+		b := NewRowBatch(s, rows)
+		payload := bytes.Repeat([]byte{fill}, 64)
+		for i := 0; i < rows; i++ {
+			rb.Reset()
+			rb.SetBytes(0, payload)
+			b.AppendFrom(rb)
+		}
+		return b
+	}
+
+	// Two live batches: arenas must be distinct storage.
+	a, b := mk(0xAA, 16), mk(0xBB, 16)
+	pa, _ := a.Row(0).Bytes(0)
+	pb, _ := b.Row(0).Bytes(0)
+	if &pa[0] == &pb[0] {
+		t.Fatal("two live batches alias one arena")
+	}
+	for _, c := range pb {
+		if c != 0xBB {
+			t.Fatal("live batch corrupted by sibling")
+		}
+	}
+
+	// Copy out of a, release it, then churn new batches through the pool
+	// and scribble on them; the copy must hold its value.
+	snap := append([]byte(nil), pa...)
+	a.Release()
+	for i := 0; i < 8; i++ {
+		c := mk(byte(i), 16)
+		c.Release()
+	}
+	if !bytes.Equal(snap, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("copied-out data changed after Release (aliasing)")
+	}
+	b.Release()
+}
+
+// TestRowBatchBorrowedLifecycle checks LoadWire batches don't return
+// caller storage to the pool and convert back to owning on Reset.
+func TestRowBatchBorrowedLifecycle(t *testing.T) {
+	s := NewSchema(KindInt64)
+	rb := s.NewBuilder()
+	defer rb.Release()
+	rb.SetInt64(0, 42)
+	wire := rb.AppendRow(nil)
+
+	b := NewRowBatch(s, 1)
+	if err := b.LoadWire(wire); err != nil {
+		t.Fatal(err)
+	}
+	if b.Row(0).Int64(0) != 42 {
+		t.Fatal("borrowed decode failed")
+	}
+	_, putsBefore, _ := memory.DefaultPool.Stats()
+	b.Reset()
+	if _, putsAfter, _ := memory.DefaultPool.Stats(); putsAfter != putsBefore {
+		t.Fatal("borrowed Reset returned caller storage to the pool")
+	}
+	rb.Reset()
+	rb.SetInt64(0, 7)
+	b.AppendFrom(rb) // owning again after Reset
+	if b.Row(0).Int64(0) != 7 {
+		t.Fatal("append after borrowed Reset failed")
+	}
+	if wire[4] != 42 {
+		t.Fatal("caller wire buffer scribbled on")
+	}
+	b.Release()
+
+	// Truncated wire must be rejected, not panic.
+	b2 := NewRowBatch(s, 1)
+	defer b2.Release()
+	if err := b2.LoadWire(wire[:len(wire)-1]); err == nil {
+		t.Fatal("truncated LoadWire accepted")
+	}
+}
+
+// TestRowBatchAppendGuards pins the misuse panics: appending to a filtered
+// or borrowed batch must fail loudly, not corrupt liveness.
+func TestRowBatchAppendGuards(t *testing.T) {
+	s := NewSchema(KindInt64)
+	rb := s.NewBuilder()
+	defer rb.Release()
+	rb.SetInt64(0, 1)
+
+	b := NewRowBatch(s, 1)
+	defer b.Release()
+	b.AppendFrom(rb)
+	b.Select(func(Row) bool { return true })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AppendRow on filtered batch did not panic")
+			}
+		}()
+		b.AppendFrom(rb)
+	}()
+
+	lb := NewRowBatch(s, 1)
+	defer lb.Release()
+	if err := lb.LoadWire(rb.AppendRow(nil)); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AppendRow on borrowed batch did not panic")
+			}
+		}()
+		lb.AppendFrom(rb)
+	}()
+}
+
+// TestRowBatchSteadyStateZeroAlloc extends the TestRowZeroAlloc contract to
+// the batch cycle: append → filter → emit → reset must not allocate once
+// scratch has warmed up.
+func TestRowBatchSteadyStateZeroAlloc(t *testing.T) {
+	s := NewSchema(KindInt64)
+	rb := s.NewBuilder()
+	defer rb.Release()
+	b := NewRowBatch(s, 64)
+	defer b.Release()
+	out := make([]byte, 0, 4096)
+	// Warm the selection scratch.
+	for i := 0; i < 2; i++ {
+		b.Reset()
+		for j := 0; j < 64; j++ {
+			rb.Reset()
+			rb.SetInt64(0, int64(j))
+			b.AppendFrom(rb)
+		}
+		b.Select(func(r Row) bool { return r.Int64(0)%2 == 0 })
+		out = b.EncodeTo(out[:0])
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		b.Reset()
+		for j := 0; j < 64; j++ {
+			rb.Reset()
+			rb.SetInt64(0, int64(j))
+			b.AppendFrom(rb)
+		}
+		b.Select(func(r Row) bool { return r.Int64(0)%2 == 0 })
+		out = b.EncodeTo(out[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzRowBatch extends the FuzzRowDecode lineage to batches: arbitrary
+// bytes fed to LoadWire must never panic, and whatever it accepts must
+// agree row for row with the row-at-a-time positional decoder and
+// re-encode byte-identically through EncodeTo.
+func FuzzRowBatch(f *testing.F) {
+	s := NewSchema(KindInt64, KindString)
+	rb := s.NewBuilder()
+	var seed []byte
+	for i := 0; i < 3; i++ {
+		rb.Reset()
+		rb.SetInt64(0, int64(i))
+		rb.SetString(1, "seed")
+		seed = rb.AppendRow(seed)
+	}
+	rb.Release()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewRowBatch(s, 4)
+		defer b.Release()
+		if err := b.LoadWire(data); err != nil {
+			return
+		}
+		// Row-at-a-time reference decode over the same bytes.
+		rest := data
+		for i := 0; i < b.Len(); i++ {
+			want, n, err := s.ReadRow(rest)
+			if err != nil {
+				t.Fatalf("batch accepted %d rows but ReadRow failed at %d: %v", b.Len(), i, err)
+			}
+			got := b.Row(i)
+			if !bytes.Equal(got.body, want.body) {
+				t.Fatalf("row %d: batch body differs from positional decode", i)
+			}
+			rest = rest[n:]
+		}
+		if len(rest) != 0 {
+			t.Fatalf("batch left %d trailing bytes the positional decoder would reject", len(rest))
+		}
+		if enc := b.EncodeTo(nil); !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode differs: %x vs %x", enc, data)
+		}
+	})
+}

@@ -257,11 +257,19 @@ const memQuantum = 32 * 1024
 const memCheckEvery = 1024
 
 // Writer is the map/producer side of one shuffle edge for one task. Write
-// feeds records; Close flushes every partition downstream. Writers are not
+// feeds one record; WriteBatch feeds a batch in one call — the vectorized
+// emit path, semantically identical to writing each record in order but
+// with per-record bookkeeping (pressure checks, pipelined-flush checks,
+// route validation) amortized to once per batch, so thresholds are honored
+// at batch granularity and a bucket may overshoot FlushBytes by up to one
+// batch's bytes. The recs SLICE is borrowed only for the call (callers may
+// reuse scratch); the record values are retained exactly as Write retains
+// its argument. Close flushes every partition downstream. Writers are not
 // safe for concurrent use — one writer per producing task, like one sort
 // buffer per Hadoop map task.
 type Writer[R any] interface {
 	Write(rec R) error
+	WriteBatch(recs []R) error
 	Close() error
 }
 

@@ -71,6 +71,43 @@ func (w *hashWriter[R]) Write(rec R) error {
 	return nil
 }
 
+// WriteBatch implements Writer. The combining path still inserts record by
+// record (the table lookup is inherently per key), but the plain bucketed
+// path serializes the whole batch with the pipelined-flush check hoisted
+// out of the record loop — one threshold scan per batch instead of one
+// per record.
+func (w *hashWriter[R]) WriteBatch(recs []R) error {
+	if w.groups != nil {
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rec := range recs {
+		p := w.spec.Route(rec)
+		if p < 0 || p >= w.spec.NumParts {
+			return fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
+		}
+		if w.bufs[p] == nil {
+			w.bufs[p] = memory.DefaultPool.Get(memQuantum)
+		}
+		w.bufs[p] = serde.Append(w.spec.Codec, w.bufs[p], rec)
+		w.recs[p]++
+	}
+	if w.env.Settings.FlushBytes > 0 {
+		for p := range w.bufs {
+			if int64(len(w.bufs[p])) >= w.env.Settings.FlushBytes {
+				if err := w.flush(p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // drain empties the combine table into the buckets; spilled marks a
 // memory-pressure drain (counted as a spill, like the tungsten aggregation
 // map falling back to its buckets).
@@ -199,12 +236,26 @@ func newSortWriter[R any](spec Spec[R], env Env) *sortWriter[R] {
 	return &sortWriter[R]{spec: spec, env: env, bytesPerRec: 64}
 }
 
-// Write implements Writer.
+// Write implements Writer. Route validation happens in cut (the one place
+// Route must run anyway), so the buffering fast path is a plain append plus
+// threshold checks.
 func (w *sortWriter[R]) Write(rec R) error {
-	if p := w.spec.Route(rec); p < 0 || p >= w.spec.NumParts {
-		return fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
-	}
 	w.buf = append(w.buf, rec)
+	return w.check(len(w.buf) - 1)
+}
+
+// WriteBatch implements Writer: the whole batch appends in one copy and the
+// spill/memory thresholds are consulted once, at batch granularity.
+func (w *sortWriter[R]) WriteBatch(recs []R) error {
+	before := len(w.buf)
+	w.buf = append(w.buf, recs...)
+	return w.check(before)
+}
+
+// check applies the spill and memory-pressure thresholds after the buffer
+// grew from `before` records to its current length. Memory is granted one
+// quantum per memCheckEvery records crossed, matching the per-record path.
+func (w *sortWriter[R]) check(before int) error {
 	n := len(w.buf)
 	set := w.env.Settings
 	if set.SpillRecs > 0 && n >= set.SpillRecs {
@@ -213,22 +264,28 @@ func (w *sortWriter[R]) Write(rec R) error {
 	if set.SpillBytes > 0 && int64(float64(n)*w.bytesPerRec) >= set.SpillBytes {
 		return w.spill()
 	}
-	if n%memCheckEvery == 0 && w.env.Mem != nil {
-		if w.env.Mem(memQuantum) {
-			w.granted += memQuantum
-		} else {
-			return w.spill()
+	if w.env.Mem != nil {
+		for crossed := n/memCheckEvery - before/memCheckEvery; crossed > 0; crossed-- {
+			if w.env.Mem(memQuantum) {
+				w.granted += memQuantum
+			} else {
+				return w.spill()
+			}
 		}
 	}
 	return nil
 }
 
 // cut partitions, orders and combines the buffered records, returning one
-// record slice per partition (the in-memory form of a run).
-func (w *sortWriter[R]) cut() [][]R {
+// record slice per partition (the in-memory form of a run). A record routed
+// outside [0, NumParts) surfaces here as an error.
+func (w *sortWriter[R]) cut() ([][]R, error) {
 	parts := make([][]R, w.spec.NumParts)
 	for _, rec := range w.buf {
 		p := w.spec.Route(rec)
+		if p < 0 || p >= w.spec.NumParts {
+			return nil, fmt.Errorf("shuffle: record routed to partition %d of %d", p, w.spec.NumParts)
+		}
 		parts[p] = append(parts[p], rec)
 	}
 	for p, part := range parts {
@@ -244,7 +301,7 @@ func (w *sortWriter[R]) cut() [][]R {
 		parts[p] = w.combine(part)
 	}
 	w.buf = w.buf[:0]
-	return parts
+	return parts, nil
 }
 
 // combine folds a partition slice whose equal keys are adjacent, counting
@@ -267,7 +324,10 @@ func (w *sortWriter[R]) spill() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	parts := w.cut()
+	parts, err := w.cut()
+	if err != nil {
+		return err
+	}
 	run := make([]runSeg, w.spec.NumParts)
 	var runBytes, runRecs int64
 	for p, part := range parts {
@@ -302,7 +362,10 @@ func (w *sortWriter[R]) spill() error {
 // Close implements Writer: merge the spilled runs with the in-memory tail
 // and emit one final block per partition.
 func (w *sortWriter[R]) Close() error {
-	tail := w.cut()
+	tail, err := w.cut()
+	if err != nil {
+		return err
+	}
 	for p := 0; p < w.spec.NumParts; p++ {
 		var segs [][]R
 		for _, run := range w.runs {
